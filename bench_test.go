@@ -1,0 +1,154 @@
+// Package kindle's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation. Each benchmark runs the
+// corresponding experiment at a reduced scale (so `go test -bench=.`
+// finishes in minutes) and reports the headline quantity of that artifact
+// as a custom metric alongside host-side ns/op. For paper-scale runs use
+// `go run ./cmd/kindle-bench -scale 1.0`.
+package kindle_test
+
+import (
+	"testing"
+
+	"kindle/internal/bench"
+)
+
+// benchScale keeps each experiment's testing.B iteration around a second.
+var benchScale = bench.Options{Scale: 1.0 / 32}
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := bench.TableI()
+		if err := res.CheckShape(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	// Table II needs a long trace window for stationary mixes.
+	opt := bench.Options{Scale: 1.0 / 8}
+	for i := 0; i < b.N; i++ {
+		res, err := bench.TableII(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.CheckShape(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].ReadPct, "gapbs_read_%")
+	}
+}
+
+func BenchmarkFig4a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig4a(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.CheckShape(); err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.RebuildMs/last.PersistentMs, "rebuild/persistent_512MB")
+	}
+}
+
+func BenchmarkFig4b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig4b(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.CheckShape(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].PersistentMs/res.Rows[0].RebuildMs, "persistent/rebuild_1GB")
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.TableIII(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.CheckShape(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].RebuildMs/res.Rows[0].PersistentMs, "rebuild/persistent_64MB")
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.TableIV(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.CheckShape(); err != nil {
+			b.Fatal(err)
+		}
+		// Headline: the rebuild reduction from 10ms to 100ms interval.
+		b.ReportMetric(res.Rows[0].RebuildMs/res.Rows[1].RebuildMs, "rebuild_10ms/100ms")
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig5(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.CheckShape(); err != nil {
+			b.Fatal(err)
+		}
+		// Headline: average overhead reduction 1ms -> 10ms.
+		var red float64
+		for _, row := range res.Rows {
+			red += (row.Norm[res.Intervals[0]] - 1) / (row.Norm[res.Intervals[2]] - 1)
+		}
+		b.ReportMetric(red/float64(len(res.Rows)), "overhead_reduction_1ms/10ms")
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tv, _, _, err := bench.HSCCAll(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tv.CheckShape(); err != nil {
+			b.Fatal(err)
+		}
+		y := tv.Migrated["Ycsb_mem"]
+		if y[50] > 0 {
+			b.ReportMetric(float64(y[5])/float64(y[50]), "ycsb_th5/th50")
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, f6, _, err := bench.HSCCAll(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f6.CheckShape(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f6.Norm["Ycsb_mem"][5], "ycsb_norm_th5")
+	}
+}
+
+func BenchmarkTableVI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, t6, err := bench.HSCCAll(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t6.CheckShape(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t6.CopyPct["Gapbs_pr"][5], "gapbs_copy_%_th5")
+	}
+}

@@ -1,0 +1,141 @@
+// Command kindle-bench regenerates the tables and figures of the Kindle
+// paper's evaluation.
+//
+// Usage:
+//
+//	kindle-bench [-scale 1.0] [-experiment all|tableI|tableII|fig4a|fig4b|tableIII|tableIV|fig5|hscc|extensions] [-check]
+//
+// -scale shrinks footprints, trace lengths and intervals proportionally
+// (0.0625 runs the whole suite in about a minute; 1.0 is paper scale).
+// -check validates the published shapes after running.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kindle/internal/bench"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "experiment scale (1.0 = paper parameters)")
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	check := flag.Bool("check", false, "verify the published shapes")
+	csvPath := flag.String("csv", "", "also write all data points as CSV (with -experiment all)")
+	flag.Parse()
+
+	opt := bench.Options{Scale: *scale}
+	progress := func(s string) { fmt.Fprintln(os.Stderr, "[kindle-bench] "+s) }
+
+	run := func(e bench.Experiment, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kindle-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(e.Render())
+		if *check {
+			if err := e.CheckShape(); err != nil {
+				fmt.Fprintln(os.Stderr, "kindle-bench: shape check failed:", err)
+				os.Exit(1)
+			}
+			fmt.Println("shape check: ok")
+		}
+	}
+
+	switch *experiment {
+	case "all":
+		res, err := bench.RunAll(opt, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kindle-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		if *csvPath != "" {
+			if err := os.WriteFile(*csvPath, []byte(res.RenderCSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "kindle-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "[kindle-bench] CSV written to "+*csvPath)
+		}
+		if *check {
+			if err := res.CheckShapes(); err != nil {
+				fmt.Fprintln(os.Stderr, "kindle-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Println("shape checks: all ok")
+		}
+	case "tableI":
+		run(bench.TableI(), nil)
+	case "tableII":
+		r, err := bench.TableII(opt)
+		run(r, err)
+	case "fig4a":
+		r, err := bench.Fig4a(opt)
+		run(r, err)
+	case "fig4b":
+		r, err := bench.Fig4b(opt)
+		run(r, err)
+	case "tableIII":
+		r, err := bench.TableIII(opt)
+		run(r, err)
+	case "tableIV":
+		r, err := bench.TableIV(opt)
+		run(r, err)
+	case "fig5":
+		r, err := bench.Fig5(opt)
+		run(r, err)
+	case "hscc":
+		tv, f6, t6, err := bench.HSCCAll(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kindle-bench:", err)
+			os.Exit(1)
+		}
+		for _, e := range []bench.Experiment{tv, f6, t6} {
+			run(e, nil)
+		}
+	case "extensions":
+		// Studies beyond the paper's evaluation that it points at:
+		// consolidation frequency, NVM technologies, write-buffer depth,
+		// context-switch interference.
+		if r, err := bench.ExtConsolidation(opt); err != nil {
+			fmt.Fprintln(os.Stderr, "kindle-bench:", err)
+			os.Exit(1)
+		} else {
+			run(r, nil)
+		}
+		if r, err := bench.ExtNVMTech(opt); err != nil {
+			fmt.Fprintln(os.Stderr, "kindle-bench:", err)
+			os.Exit(1)
+		} else {
+			run(r, nil)
+		}
+		if r, err := bench.ExtWriteBuffer(opt); err != nil {
+			fmt.Fprintln(os.Stderr, "kindle-bench:", err)
+			os.Exit(1)
+		} else {
+			run(r, nil)
+		}
+		if r, err := bench.ExtContextSwitch(opt); err != nil {
+			fmt.Fprintln(os.Stderr, "kindle-bench:", err)
+			os.Exit(1)
+		} else {
+			run(r, nil)
+		}
+		if r, err := bench.ExtCheckCost(opt); err != nil {
+			fmt.Fprintln(os.Stderr, "kindle-bench:", err)
+			os.Exit(1)
+		} else {
+			run(r, nil)
+		}
+		if r, err := bench.ExtRecoveryTime(opt); err != nil {
+			fmt.Fprintln(os.Stderr, "kindle-bench:", err)
+			os.Exit(1)
+		} else {
+			run(r, nil)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "kindle-bench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}

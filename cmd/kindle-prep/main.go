@@ -1,0 +1,51 @@
+// Command kindle-prep is the preparation component's CLI: it traces a
+// Table II benchmark (the Pin stand-in), captures its memory layout (the
+// /proc/pid/maps + SniP capture) and generates the disk image plus the
+// gemOS template code for the simulation component.
+//
+// Usage:
+//
+//	kindle-prep -benchmark Ycsb_mem -out ./images [-small] [-maps]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kindle/internal/prep"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "", "benchmark to trace (Gapbs_pr, G500_sssp, Ycsb_mem)")
+	out := flag.String("out", "images", "output directory for the disk image and template")
+	small := flag.Bool("small", false, "use the reduced test-scale configuration")
+	maps := flag.Bool("maps", false, "print the captured /proc-style maps layout")
+	list := flag.Bool("list", false, "list available benchmarks")
+	flag.Parse()
+
+	if *list {
+		for _, b := range prep.Benchmarks() {
+			fmt.Println(b)
+		}
+		return
+	}
+	if *benchmark == "" {
+		fmt.Fprintln(os.Stderr, "kindle-prep: -benchmark required (see -list)")
+		os.Exit(2)
+	}
+	d := &prep.Driver{OutDir: *out, Small: *small}
+	res, err := d.Run(*benchmark)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kindle-prep:", err)
+		os.Exit(1)
+	}
+	r, w := res.Image.Mix()
+	fmt.Printf("traced %s: %d records, %d areas, %.0f%% read / %.0f%% write, footprint %d KiB\n",
+		*benchmark, len(res.Image.Records), len(res.Image.Areas), r, w, res.Image.Footprint()/1024)
+	fmt.Println("disk image:", res.ImagePath)
+	fmt.Println("template:  ", res.TemplatePath)
+	if *maps {
+		fmt.Print(res.MapsText)
+	}
+}

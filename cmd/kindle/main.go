@@ -1,0 +1,167 @@
+// Command kindle runs one full-system simulation: it loads a disk image
+// produced by kindle-prep (or traces a benchmark on the fly), boots the
+// machine + gemOS, optionally enables process persistence, SSP or HSCC,
+// replays the application, and reports execution statistics. With
+// -crash-at it also demonstrates full process persistence: the machine
+// power-fails mid-run, reboots, recovers the process from NVM and finishes
+// the remaining trace.
+//
+// Usage:
+//
+//	kindle -image images/Ycsb_mem.img -persist rebuild -interval 10ms -crash-at 0.5
+//	kindle -benchmark Gapbs_pr -small -ssp 5ms
+//	kindle -benchmark Ycsb_mem -small -hscc 25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kindle/internal/core"
+	"kindle/internal/hscc"
+	"kindle/internal/persist"
+	"kindle/internal/prep"
+	"kindle/internal/sim"
+	"kindle/internal/ssp"
+	"kindle/internal/trace"
+)
+
+func main() {
+	image := flag.String("image", "", "disk image to replay (from kindle-prep)")
+	benchmark := flag.String("benchmark", "", "trace a benchmark on the fly instead of -image")
+	small := flag.Bool("small", false, "reduced workload configuration")
+	persistMode := flag.String("persist", "", "process persistence scheme: rebuild or persistent")
+	interval := flag.Duration("interval", 10*time.Millisecond, "checkpoint interval")
+	crashAt := flag.Float64("crash-at", 0, "crash after this fraction of the trace (0 = no crash)")
+	sspInterval := flag.Duration("ssp", 0, "enable SSP with this consistency interval")
+	hsccThreshold := flag.Uint("hscc", 0, "enable HSCC with this fetch threshold")
+	stats := flag.Bool("stats", false, "dump simulator statistics")
+	statsOut := flag.String("stats-out", "", "write gem5-format stats file here")
+	flag.Parse()
+
+	img, err := loadImage(*image, *benchmark, *small)
+	if err != nil {
+		fatal(err)
+	}
+
+	f := core.NewDefault()
+
+	var mgr *persist.Manager
+	switch *persistMode {
+	case "":
+	case "rebuild":
+		mgr, err = f.EnablePersistence(persist.Rebuild, *interval)
+	case "persistent":
+		mgr, err = f.EnablePersistence(persist.Persistent, *interval)
+	default:
+		fatal(fmt.Errorf("unknown persistence scheme %q", *persistMode))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	p, rep, err := f.LaunchInit(img)
+	if err != nil {
+		fatal(err)
+	}
+
+	var sspCtl *ssp.Controller
+	if *sspInterval > 0 {
+		cfg := ssp.DefaultConfig()
+		cfg.ConsistencyInterval = sim.FromDuration(*sspInterval)
+		if sspCtl, err = f.EnableSSP(cfg); err != nil {
+			fatal(err)
+		}
+		lo, hi := rep.NVMRange()
+		sspCtl.Enable(lo, hi)
+	}
+	var hsccCtl *hscc.Controller
+	if *hsccThreshold > 0 {
+		cfg := hscc.DefaultConfig()
+		cfg.FetchThreshold = uint32(*hsccThreshold)
+		if hsccCtl, err = f.EnableHSCC(p, cfg); err != nil {
+			fatal(err)
+		}
+		hsccCtl.Start()
+	}
+	if mgr != nil {
+		mgr.Start()
+	}
+
+	total := rep.Remaining()
+	crashPoint := int(float64(total) * *crashAt)
+	fmt.Printf("replaying %s: %d records on %s\n", img.Benchmark, total, "3GB DRAM + 2GB NVM @ 3GHz")
+
+	if crashPoint > 0 && mgr != nil {
+		if _, err := rep.Step(crashPoint); err != nil {
+			fatal(err)
+		}
+		mgr.Checkpoint()
+		fmt.Printf("-- crash injected at record %d (t=%.3f ms) --\n", crashPoint, f.M.ElapsedMillis())
+		f.Crash()
+		procs, err := f.Recover(*interval)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-- recovered %d process(es); resuming --\n", len(procs))
+		if len(procs) > 0 {
+			if err := rep.Rebind(procs[0]); err != nil {
+				fatal(err)
+			}
+			f.K.Switch(procs[0])
+		}
+		if mgr = f.Manager(); mgr != nil {
+			mgr.Start()
+		}
+	}
+	if err := rep.Run(); err != nil && crashPoint == 0 {
+		fatal(err)
+	} else if err != nil {
+		// After a crash the replay cursor may point into VMAs restored
+		// from the checkpoint; surviving NVM areas keep working.
+		fmt.Println("note: post-crash replay stopped:", err)
+	}
+
+	if sspCtl != nil {
+		sspCtl.Disable()
+	}
+	if hsccCtl != nil {
+		hsccCtl.Stop()
+	}
+
+	fmt.Printf("execution time: %.3f ms simulated (%d cycles)\n", f.M.ElapsedMillis(), f.M.Clock.Now())
+	fmt.Printf("kernel share:   %.1f%%\n",
+		100*float64(f.M.Stats.Get("cpu.kernel_cycles"))/float64(f.M.Clock.Now()))
+	if *stats {
+		fmt.Print(f.M.Stats.Dump(""))
+	}
+	if *statsOut != "" {
+		sf, err := os.Create(*statsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer sf.Close()
+		if err := f.M.Stats.WriteStatsFile(sf); err != nil {
+			fatal(err)
+		}
+		fmt.Println("stats written to", *statsOut)
+	}
+}
+
+func loadImage(path, benchmark string, small bool) (*trace.Image, error) {
+	switch {
+	case path != "":
+		return prep.ReadImageFile(path)
+	case benchmark != "":
+		return core.Prepare(benchmark, small)
+	default:
+		return nil, fmt.Errorf("one of -image or -benchmark is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kindle:", err)
+	os.Exit(1)
+}

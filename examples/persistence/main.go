@@ -1,0 +1,64 @@
+// Persistence: compare the two page-table consistency schemes of the
+// paper's §III-A on a sequential allocate-and-access micro-benchmark, at a
+// reduced footprint (a miniature of Figure 4a). The rebuild scheme keeps
+// the page table in DRAM but maintains a virtual→NVM-physical list at each
+// checkpoint; the persistent scheme hosts the table in NVM and wraps every
+// page-table store in a consistency mechanism.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kindle/internal/core"
+	"kindle/internal/gemos"
+	"kindle/internal/mem"
+	"kindle/internal/persist"
+)
+
+func run(scheme persist.Scheme, sizeMB uint64, interval time.Duration) float64 {
+	f := core.NewDefault()
+	mgr, err := f.EnablePersistence(scheme, interval)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := f.K.Spawn("seq")
+	if err != nil {
+		log.Fatal(err)
+	}
+	f.K.Switch(p)
+	mgr.Start()
+
+	size := sizeMB << 20
+	start := f.M.Clock.Now()
+	a, err := f.K.Mmap(p, 0, size, gemos.ProtRead|gemos.ProtWrite, gemos.MapNVM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for va := a; va < a+size; va += mem.PageSize {
+		if _, err := f.M.Core.Access(va, true, 8); err != nil {
+			log.Fatal(err)
+		}
+		f.K.Tick()
+	}
+	if err := f.K.Munmap(p, a, size); err != nil {
+		log.Fatal(err)
+	}
+	return (f.M.Clock.Now() - start).Millis()
+}
+
+func main() {
+	const interval = time.Millisecond // scaled-down checkpoint period
+	fmt.Println("sequential alloc+access under periodic checkpointing")
+	fmt.Printf("checkpoint interval: %v\n\n", interval)
+	fmt.Println("Size    Persistent(ms)  Rebuild(ms)  Ratio")
+	for _, sizeMB := range []uint64{4, 8, 16, 32} {
+		p := run(persist.Persistent, sizeMB, interval)
+		r := run(persist.Rebuild, sizeMB, interval)
+		fmt.Printf("%3dMB   %14.2f  %11.2f  %5.1fx\n", sizeMB, p, r, r/p)
+	}
+	fmt.Println("\nThe rebuild scheme's checkpoint cost grows with the mapped")
+	fmt.Println("footprint (virtual→physical list maintenance), so its overhead")
+	fmt.Println("is superlinear in the allocation size — the paper's Fig. 4a.")
+}

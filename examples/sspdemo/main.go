@@ -1,0 +1,72 @@
+// SSP demo: run the YCSB workload inside a failure-atomic section under
+// Shadow Sub-Paging, sweeping the consistency interval — a miniature of
+// the paper's Figure 5 plus the extra statistics Kindle exposes
+// (consolidation-thread work, lines flushed per interval).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kindle/internal/core"
+	"kindle/internal/sim"
+	"kindle/internal/ssp"
+	"kindle/internal/workloads"
+)
+
+func run(interval time.Duration) (ms float64, stats map[string]uint64) {
+	cfg := workloads.DefaultYCSB() // paper-size store: enough pages to churn the TLB
+	cfg.Ops = 150_000
+	img, err := workloads.YCSB(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := core.NewDefault()
+	var ctl *ssp.Controller
+	if interval > 0 {
+		c := ssp.Config{
+			ConsistencyInterval:   sim.FromDuration(interval),
+			ConsolidationInterval: sim.FromDuration(50 * time.Microsecond),
+		}
+		if ctl, err = f.EnableSSP(c); err != nil {
+			log.Fatal(err)
+		}
+	}
+	_, rep, err := f.LaunchInit(img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ctl != nil {
+		// checkpoint_start: demarcate the FASE and tell the hardware the
+		// NVM range via MSRs.
+		lo, hi := rep.NVMRange()
+		ctl.Enable(lo, hi)
+	}
+	if err := rep.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if ctl != nil {
+		ctl.Disable() // checkpoint_end
+	}
+	return f.M.ElapsedMillis(), map[string]uint64{
+		"intervals":    f.M.Stats.Get("ssp.intervals"),
+		"flushed":      f.M.Stats.Get("ssp.lines_flushed"),
+		"consolidated": f.M.Stats.Get("ssp.pages_consolidated"),
+	}
+}
+
+func main() {
+	base, _ := run(0)
+	fmt.Printf("no consistency:            %8.3f ms (baseline)\n\n", base)
+	fmt.Println("interval   exec(ms)  normalized  intervals  lines-flushed  pages-consolidated")
+	for _, iv := range []time.Duration{50 * time.Microsecond, 250 * time.Microsecond, 500 * time.Microsecond} {
+		ms, st := run(iv)
+		fmt.Printf("%8v  %8.3f  %9.2fx  %9d  %13d  %18d\n",
+			iv, ms, ms/base, st["intervals"], st["flushed"], st["consolidated"])
+	}
+	fmt.Println("\nWider consistency intervals amortize the metadata writes and")
+	fmt.Println("clwb flushes — the paper's Fig. 5 insight — while Kindle also")
+	fmt.Println("exposes the consolidation-thread activity the original SSP")
+	fmt.Println("paper left unevaluated.")
+}

@@ -1,0 +1,3 @@
+module kindle
+
+go 1.22

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RenderCSV emits every experiment's data points as one flat CSV
+// (experiment, benchmark/series, x, y) — the input format for plotting
+// scripts, mirroring the artifact's parse-then-plot pipeline.
+func (r *Results) RenderCSV() string {
+	var b strings.Builder
+	b.WriteString("experiment,series,x,y\n")
+	row := func(exp, series, x string, y float64) {
+		fmt.Fprintf(&b, "%s,%s,%s,%g\n", exp, series, x, y)
+	}
+	if r.TableII != nil {
+		for _, tr := range r.TableII.Rows {
+			row("tableII", tr.Benchmark, "read_pct", tr.ReadPct)
+			row("tableII", tr.Benchmark, "write_pct", tr.WritePct)
+		}
+	}
+	if r.Fig4a != nil {
+		for _, fr := range r.Fig4a.Rows {
+			x := fmt.Sprintf("%dMB", fr.SizeMB)
+			row("fig4a", "persistent", x, fr.PersistentMs)
+			row("fig4a", "rebuild", x, fr.RebuildMs)
+		}
+	}
+	if r.Fig4b != nil {
+		for _, fr := range r.Fig4b.Rows {
+			row("fig4b", "persistent", fr.Stride, fr.PersistentMs)
+			row("fig4b", "rebuild", fr.Stride, fr.RebuildMs)
+		}
+	}
+	if r.TableIII != nil {
+		for _, tr := range r.TableIII.Rows {
+			x := fmt.Sprintf("%dMB", tr.SizeMB)
+			row("tableIII", "persistent", x, tr.PersistentMs)
+			row("tableIII", "rebuild", x, tr.RebuildMs)
+		}
+	}
+	if r.TableIV != nil {
+		for _, tr := range r.TableIV.Rows {
+			x := fmt.Sprintf("%dMB/%s", tr.SizeMB, fmtInterval(tr.Interval))
+			row("tableIV", "persistent", x, tr.PersistentMs)
+			row("tableIV", "rebuild", x, tr.RebuildMs)
+		}
+	}
+	if r.Fig5 != nil {
+		for _, fr := range r.Fig5.Rows {
+			for _, iv := range r.Fig5.Intervals {
+				row("fig5", fr.Benchmark, fmtInterval(iv), fr.Norm[iv])
+			}
+		}
+	}
+	if r.TableV != nil {
+		for _, bn := range r.TableV.Benchmarks {
+			for _, th := range r.TableV.Thresholds {
+				row("tableV", bn, fmt.Sprintf("Th-%d", th), float64(r.TableV.Migrated[bn][th]))
+			}
+		}
+	}
+	if r.Fig6 != nil {
+		for _, bn := range r.Fig6.Benchmarks {
+			for _, th := range r.Fig6.Thresholds {
+				row("fig6", bn, fmt.Sprintf("Th-%d", th), r.Fig6.Norm[bn][th])
+			}
+		}
+	}
+	if r.TableVI != nil {
+		for _, bn := range r.TableVI.Benchmarks {
+			for _, th := range r.TableVI.Thresholds {
+				x := fmt.Sprintf("Th-%d", th)
+				row("tableVI_select", bn, x, r.TableVI.SelectPct[bn][th])
+				row("tableVI_copy", bn, x, r.TableVI.CopyPct[bn][th])
+			}
+		}
+	}
+	return b.String()
+}
+
+func fmtInterval(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%gs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%gms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%gus", float64(d)/float64(time.Microsecond))
+	}
+}

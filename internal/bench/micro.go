@@ -1,0 +1,194 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§III): the process-persistence studies (Fig. 4, Tables III
+// and IV), the SSP consistency-interval study (Fig. 5) and the HSCC
+// migration studies (Table V, Fig. 6, Table VI), plus the configuration
+// echoes (Tables I and II). Each experiment returns a structured result
+// that renders as the paper's table/series and knows how to check the
+// published *shape* (who wins, how factors trend).
+package bench
+
+import (
+	"time"
+
+	"kindle/internal/core"
+	"kindle/internal/gemos"
+	"kindle/internal/mem"
+	"kindle/internal/persist"
+	"kindle/internal/sim"
+)
+
+// tickEvery controls how often the micro-benchmarks poll the event queue
+// (checkpoint timers) between page operations.
+const tickEvery = 16
+
+// seqAllocAccess is the Fig. 4a micro-benchmark: allocate `size` bytes of
+// NVM with mmap(MAP_NVM) and sequentially access all pages in the
+// allocated space.
+func seqAllocAccess(f *core.Framework, p *gemos.Process, size uint64) error {
+	k := f.K
+	a, err := k.Mmap(p, 0, size, gemos.ProtRead|gemos.ProtWrite, gemos.MapNVM)
+	if err != nil {
+		return err
+	}
+	pages := size / mem.PageSize
+	for i := uint64(0); i < pages; i++ {
+		if _, err := f.M.Core.Access(a+i*mem.PageSize, true, 8); err != nil {
+			return err
+		}
+		if i%tickEvery == 0 {
+			k.Tick()
+		}
+	}
+	k.Tick()
+	return k.Munmap(p, a, size)
+}
+
+// strideAccess is the Fig. 4b micro-benchmark: a fixed number of 4 KB page
+// allocations with a predefined gap in the virtual address space (1 GB,
+// 2 MB or 4 KB) so different page-table levels are populated, followed by
+// rounds of accesses to the allocated pages.
+func strideAccess(f *core.Framework, p *gemos.Process, gap uint64, pages, rounds int) error {
+	k := f.K
+	base := uint64(16 << 30) // far from the default mmap region
+	vas := make([]uint64, pages)
+	for i := 0; i < pages; i++ {
+		va := base + uint64(i)*gap
+		got, err := k.Mmap(p, va, mem.PageSize, gemos.ProtRead|gemos.ProtWrite, gemos.MapNVM)
+		if err != nil {
+			return err
+		}
+		vas[i] = got
+		if _, err := f.M.Core.Access(got, true, 8); err != nil {
+			return err
+		}
+		k.Tick()
+	}
+	for r := 0; r < rounds; r++ {
+		for _, va := range vas {
+			if _, err := f.M.Core.Access(va, false, 8); err != nil {
+				return err
+			}
+		}
+		k.Tick()
+	}
+	for _, va := range vas {
+		if err := k.Munmap(p, va, mem.PageSize); err != nil {
+			return err
+		}
+		k.Tick()
+	}
+	return nil
+}
+
+// churn is the Table III micro-benchmark: allocate a 512 MB (total) NVM
+// space and write all pages; then, twice, munmap a fixed-size chunk from
+// the start and mmap it again; read the newly allocated chunks; finally
+// unmap everything.
+func churn(f *core.Framework, p *gemos.Process, total, chunk uint64) error {
+	return churnRounds(f, p, total, chunk, 1)
+}
+
+// churnAccess is the Table IV variant: after each re-allocation, all pages
+// in the area are accessed for multiple rounds to cause TLB misses.
+func churnAccess(f *core.Framework, p *gemos.Process, total, chunk uint64, rounds int) error {
+	return churnRounds(f, p, total, chunk, rounds)
+}
+
+func churnRounds(f *core.Framework, p *gemos.Process, total, chunk uint64, accessRounds int) error {
+	k := f.K
+	a, err := k.Mmap(p, 0, total, gemos.ProtRead|gemos.ProtWrite, gemos.MapNVM)
+	if err != nil {
+		return err
+	}
+	touch := func(base, size uint64, write bool) error {
+		pages := size / mem.PageSize
+		for i := uint64(0); i < pages; i++ {
+			if _, err := f.M.Core.Access(base+i*mem.PageSize, write, 8); err != nil {
+				return err
+			}
+			if i%tickEvery == 0 {
+				k.Tick()
+			}
+		}
+		k.Tick()
+		return nil
+	}
+	// Populate the whole area.
+	if err := touch(a, total, true); err != nil {
+		return err
+	}
+	// Two munmap/mmap rounds on the fixed-size chunk at the start.
+	for round := 0; round < 2; round++ {
+		if err := k.Munmap(p, a, chunk); err != nil {
+			return err
+		}
+		k.Tick()
+		if _, err := k.Mmap(p, a, chunk, gemos.ProtRead|gemos.ProtWrite, gemos.MapNVM); err != nil {
+			return err
+		}
+		k.Tick()
+		// Read the re-allocated chunk (faults fresh frames in), then the
+		// configured number of full-area access rounds.
+		if err := touch(a, chunk, false); err != nil {
+			return err
+		}
+		for r := 1; r < accessRounds; r++ {
+			if err := touch(a, total, false); err != nil {
+				return err
+			}
+		}
+	}
+	return k.Munmap(p, a, total)
+}
+
+// calibrateStrideRounds measures the steady-state access cost of the
+// stride micro-benchmark on a plain machine and returns the round count
+// that makes the run span ~2.2 checkpoint intervals.
+func calibrateStrideRounds(pages int, interval time.Duration) int {
+	f := core.NewDefault()
+	p, err := f.K.Spawn("calibrate")
+	if err != nil {
+		return 100000
+	}
+	f.K.Switch(p)
+	base := uint64(16 << 30)
+	vas := make([]uint64, pages)
+	for i := 0; i < pages; i++ {
+		va, err := f.K.Mmap(p, base+uint64(i)*mem.PageSize, mem.PageSize, gemos.ProtRead|gemos.ProtWrite, gemos.MapNVM)
+		if err != nil {
+			return 100000
+		}
+		vas[i] = va
+		f.M.Core.Access(va, true, 8)
+	}
+	const probe = 2000
+	start := f.M.Clock.Now()
+	for r := 0; r < probe; r++ {
+		for _, va := range vas {
+			f.M.Core.Access(va, false, 8)
+		}
+	}
+	perRound := float64(f.M.Clock.Now()-start) / probe
+	target := 2.2 * float64(sim.FromDuration(interval))
+	rounds := int(target / perRound)
+	if rounds < 100 {
+		rounds = 100
+	}
+	return rounds
+}
+
+// newPersistenceRun boots a full-size framework with persistence enabled
+// and an empty process ready to run a micro-benchmark.
+func newPersistenceRun(scheme persist.Scheme, interval time.Duration) (*core.Framework, *gemos.Process, error) {
+	f := core.NewDefault()
+	if _, err := f.EnablePersistence(scheme, interval); err != nil {
+		return nil, nil, err
+	}
+	p, err := f.K.Spawn("micro")
+	if err != nil {
+		return nil, nil, err
+	}
+	f.K.Switch(p)
+	f.Manager().Start()
+	return f, p, nil
+}

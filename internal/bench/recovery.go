@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"kindle/internal/gemos"
+	"kindle/internal/persist"
+	"kindle/internal/sim"
+)
+
+// ExtRecoveryRow is one footprint point of the recovery-time study.
+type ExtRecoveryRow struct {
+	SizeMB       int
+	Pages        int
+	PersistentMs float64
+	RebuildMs    float64
+}
+
+// ExtRecoveryResult measures the *other* side of the page-table scheme
+// trade-off: recovery time after a crash. The paper argues the persistent
+// scheme "only requires setting the PTBR" while the rebuild scheme must
+// replay its virtual→NVM-physical list into a fresh table — this study
+// quantifies that asymmetry across footprints.
+type ExtRecoveryResult struct {
+	Rows []ExtRecoveryRow
+}
+
+// ExtRecoveryTime runs the study: allocate and touch an NVM footprint,
+// checkpoint, crash, and time the recovery procedure under each scheme.
+func ExtRecoveryTime(opt Options) (*ExtRecoveryResult, error) {
+	res := &ExtRecoveryResult{}
+	for _, sizeMB := range []int{64, 128, 256} {
+		size := opt.scaleBytes(uint64(sizeMB) << 20)
+		row := ExtRecoveryRow{SizeMB: sizeMB, Pages: int(size >> 12)}
+		for _, scheme := range []persist.Scheme{persist.Persistent, persist.Rebuild} {
+			ms, err := measureRecovery(scheme, size, opt)
+			if err != nil {
+				return nil, fmt.Errorf("bench: recovery %dMB %v: %w", sizeMB, scheme, err)
+			}
+			if scheme == persist.Persistent {
+				row.PersistentMs = ms
+			} else {
+				row.RebuildMs = ms
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func measureRecovery(scheme persist.Scheme, size uint64, opt Options) (float64, error) {
+	f, p, err := newPersistenceRun(scheme, opt.scaleInterval(ckptInterval))
+	if err != nil {
+		return 0, err
+	}
+	a, err := f.K.Mmap(p, 0, size, gemos.ProtRead|gemos.ProtWrite, gemos.MapNVM)
+	if err != nil {
+		return 0, err
+	}
+	for va := a; va < a+size; va += 4096 {
+		if _, err := f.M.Core.Access(va, true, 8); err != nil {
+			return 0, err
+		}
+	}
+	f.Manager().Checkpoint()
+	f.Crash()
+
+	k2 := gemos.Boot(f.M)
+	mgr2, err := persist.Reattach(k2, sim.FromDuration(opt.scaleInterval(ckptInterval)))
+	if err != nil {
+		return 0, err
+	}
+	start := f.M.Clock.Now()
+	procs, err := mgr2.Recover()
+	if err != nil {
+		return 0, err
+	}
+	if len(procs) != 1 {
+		return 0, fmt.Errorf("recovered %d processes", len(procs))
+	}
+	if got := procs[0].Table.Mapped(); uint64(got) < size/4096 {
+		return 0, fmt.Errorf("recovered only %d of %d mappings", got, size/4096)
+	}
+	return (f.M.Clock.Now() - start).Millis(), nil
+}
+
+// Render prints the study.
+func (r *ExtRecoveryResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Extension: crash-recovery time by page-table scheme\n")
+	b.WriteString("Footprint     Pages  Persistent(ms)  Rebuild(ms)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6dMB  %9d  %14.3f  %11.3f\n",
+			row.SizeMB, row.Pages, row.PersistentMs, row.RebuildMs)
+	}
+	return b.String()
+}
+
+// CheckShape verifies the asymmetry: persistent recovery is (near) flat in
+// the footprint while rebuild recovery grows with it and always costs
+// more.
+func (r *ExtRecoveryResult) CheckShape() error {
+	for i, row := range r.Rows {
+		if row.RebuildMs <= row.PersistentMs {
+			return fmt.Errorf("extRecovery: rebuild (%v) not slower than persistent (%v) at %dMB",
+				row.RebuildMs, row.PersistentMs, row.SizeMB)
+		}
+		if i > 0 && row.RebuildMs <= r.Rows[i-1].RebuildMs {
+			return fmt.Errorf("extRecovery: rebuild recovery not growing with footprint")
+		}
+	}
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if last.PersistentMs > first.PersistentMs*3 {
+		return fmt.Errorf("extRecovery: persistent recovery not flat (%v -> %v)",
+			first.PersistentMs, last.PersistentMs)
+	}
+	return nil
+}

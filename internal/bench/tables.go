@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"kindle/internal/core"
+	"kindle/internal/machine"
+	"kindle/internal/mem"
+)
+
+// TableIResult echoes the machine configuration (the paper's Table I).
+type TableIResult struct {
+	Rows [][2]string
+}
+
+// TableI renders the active memory configuration.
+func TableI() *TableIResult {
+	cfg := machine.DefaultConfig()
+	return &TableIResult{Rows: [][2]string{
+		{"DRAM interface", "DDR4-2400 16x4"},
+		{"NVM interface", "PCM"},
+		{"NVM Write buffer size", fmt.Sprintf("%d", cfg.NVM.WriteBuf)},
+		{"NVM Read buffer size", fmt.Sprintf("%d", cfg.NVM.ReadBuf)},
+		{"Memory capacity", fmt.Sprintf("%dGB DRAM + %dGB NVM",
+			cfg.Layout.DRAMSize/mem.GiB, cfg.Layout.NVMSize/mem.GiB)},
+		{"CPU", "in-order x86-64 @ 3GHz"},
+		{"Caches", fmt.Sprintf("%dKB L1 / %dKB L2 / %dMB LLC",
+			cfg.Caches.L1.Size/mem.KiB, cfg.Caches.L2.Size/mem.KiB, cfg.Caches.LLC.Size/mem.MiB)},
+	}}
+}
+
+// Render prints Table I.
+func (r *TableIResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Table I: gem5 memory configuration\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-24s %s\n", row[0], row[1])
+	}
+	return b.String()
+}
+
+// CheckShape verifies the configuration matches the paper.
+func (r *TableIResult) CheckShape() error {
+	want := map[string]string{
+		"NVM Write buffer size": "48",
+		"NVM Read buffer size":  "64",
+		"Memory capacity":       "3GB DRAM + 2GB NVM",
+	}
+	got := map[string]string{}
+	for _, row := range r.Rows {
+		got[row[0]] = row[1]
+	}
+	for k, v := range want {
+		if got[k] != v {
+			return fmt.Errorf("tableI: %s = %q, want %q", k, got[k], v)
+		}
+	}
+	return nil
+}
+
+// TableIIRow is one benchmark's trace statistics.
+type TableIIRow struct {
+	Benchmark string
+	TotalOps  int
+	ReadPct   float64
+	WritePct  float64
+}
+
+// TableIIResult is Table II: benchmark details.
+type TableIIResult struct {
+	Rows []TableIIRow
+}
+
+// TableII regenerates the benchmark-details table by tracing each
+// application at the requested scale.
+func TableII(opt Options) (*TableIIResult, error) {
+	res := &TableIIResult{}
+	for _, b := range []string{core.BenchPageRank, core.BenchSSSP, core.BenchYCSB} {
+		img, err := workloadImage(b, opt)
+		if err != nil {
+			return nil, err
+		}
+		r, w := img.Mix()
+		res.Rows = append(res.Rows, TableIIRow{
+			Benchmark: b,
+			TotalOps:  len(img.Records),
+			ReadPct:   r,
+			WritePct:  w,
+		})
+	}
+	return res, nil
+}
+
+// Render prints Table II.
+func (r *TableIIResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Table II: benchmark details\n")
+	b.WriteString("Benchmark    Total Ops   read %   write %\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-11s %10d %8.0f %9.0f\n", row.Benchmark, row.TotalOps, row.ReadPct, row.WritePct)
+	}
+	return b.String()
+}
+
+// CheckShape verifies the traced mixes match the paper's Table II within
+// two percentage points.
+func (r *TableIIResult) CheckShape() error {
+	want := map[string]float64{
+		core.BenchPageRank: 77,
+		core.BenchSSSP:     68,
+		core.BenchYCSB:     71,
+	}
+	for _, row := range r.Rows {
+		w, ok := want[row.Benchmark]
+		if !ok {
+			return fmt.Errorf("tableII: unexpected benchmark %q", row.Benchmark)
+		}
+		if diff := row.ReadPct - w; diff > 2 || diff < -2 {
+			return fmt.Errorf("tableII: %s read%% = %.1f, want %.0f±2", row.Benchmark, row.ReadPct, w)
+		}
+	}
+	return nil
+}
+
+// Experiment is the common surface of every table/figure reproduction.
+type Experiment interface {
+	Render() string
+	CheckShape() error
+}
+
+// Results bundles a full run of the evaluation.
+type Results struct {
+	TableI   *TableIResult
+	TableII  *TableIIResult
+	Fig4a    *Fig4aResult
+	Fig4b    *Fig4bResult
+	TableIII *TableIIIResult
+	TableIV  *TableIVResult
+	Fig5     *Fig5Result
+	TableV   *TableVResult
+	Fig6     *Fig6Result
+	TableVI  *TableVIResult
+}
+
+// All returns the experiments in paper order.
+func (r *Results) All() []Experiment {
+	return []Experiment{r.TableI, r.TableII, r.Fig4a, r.Fig4b, r.TableIII, r.TableIV,
+		r.Fig5, r.TableV, r.Fig6, r.TableVI}
+}
+
+// Render prints everything.
+func (r *Results) Render() string {
+	var b strings.Builder
+	for _, e := range r.All() {
+		b.WriteString(e.Render())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CheckShapes validates every experiment, collecting all failures.
+func (r *Results) CheckShapes() error {
+	var errs []string
+	for _, e := range r.All() {
+		if err := e.CheckShape(); err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("shape check failures:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+// RunAll reproduces the complete evaluation. progress (optional) receives a
+// line per completed experiment.
+func RunAll(opt Options, progress func(string)) (*Results, error) {
+	note := func(s string) {
+		if progress != nil {
+			progress(s)
+		}
+	}
+	res := &Results{TableI: TableI()}
+	note("Table I done")
+	var err error
+	if res.TableII, err = TableII(opt); err != nil {
+		return nil, err
+	}
+	note("Table II done")
+	if res.Fig4a, err = Fig4a(opt); err != nil {
+		return nil, err
+	}
+	note("Figure 4a done")
+	if res.Fig4b, err = Fig4b(opt); err != nil {
+		return nil, err
+	}
+	note("Figure 4b done")
+	if res.TableIII, err = TableIII(opt); err != nil {
+		return nil, err
+	}
+	note("Table III done")
+	if res.TableIV, err = TableIV(opt); err != nil {
+		return nil, err
+	}
+	note("Table IV done")
+	if res.Fig5, err = Fig5(opt); err != nil {
+		return nil, err
+	}
+	note("Figure 5 done")
+	if res.TableV, res.Fig6, res.TableVI, err = HSCCAll(opt); err != nil {
+		return nil, err
+	}
+	note("Table V / Figure 6 / Table VI done")
+	return res, nil
+}

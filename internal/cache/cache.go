@@ -1,0 +1,162 @@
+// Package cache models the on-chip cache hierarchy of a Kindle machine:
+// three levels of set-associative, write-back, write-allocate caches (32 KB
+// L1, 512 KB L2, 2 MB LLC per the paper's gem5 configuration) plus the
+// clwb-style cache-line write-back instruction the persistence schemes rely
+// on.
+//
+// The caches are timing + coherence-of-durability models: they track which
+// line addresses are resident and dirty, charge hit/miss latencies, and
+// notify the memory controller's persist domain when a dirty NVM line
+// becomes durable (explicit clwb or dirty eviction). Data contents live in
+// the functional backing store — a single-core machine needs no functional
+// coherence in the caches themselves.
+package cache
+
+import (
+	"fmt"
+
+	"kindle/internal/mem"
+	"kindle/internal/sim"
+)
+
+// Level is a single set-associative cache.
+type Level struct {
+	name    string
+	sets    int
+	ways    int
+	latency sim.Cycles
+	stats   *sim.Stats
+
+	// tags[set] is an LRU-ordered slice (front = MRU) of resident lines.
+	tags  [][]line
+	clock uint64 // LRU timestamp source
+}
+
+type line struct {
+	addr  mem.PhysAddr // line base address
+	dirty bool
+	lru   uint64
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name    string
+	Size    uint64 // bytes
+	Ways    int
+	Latency sim.Cycles // access (hit) latency
+}
+
+// NewLevel builds one cache level. Size must be a multiple of
+// Ways*LineSize.
+func NewLevel(cfg Config, stats *sim.Stats) *Level {
+	linesTotal := int(cfg.Size / mem.LineSize)
+	if cfg.Ways <= 0 || linesTotal%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache: bad geometry for %s: %d lines, %d ways", cfg.Name, linesTotal, cfg.Ways))
+	}
+	sets := linesTotal / cfg.Ways
+	l := &Level{
+		name:    cfg.Name,
+		sets:    sets,
+		ways:    cfg.Ways,
+		latency: cfg.Latency,
+		stats:   stats,
+		tags:    make([][]line, sets),
+	}
+	return l
+}
+
+func (l *Level) setIndex(addr mem.PhysAddr) int {
+	return int((uint64(addr) / mem.LineSize) % uint64(l.sets))
+}
+
+// lookup returns the way index of addr in its set, or -1.
+func (l *Level) lookup(addr mem.PhysAddr) int {
+	set := l.tags[l.setIndex(addr)]
+	for i := range set {
+		if set[i].addr == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// Probe reports residency without touching LRU state or stats.
+func (l *Level) Probe(addr mem.PhysAddr) bool {
+	return l.lookup(mem.LineBase(addr)) >= 0
+}
+
+// access touches addr; returns hit. On hit, LRU is refreshed and the line
+// is marked dirty when write.
+func (l *Level) access(addr mem.PhysAddr, write bool) bool {
+	si := l.setIndex(addr)
+	set := l.tags[si]
+	for i := range set {
+		if set[i].addr == addr {
+			l.clock++
+			set[i].lru = l.clock
+			if write {
+				set[i].dirty = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// fill inserts addr, evicting the LRU line if the set is full. The evicted
+// line (if any, with its dirty bit) is returned.
+func (l *Level) fill(addr mem.PhysAddr, dirty bool) (victim mem.PhysAddr, victimDirty, evicted bool) {
+	si := l.setIndex(addr)
+	set := l.tags[si]
+	l.clock++
+	if len(set) < l.ways {
+		l.tags[si] = append(set, line{addr: addr, dirty: dirty, lru: l.clock})
+		return 0, false, false
+	}
+	// Evict LRU.
+	lruIdx := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[lruIdx].lru {
+			lruIdx = i
+		}
+	}
+	victim, victimDirty = set[lruIdx].addr, set[lruIdx].dirty
+	set[lruIdx] = line{addr: addr, dirty: dirty, lru: l.clock}
+	return victim, victimDirty, true
+}
+
+// invalidate removes addr, returning whether it was present and dirty.
+func (l *Level) invalidate(addr mem.PhysAddr) (present, dirty bool) {
+	si := l.setIndex(addr)
+	set := l.tags[si]
+	for i := range set {
+		if set[i].addr == addr {
+			dirty = set[i].dirty
+			set[i] = set[len(set)-1]
+			l.tags[si] = set[:len(set)-1]
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// clean clears the dirty bit of addr if resident; reports prior dirtiness.
+func (l *Level) clean(addr mem.PhysAddr) (present, wasDirty bool) {
+	si := l.setIndex(addr)
+	set := l.tags[si]
+	for i := range set {
+		if set[i].addr == addr {
+			wasDirty = set[i].dirty
+			set[i].dirty = false
+			return true, wasDirty
+		}
+	}
+	return false, false
+}
+
+// reset empties the level.
+func (l *Level) reset() {
+	for i := range l.tags {
+		l.tags[i] = nil
+	}
+}

@@ -1,0 +1,229 @@
+package cache
+
+import (
+	"kindle/internal/mem"
+	"kindle/internal/sim"
+)
+
+// HierConfig describes the full hierarchy. Defaults follow the paper: 32 KB
+// L1, 512 KB L2, 2 MB LLC (per core).
+type HierConfig struct {
+	L1, L2, LLC Config
+}
+
+// DefaultHierConfig returns the paper's cache configuration with
+// conventional latencies for those sizes (4 / 14 / 40 cycles).
+func DefaultHierConfig() HierConfig {
+	return HierConfig{
+		L1:  Config{Name: "l1d", Size: 32 * mem.KiB, Ways: 8, Latency: 4},
+		L2:  Config{Name: "l2", Size: 512 * mem.KiB, Ways: 8, Latency: 14},
+		LLC: Config{Name: "llc", Size: 2 * mem.MiB, Ways: 16, Latency: 40},
+	}
+}
+
+// MissObserver is notified when an access misses the whole hierarchy (i.e.
+// goes to memory). HSCC hooks this to count per-page LLC misses.
+type MissObserver func(pa mem.PhysAddr, write bool)
+
+// Hierarchy is the three-level cache stack in front of the memory
+// controller.
+type Hierarchy struct {
+	l1, l2, llc *Level
+	ctrl        *mem.Controller
+	clock       *sim.Clock
+	stats       *sim.Stats
+
+	// onMiss, when non-nil, observes LLC misses.
+	onMiss MissObserver
+}
+
+// NewHierarchy builds the cache stack over the memory controller.
+func NewHierarchy(cfg HierConfig, ctrl *mem.Controller, clock *sim.Clock, stats *sim.Stats) *Hierarchy {
+	return &Hierarchy{
+		l1:    NewLevel(cfg.L1, stats),
+		l2:    NewLevel(cfg.L2, stats),
+		llc:   NewLevel(cfg.LLC, stats),
+		ctrl:  ctrl,
+		clock: clock,
+		stats: stats,
+	}
+}
+
+// SetMissObserver installs the LLC-miss hook (nil to remove).
+func (h *Hierarchy) SetMissObserver(fn MissObserver) { h.onMiss = fn }
+
+// Access performs a timed access to the line containing pa. It returns the
+// total latency, which the caller adds to the clock. Multi-line requests
+// must be split by the caller (the CPU does).
+//
+// Miss handling is write-allocate: the line is filled into every level.
+// Dirty victims are written back to memory; dirty NVM victims become
+// durable (persist-domain commit), matching real CPUs where an evicted line
+// reaches the ADR/memory controller domain.
+func (h *Hierarchy) Access(pa mem.PhysAddr, write bool) sim.Cycles {
+	addr := mem.LineBase(pa)
+	lat := h.l1.latency
+	if h.l1.access(addr, write) {
+		h.stats.Inc("cache.l1.hit")
+		return lat
+	}
+	h.stats.Inc("cache.l1.miss")
+	lat += h.l2.latency
+	if h.l2.access(addr, write) {
+		h.stats.Inc("cache.l2.hit")
+		h.fillInto(h.l1, addr, write)
+		return lat
+	}
+	h.stats.Inc("cache.l2.miss")
+	lat += h.llc.latency
+	if h.llc.access(addr, write) {
+		h.stats.Inc("cache.llc.hit")
+		h.fillInto(h.l2, addr, false)
+		h.fillInto(h.l1, addr, write)
+		return lat
+	}
+	h.stats.Inc("cache.llc.miss")
+	if h.onMiss != nil {
+		h.onMiss(addr, write)
+	}
+	// Memory access. Write-allocate: a store still fetches the line.
+	lat += h.ctrl.AccessLine(addr, false)
+	h.fillInto(h.llc, addr, false)
+	h.fillInto(h.l2, addr, false)
+	h.fillInto(h.l1, addr, write)
+	return lat
+}
+
+// fillInto inserts addr into level l, handling victim write-back.
+func (h *Hierarchy) fillInto(l *Level, addr mem.PhysAddr, dirty bool) {
+	victim, victimDirty, evicted := l.fill(addr, dirty)
+	if !evicted {
+		return
+	}
+	h.stats.Inc("cache." + l.name + ".evict")
+	if !victimDirty {
+		return
+	}
+	// Dirty victim propagates down. From L1/L2 it merges into the next
+	// level if resident there; from the LLC it goes to memory.
+	switch l {
+	case h.l1:
+		if present, _ := h.l2.cleanToDirty(victim); present {
+			return
+		}
+		if present, _ := h.llc.cleanToDirty(victim); present {
+			return
+		}
+		h.writebackToMemory(victim)
+	case h.l2:
+		if present, _ := h.llc.cleanToDirty(victim); present {
+			return
+		}
+		h.writebackToMemory(victim)
+	default:
+		h.writebackToMemory(victim)
+	}
+}
+
+// cleanToDirty marks addr dirty if resident.
+func (l *Level) cleanToDirty(addr mem.PhysAddr) (present, prev bool) {
+	si := l.setIndex(addr)
+	set := l.tags[si]
+	for i := range set {
+		if set[i].addr == addr {
+			prev = set[i].dirty
+			set[i].dirty = true
+			return true, prev
+		}
+	}
+	return false, false
+}
+
+// writebackToMemory sends a dirty line to the controller. The write-back is
+// asynchronous from the core's perspective (no latency charged to the
+// requester), but it occupies the device and, for NVM, commits durability.
+func (h *Hierarchy) writebackToMemory(addr mem.PhysAddr) {
+	h.stats.Inc("cache.writeback")
+	h.ctrl.AccessLine(addr, true)
+	if h.ctrl.Layout.KindOf(addr) == mem.NVM {
+		h.ctrl.Domain().CommitLine(addr)
+		h.stats.Inc("cache.writeback_nvm")
+	}
+}
+
+// Clwb write-backs the line containing pa without invalidating it,
+// returning the latency. A clean or absent line costs only the pipeline
+// issue overhead. For a dirty NVM line the data becomes durable.
+func (h *Hierarchy) Clwb(pa mem.PhysAddr) sim.Cycles {
+	addr := mem.LineBase(pa)
+	const issue = sim.Cycles(2)
+	dirty := false
+	if _, d := h.l1.clean(addr); d {
+		dirty = true
+	}
+	if _, d := h.l2.clean(addr); d {
+		dirty = true
+	}
+	if _, d := h.llc.clean(addr); d {
+		dirty = true
+	}
+	if !dirty {
+		h.stats.Inc("cache.clwb_clean")
+		return issue
+	}
+	h.stats.Inc("cache.clwb_dirty")
+	return issue + h.writebackTimed(addr)
+}
+
+// Flush invalidates the line everywhere (clflush), writing back if dirty.
+func (h *Hierarchy) Flush(pa mem.PhysAddr) sim.Cycles {
+	addr := mem.LineBase(pa)
+	const issue = sim.Cycles(2)
+	dirty := false
+	if _, d := h.l1.invalidate(addr); d {
+		dirty = true
+	}
+	if _, d := h.l2.invalidate(addr); d {
+		dirty = true
+	}
+	if _, d := h.llc.invalidate(addr); d {
+		dirty = true
+	}
+	h.stats.Inc("cache.clflush")
+	if !dirty {
+		return issue
+	}
+	return issue + h.writebackTimed(addr)
+}
+
+// writebackTimed performs a write-back whose latency the requester waits
+// for (clwb/clflush semantics under a following fence).
+func (h *Hierarchy) writebackTimed(addr mem.PhysAddr) sim.Cycles {
+	lat := h.ctrl.AccessLine(addr, true)
+	if h.ctrl.Layout.KindOf(addr) == mem.NVM {
+		h.ctrl.Domain().CommitLine(addr)
+	}
+	return lat
+}
+
+// InvalidateLine drops the line without write-back (used on crash reset and
+// by page-copy flows that flushed already).
+func (h *Hierarchy) InvalidateLine(pa mem.PhysAddr) {
+	addr := mem.LineBase(pa)
+	h.l1.invalidate(addr)
+	h.l2.invalidate(addr)
+	h.llc.invalidate(addr)
+}
+
+// Resident reports whether the line containing pa is in any level.
+func (h *Hierarchy) Resident(pa mem.PhysAddr) bool {
+	addr := mem.LineBase(pa)
+	return h.l1.Probe(addr) || h.l2.Probe(addr) || h.llc.Probe(addr)
+}
+
+// Reset empties all levels (machine crash / reboot: caches are volatile).
+func (h *Hierarchy) Reset() {
+	h.l1.reset()
+	h.l2.reset()
+	h.llc.reset()
+}

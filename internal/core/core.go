@@ -1,0 +1,266 @@
+// Package core is Kindle's public API: it composes the simulated machine,
+// the gemOS kernel, the preparation component and the prototypes into the
+// two-part framework of the paper — prepare an application into a disk
+// image, then simulate it on a hybrid-memory machine with process
+// persistence, SSP or HSCC enabled — behind a small facade.
+//
+// Typical use:
+//
+//	f := core.NewDefault()
+//	img, _ := core.Prepare(core.BenchYCSB, true)
+//	proc, rep, _ := f.LaunchInit(img)
+//	mgr, _ := f.EnablePersistence(persist.Rebuild, 10*time.Millisecond)
+//	mgr.Start()
+//	rep.Run()
+//	f.Crash()
+//	procs, _ := f.Recover(10 * time.Millisecond)
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"kindle/internal/gemos"
+	"kindle/internal/hscc"
+	"kindle/internal/machine"
+	"kindle/internal/mem"
+	"kindle/internal/persist"
+	"kindle/internal/prep"
+	"kindle/internal/sim"
+	"kindle/internal/ssp"
+	"kindle/internal/trace"
+)
+
+// Re-exported benchmark names.
+const (
+	BenchPageRank = prep.BenchPageRank
+	BenchSSSP     = prep.BenchSSSP
+	BenchYCSB     = prep.BenchYCSB
+)
+
+// Framework is one Kindle instance: a machine plus its kernel.
+type Framework struct {
+	M *machine.Machine
+	K *gemos.Kernel
+
+	mgr *persist.Manager
+}
+
+// New boots a framework on a machine with the given configuration.
+func New(cfg machine.Config) *Framework {
+	m := machine.New(cfg)
+	return &Framework{M: m, K: gemos.Boot(m)}
+}
+
+// NewDefault boots the paper's Table I machine.
+func NewDefault() *Framework { return New(machine.DefaultConfig()) }
+
+// NewSmall boots a reduced machine for tests and quick runs.
+func NewSmall() *Framework { return New(machine.TestConfig()) }
+
+// Prepare runs the preparation component for a Table II benchmark and
+// returns its disk image. small selects the reduced configuration.
+func Prepare(benchmark string, small bool) (*trace.Image, error) {
+	d := &prep.Driver{Small: small}
+	res, err := d.Run(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	return res.Image, nil
+}
+
+// EnablePersistence attaches the process-persistence manager with the
+// given page-table scheme and checkpoint interval. It must be called
+// before spawning the processes that should be persisted.
+func (f *Framework) EnablePersistence(scheme persist.Scheme, interval time.Duration) (*persist.Manager, error) {
+	mgr, err := persist.Attach(f.K, scheme, sim.FromDuration(interval))
+	if err != nil {
+		return nil, err
+	}
+	f.mgr = mgr
+	return mgr, nil
+}
+
+// EnableSSP attaches the Shadow Sub-Paging prototype.
+func (f *Framework) EnableSSP(cfg ssp.Config) (*ssp.Controller, error) {
+	return ssp.Attach(f.K, cfg)
+}
+
+// EnableHSCC attaches the HSCC prototype for process p.
+func (f *Framework) EnableHSCC(p *gemos.Process, cfg hscc.Config) (*hscc.Controller, error) {
+	return hscc.Attach(f.K, p, cfg)
+}
+
+// Crash power-fails the machine.
+func (f *Framework) Crash() { f.M.Crash() }
+
+// Recover reboots the OS on the crashed machine and runs the recovery
+// procedure, returning the recovered processes. The framework's kernel is
+// replaced (the old kernel state was volatile).
+func (f *Framework) Recover(interval time.Duration) ([]*gemos.Process, error) {
+	f.K = gemos.Boot(f.M)
+	mgr, err := persist.Reattach(f.K, sim.FromDuration(interval))
+	if err != nil {
+		return nil, err
+	}
+	f.mgr = mgr
+	return mgr.Recover()
+}
+
+// Manager returns the active persistence manager (nil when persistence is
+// not enabled).
+func (f *Framework) Manager() *persist.Manager { return f.mgr }
+
+// Replay drives a traced application through the simulated machine — the
+// generated template program running as gemOS's init process.
+type Replay struct {
+	f     *Framework
+	P     *gemos.Process
+	img   *trace.Image
+	bases []uint64
+	next  int
+
+	// ComputeCyclesPerPeriod charges non-memory instruction time between
+	// records from the trace's logical periods.
+	ComputeCyclesPerPeriod sim.Cycles
+	// TickEvery fires machine events every N records (default 32).
+	TickEvery int
+
+	lastPeriod uint64
+}
+
+// LaunchInit spawns the init process for the image: each traced area is
+// mmapped (MAP_NVM for NVM areas) and a replayer is returned.
+func (f *Framework) LaunchInit(img *trace.Image) (*gemos.Process, *Replay, error) {
+	if err := img.Validate(); err != nil {
+		return nil, nil, err
+	}
+	p, err := f.K.Spawn(img.Benchmark)
+	if err != nil {
+		return nil, nil, err
+	}
+	f.K.Switch(p)
+	rep := &Replay{
+		f:                      f,
+		P:                      p,
+		img:                    img,
+		ComputeCyclesPerPeriod: 2,
+		TickEvery:              32,
+	}
+	for _, a := range img.Areas {
+		var flags uint32
+		if a.NVM {
+			flags |= gemos.MapNVM
+		}
+		prot := gemos.ProtRead
+		if a.Write {
+			prot |= gemos.ProtWrite
+		}
+		base, err := f.K.Mmap(p, 0, a.Size, prot, flags)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: mapping area %q: %w", a.Name, err)
+		}
+		rep.bases = append(rep.bases, base)
+	}
+	return p, rep, nil
+}
+
+// NVMRange returns the lowest and highest virtual addresses of the
+// replay's NVM areas (the range communicated to SSP hardware via MSRs).
+func (r *Replay) NVMRange() (lo, hi uint64) {
+	for i, a := range r.img.Areas {
+		if !a.NVM {
+			continue
+		}
+		base := r.bases[i]
+		if lo == 0 || base < lo {
+			lo = base
+		}
+		if base+a.Size > hi {
+			hi = base + a.Size
+		}
+	}
+	return lo, hi
+}
+
+// Rebind points the replay at a recovered process after crash recovery.
+// The recovered VMA layout must still cover the replay's area bases (it
+// does when recovery restored the checkpointed layout of the same run).
+func (r *Replay) Rebind(p *gemos.Process) error {
+	for i, a := range r.img.Areas {
+		v := p.AS.Find(r.bases[i])
+		if v == nil {
+			return fmt.Errorf("core: recovered process lacks area %q at %#x", a.Name, r.bases[i])
+		}
+	}
+	r.P = p
+	return nil
+}
+
+// Done reports whether the trace is exhausted.
+func (r *Replay) Done() bool { return r.next >= len(r.img.Records) }
+
+// Remaining returns how many records are left.
+func (r *Replay) Remaining() int { return len(r.img.Records) - r.next }
+
+// Step replays up to n records, firing machine events along the way. It
+// returns done=true when the trace is exhausted.
+func (r *Replay) Step(n int) (done bool, err error) {
+	k := r.f.K
+	m := r.f.M
+	if k.Current() != r.P {
+		k.Switch(r.P)
+	}
+	tickEvery := r.TickEvery
+	if tickEvery <= 0 {
+		tickEvery = 32
+	}
+	for i := 0; i < n && r.next < len(r.img.Records); i++ {
+		rec := r.img.Records[r.next]
+		r.next++
+		if rec.Period > r.lastPeriod {
+			m.Clock.Advance(sim.Cycles(rec.Period-r.lastPeriod) * r.ComputeCyclesPerPeriod)
+			r.lastPeriod = rec.Period
+		}
+		va := r.bases[rec.Area] + rec.Offset
+		if _, err := m.Core.Access(va, rec.Op == trace.Write, int(rec.Size)); err != nil {
+			return false, fmt.Errorf("core: replaying record %d: %w", r.next-1, err)
+		}
+		if r.next%tickEvery == 0 {
+			k.Tick()
+		}
+	}
+	k.Tick()
+	return r.Done(), nil
+}
+
+// Run replays the whole remaining trace.
+func (r *Replay) Run() error {
+	for {
+		done, err := r.Step(1 << 16)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// Teardown munmaps every area (the template's trailing munmap calls).
+func (r *Replay) Teardown() error {
+	for i, a := range r.img.Areas {
+		if err := r.f.K.Munmap(r.P, r.bases[i], a.Size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MemKindOf reports which memory technology backs a replay area (tests).
+func (r *Replay) MemKindOf(area int) mem.Kind {
+	if r.img.Areas[area].NVM {
+		return mem.NVM
+	}
+	return mem.DRAM
+}

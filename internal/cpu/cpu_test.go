@@ -1,0 +1,174 @@
+package cpu_test
+
+import (
+	"strings"
+	"testing"
+
+	"kindle/internal/cpu"
+	"kindle/internal/gemos"
+	"kindle/internal/machine"
+	"kindle/internal/mem"
+)
+
+func boot(t testing.TB) (*machine.Machine, *gemos.Kernel, *gemos.Process) {
+	t.Helper()
+	m := machine.New(machine.TestConfig())
+	k := gemos.Boot(m)
+	p, err := k.Spawn("cpu-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Switch(p)
+	return m, k, p
+}
+
+func TestPageFaultErrorMessage(t *testing.T) {
+	e := &cpu.PageFaultError{VA: 0x1234, Write: true, Cause: "boom"}
+	msg := e.Error()
+	if !strings.Contains(msg, "write") || !strings.Contains(msg, "0x1234") || !strings.Contains(msg, "boom") {
+		t.Fatalf("error message %q", msg)
+	}
+	r := &cpu.PageFaultError{VA: 1, Write: false, Cause: "x"}
+	if !strings.Contains(r.Error(), "read") {
+		t.Fatal("read fault not labelled")
+	}
+}
+
+func TestAccessWithoutAddressSpace(t *testing.T) {
+	m := machine.New(machine.TestConfig())
+	if _, err := m.Core.Access(0x1000, false, 8); err == nil {
+		t.Fatal("access with no address space succeeded")
+	}
+}
+
+func TestRegistersSurviveSwitchRoundTrip(t *testing.T) {
+	m, k, p1 := boot(t)
+	p2, _ := k.Spawn("other")
+	m.Core.Regs.GPR[cpu.RAX] = 111
+	m.Core.Regs.RIP = 0x4000
+	k.Switch(p2)
+	m.Core.Regs.GPR[cpu.RAX] = 222
+	k.Switch(p1)
+	if m.Core.Regs.GPR[cpu.RAX] != 111 || m.Core.Regs.RIP != 0x4000 {
+		t.Fatalf("register state lost across switches: rax=%d", m.Core.Regs.GPR[cpu.RAX])
+	}
+	_ = p1
+}
+
+func TestVirtToPhysUnmapped(t *testing.T) {
+	m, _, _ := boot(t)
+	if _, ok := m.Core.VirtToPhys(0xDEAD000); ok {
+		t.Fatal("unmapped VA translated")
+	}
+	m.Core.Reset()
+	if _, ok := m.Core.VirtToPhys(0x1000); ok {
+		t.Fatal("translation after reset succeeded")
+	}
+}
+
+func TestInKernelToggle(t *testing.T) {
+	m, _, _ := boot(t)
+	if m.Core.InKernel() {
+		t.Fatal("booted in kernel mode")
+	}
+	m.Core.EnterKernel()
+	if !m.Core.InKernel() {
+		t.Fatal("EnterKernel had no effect")
+	}
+	m.Core.ExitKernel()
+	if m.Core.InKernel() {
+		t.Fatal("ExitKernel had no effect")
+	}
+}
+
+func TestMSRResetOnCrash(t *testing.T) {
+	m, _, _ := boot(t)
+	m.Core.WriteMSR(cpu.MSRSSPEnable, 1)
+	m.Crash()
+	if m.Core.ReadMSR(cpu.MSRSSPEnable) != 0 {
+		t.Fatal("MSR survived crash")
+	}
+}
+
+func TestTLBCachesTranslationAcrossPTBRNoop(t *testing.T) {
+	m, k, p := boot(t)
+	a, _ := k.Mmap(p, 0, 4096, gemos.ProtRead|gemos.ProtWrite, 0)
+	m.Core.Access(a, true, 1)
+	misses := m.Stats.Get("tlb.l2.miss")
+	// Switching to the same address space must not flush the TLB.
+	m.Core.SetAddressSpace(p.Table)
+	m.Core.Access(a, false, 1)
+	if m.Stats.Get("tlb.l2.miss") != misses {
+		t.Fatal("same-table SetAddressSpace flushed the TLB")
+	}
+}
+
+func TestPhysAccessAdvancesClock(t *testing.T) {
+	m, _, _ := boot(t)
+	before := m.Clock.Now()
+	lat := m.Core.PhysAccess(0x100, true)
+	if lat == 0 || m.Clock.Now() != before+lat {
+		t.Fatalf("PhysAccess lat=%d now=%d", lat, m.Clock.Now())
+	}
+}
+
+func TestFenceAfterNVMWrites(t *testing.T) {
+	m, _, _ := boot(t)
+	nvm := m.Cfg.Layout.NVMBase
+	// Push writes into the NVM buffer, then fence: the fence must wait.
+	for i := 0; i < 8; i++ {
+		m.Core.PhysAccess(nvm+mem.PhysAddr(i*64), true)
+		m.Core.Clwb(nvm + mem.PhysAddr(i*64))
+	}
+	if lat := m.Core.Fence(); lat == 0 {
+		t.Fatal("fence free despite pending NVM writes")
+	}
+	if lat := m.Core.Fence(); lat != 0 {
+		t.Fatalf("second fence cost %d with drained buffer", lat)
+	}
+}
+
+func TestAccessSizeSpansManyLines(t *testing.T) {
+	m, k, p := boot(t)
+	a, _ := k.Mmap(p, 0, 8192, gemos.ProtRead|gemos.ProtWrite, 0)
+	if _, err := m.Core.Access(a, true, 4096); err != nil {
+		t.Fatal(err)
+	}
+	// 4096-byte write touches 64 lines.
+	if m.Stats.Get("cache.l1.miss") < 32 {
+		t.Fatalf("wide access touched too few lines: %d misses", m.Stats.Get("cache.l1.miss"))
+	}
+}
+
+func TestLLCMissModeAttribution(t *testing.T) {
+	m, k, p := boot(t)
+	a, _ := k.Mmap(p, 0, 4096, gemos.ProtRead|gemos.ProtWrite, 0)
+	m.Core.Access(a, true, 8) // user-mode cold miss (plus kernel fault work)
+	if m.Stats.Get("cache.llc_miss_user") == 0 {
+		t.Fatal("user-mode LLC miss not attributed")
+	}
+	m.Core.EnterKernel()
+	m.Core.PhysAccess(mem.PhysAddr(0x400000), false) // kernel cold miss
+	m.Core.ExitKernel()
+	if m.Stats.Get("cache.llc_miss_kernel") == 0 {
+		t.Fatal("kernel-mode LLC miss not attributed")
+	}
+}
+
+func TestKernelModeNests(t *testing.T) {
+	m, _, _ := boot(t)
+	m.Core.EnterKernel()
+	m.Core.EnterKernel()
+	m.Core.ExitKernel()
+	if !m.Core.InKernel() {
+		t.Fatal("nested ExitKernel dropped out of kernel mode early")
+	}
+	m.Core.ExitKernel()
+	if m.Core.InKernel() {
+		t.Fatal("still in kernel after balanced exits")
+	}
+	m.Core.ExitKernel() // underflow is clamped
+	if m.Core.InKernel() {
+		t.Fatal("underflow produced kernel mode")
+	}
+}

@@ -1,0 +1,248 @@
+package gemos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"kindle/internal/machine"
+	"kindle/internal/mem"
+)
+
+// ErrOutOfMemory is returned when a pool is exhausted.
+var ErrOutOfMemory = errors.New("gemos: out of physical frames")
+
+// FrameAllocator manages the DRAM and NVM physical frame pools.
+//
+// Following the paper ("we also modify the physical page allocation
+// mechanism in gemOS to persist the page allocation meta-data to ensure
+// correctness after crash and reboot"), NVM allocations are recorded in a
+// persistent bitmap that itself lives in NVM: every NVM alloc/free performs
+// a timed read-modify-write of the bitmap word plus a clwb, so the metadata
+// is durable and the allocator can be reconstructed after a crash.
+type FrameAllocator struct {
+	m      *machine.Machine
+	layout mem.Layout
+
+	dramNext, dramMax uint64
+	dramFree          []uint64
+
+	nvmNext, nvmMax uint64
+	nvmFree         []uint64
+	nvmPoolStart    uint64 // first pool pfn (after the reserved meta region)
+
+	bitmapBase mem.PhysAddr // persisted NVM allocation bitmap
+
+	allocated map[uint64]bool // double-alloc/free guard (volatile)
+
+	// Deferred reclamation: while enabled (process persistence attached),
+	// NVM frees do not clear the persisted bitmap or return the frame to
+	// the pool until FlushDeferredFrees — otherwise a crash between a
+	// munmap and the next checkpoint would leave the checkpoint-consistent
+	// saved state referencing frames the allocator considers free (or,
+	// worse, already reused).
+	deferNVM bool
+	deferred []uint64
+}
+
+// NewFrameAllocator builds the allocator. reservedNVM bytes at the start of
+// the NVM region are carved out for persistence structures (boot record,
+// this bitmap, saved states, logs) and never handed to the pool.
+// bitmapBase must point inside that reserved region.
+func NewFrameAllocator(m *machine.Machine, layout mem.Layout, reservedNVM uint64, bitmapBase mem.PhysAddr) *FrameAllocator {
+	poolStart := mem.FrameNumber(layout.NVMBase + mem.PhysAddr(reservedNVM))
+	return &FrameAllocator{
+		m:            m,
+		layout:       layout,
+		dramNext:     mem.FrameNumber(layout.DRAMBase),
+		dramMax:      mem.FrameNumber(layout.DRAMBase + mem.PhysAddr(layout.DRAMSize)),
+		nvmNext:      poolStart,
+		nvmMax:       mem.FrameNumber(layout.NVMBase + mem.PhysAddr(layout.NVMSize)),
+		nvmPoolStart: poolStart,
+		bitmapBase:   bitmapBase,
+		allocated:    make(map[uint64]bool),
+	}
+}
+
+// bitmapWord returns the address of the bitmap uint64 covering pool pfn and
+// the bit index within it.
+func (a *FrameAllocator) bitmapWord(pfn uint64) (mem.PhysAddr, uint) {
+	idx := pfn - a.nvmPoolStart
+	return a.bitmapBase + mem.PhysAddr((idx/64)*8), uint(idx % 64)
+}
+
+// markNVM persists the allocation state of pfn: timed RMW + clwb + commit.
+func (a *FrameAllocator) markNVM(pfn uint64, used bool) {
+	wa, bit := a.bitmapWord(pfn)
+	a.m.AccessTimed(wa, false)
+	w := a.m.LoadU64(wa)
+	if used {
+		w |= 1 << bit
+	} else {
+		w &^= 1 << bit
+	}
+	a.m.AccessTimed(wa, true)
+	a.m.StoreU64(wa, w)
+	a.m.Core.Clwb(wa)
+}
+
+// AllocFrame satisfies pt.FrameAllocator.
+func (a *FrameAllocator) AllocFrame(kind mem.Kind) (uint64, error) {
+	var pfn uint64
+	switch kind {
+	case mem.DRAM:
+		if n := len(a.dramFree); n > 0 {
+			pfn = a.dramFree[n-1]
+			a.dramFree = a.dramFree[:n-1]
+		} else if a.dramNext < a.dramMax {
+			pfn = a.dramNext
+			a.dramNext++
+		} else {
+			return 0, fmt.Errorf("%w (DRAM)", ErrOutOfMemory)
+		}
+	case mem.NVM:
+		if n := len(a.nvmFree); n > 0 {
+			pfn = a.nvmFree[n-1]
+			a.nvmFree = a.nvmFree[:n-1]
+		} else if a.nvmNext < a.nvmMax {
+			pfn = a.nvmNext
+			a.nvmNext++
+		} else {
+			return 0, fmt.Errorf("%w (NVM)", ErrOutOfMemory)
+		}
+		a.markNVM(pfn, true)
+	default:
+		return 0, fmt.Errorf("gemos: alloc of kind %v", kind)
+	}
+	if a.allocated[pfn] {
+		panic(fmt.Sprintf("gemos: frame %#x double-allocated", pfn))
+	}
+	a.allocated[pfn] = true
+	return pfn, nil
+}
+
+// FreeFrame satisfies pt.FrameAllocator; the kind is derived from the
+// address.
+func (a *FrameAllocator) FreeFrame(pfn uint64) {
+	if !a.allocated[pfn] {
+		panic(fmt.Sprintf("gemos: frame %#x freed but not allocated", pfn))
+	}
+	switch a.layout.KindOf(mem.FrameBase(pfn)) {
+	case mem.DRAM:
+		delete(a.allocated, pfn)
+		a.dramFree = append(a.dramFree, pfn)
+	case mem.NVM:
+		if a.deferNVM {
+			// Keep the frame reserved (and the bitmap bit set) until the
+			// next checkpoint commits; see FlushDeferredFrees.
+			a.deferred = append(a.deferred, pfn)
+			return
+		}
+		delete(a.allocated, pfn)
+		a.markNVM(pfn, false)
+		a.nvmFree = append(a.nvmFree, pfn)
+	default:
+		panic(fmt.Sprintf("gemos: free of unmapped frame %#x", pfn))
+	}
+}
+
+// SetDeferNVMFrees toggles deferred NVM reclamation (enabled by the
+// persistence manager).
+func (a *FrameAllocator) SetDeferNVMFrees(on bool) { a.deferNVM = on }
+
+// FlushDeferredFrees makes all deferred NVM frees effective: the persisted
+// bitmap bits clear and the frames return to the pool. The persistence
+// manager calls this after a checkpoint's consistent-copy flip commits, so
+// the durable allocator metadata never runs ahead of the durable process
+// metadata.
+func (a *FrameAllocator) FlushDeferredFrees() int {
+	n := len(a.deferred)
+	for _, pfn := range a.deferred {
+		delete(a.allocated, pfn)
+		a.markNVM(pfn, false)
+		a.nvmFree = append(a.nvmFree, pfn)
+	}
+	a.deferred = a.deferred[:0]
+	return n
+}
+
+// DeferredFrees reports pending deferred frees (tests).
+func (a *FrameAllocator) DeferredFrees() int { return len(a.deferred) }
+
+// ReclaimUnreferenced sweeps the NVM pool after recovery: every frame the
+// persisted bitmap marks used but that no recovered structure references
+// (referenced keys are pool PFNs) is returned to the pool. This garbage-
+// collects frames that were allocated after the last checkpoint — durable
+// in the bitmap but unknown to any consistent saved state.
+func (a *FrameAllocator) ReclaimUnreferenced(referenced map[uint64]bool) int {
+	var victims []uint64
+	for pfn := range a.allocated {
+		if a.layout.KindOf(mem.FrameBase(pfn)) != mem.NVM || referenced[pfn] {
+			continue
+		}
+		victims = append(victims, pfn)
+	}
+	// Deterministic pool order regardless of map iteration.
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+	for _, pfn := range victims {
+		delete(a.allocated, pfn)
+		a.markNVM(pfn, false)
+		a.nvmFree = append(a.nvmFree, pfn)
+	}
+	return len(victims)
+}
+
+// InUse reports whether pfn is currently allocated (volatile view).
+func (a *FrameAllocator) InUse(pfn uint64) bool { return a.allocated[pfn] }
+
+// FreeDRAM / FreeNVM report remaining capacity in frames.
+func (a *FrameAllocator) FreeDRAM() uint64 {
+	return a.dramMax - a.dramNext + uint64(len(a.dramFree))
+}
+func (a *FrameAllocator) FreeNVM() uint64 {
+	return a.nvmMax - a.nvmNext + uint64(len(a.nvmFree))
+}
+
+// RecoverFromBitmap rebuilds the NVM allocator state from the persisted
+// bitmap after a crash: frames with a set bit stay allocated (their data is
+// owned by recovered processes), clear frames return to the pool. DRAM
+// state is volatile; the DRAM pool restarts empty. The cost of scanning the
+// bitmap is charged as timed reads (one per word).
+func (a *FrameAllocator) RecoverFromBitmap() {
+	a.allocated = make(map[uint64]bool)
+	a.dramFree = nil
+	a.dramNext = mem.FrameNumber(a.layout.DRAMBase)
+	a.nvmFree = nil
+
+	words := (a.nvmMax - a.nvmPoolStart + 63) / 64
+	highest := a.nvmPoolStart
+	for w := uint64(0); w < words; w++ {
+		wa := a.bitmapBase + mem.PhysAddr(w*8)
+		a.m.AccessTimed(wa, false)
+		bits := a.m.LoadU64(wa)
+		if bits == 0 {
+			continue
+		}
+		for b := uint(0); b < 64; b++ {
+			if bits&(1<<b) == 0 {
+				continue
+			}
+			pfn := a.nvmPoolStart + w*64 + uint64(b)
+			if pfn >= a.nvmMax {
+				break
+			}
+			a.allocated[pfn] = true
+			if pfn+1 > highest {
+				highest = pfn + 1
+			}
+		}
+	}
+	// Resume bump allocation above the highest used frame; holes below it
+	// go to the free list.
+	a.nvmNext = highest
+	for pfn := a.nvmPoolStart; pfn < highest; pfn++ {
+		if !a.allocated[pfn] {
+			a.nvmFree = append(a.nvmFree, pfn)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package gemos
+
+import (
+	"fmt"
+
+	"kindle/internal/cpu"
+	"kindle/internal/pt"
+)
+
+// ProcState is a process lifecycle state.
+type ProcState uint8
+
+// Process states.
+const (
+	ProcReady ProcState = iota
+	ProcRunning
+	ProcZombie
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case ProcReady:
+		return "ready"
+	case ProcRunning:
+		return "running"
+	default:
+		return "zombie"
+	}
+}
+
+// Default virtual layout constants for user processes.
+const (
+	// MmapBase is where anonymous mappings are placed by default.
+	MmapBase = uint64(0x4000_0000)
+	// StackTop is the top of the main stack area.
+	StackTop = uint64(0x7FFF_FFF0_0000)
+	// StackSize is the default stack reservation.
+	StackSize = uint64(8 << 20)
+)
+
+// Process is one gemOS execution context.
+type Process struct {
+	PID   int
+	Name  string
+	State ProcState
+
+	// Regs is the saved architectural state while not running; the live
+	// state is in the core when this process is current.
+	Regs cpu.Registers
+
+	AS    AddressSpace
+	Table *pt.Table
+
+	mmapCursor uint64
+
+	// Slot is the saved-state slot index assigned by the persistence
+	// layer, or -1 when the process is not persisted.
+	Slot int
+
+	// Recovered marks a context recreated by crash recovery.
+	Recovered bool
+}
+
+// MmapCursor returns the next-allocation hint (persisted in the saved
+// state so recovered processes keep allocating above old mappings).
+func (p *Process) MmapCursor() uint64 { return p.mmapCursor }
+
+// SetMmapCursor restores the allocation hint during recovery.
+func (p *Process) SetMmapCursor(v uint64) {
+	if v >= MmapBase {
+		p.mmapCursor = v
+	}
+}
+
+func (p *Process) String() string {
+	return fmt.Sprintf("pid %d (%s) %s, %d VMAs, %d pages mapped",
+		p.PID, p.Name, p.State, p.AS.Count(), p.Table.Mapped())
+}

@@ -1,0 +1,101 @@
+package gemos
+
+import "kindle/internal/sim"
+
+// Scheduler is a round-robin time slicer. gemOS keeps scheduling minimal —
+// the paper values it for *not* running background services that pollute
+// statistics — but Kindle exposes a scheduler so experiments can study the
+// influence of context switches and co-running processes on hybrid-memory
+// mechanisms (an OS activity user-level simulators cannot model).
+type Scheduler struct {
+	k       *Kernel
+	quantum sim.Cycles
+	queue   []*Process
+	next    int
+
+	ev *sim.Event
+	on bool
+
+	// expired is set by the timer event; the run loop observes it via
+	// NeedsResched and performs the switch at the next safe point
+	// (between instructions), like a real kernel's need_resched flag.
+	expired bool
+}
+
+// NewScheduler builds a scheduler with the given time quantum.
+func NewScheduler(k *Kernel, quantum sim.Cycles) *Scheduler {
+	return &Scheduler{k: k, quantum: quantum}
+}
+
+// Add enqueues a process for time slicing.
+func (s *Scheduler) Add(p *Process) {
+	s.queue = append(s.queue, p)
+}
+
+// Remove drops a process (exited or detached).
+func (s *Scheduler) Remove(p *Process) {
+	for i, q := range s.queue {
+		if q == p {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			if s.next > i {
+				s.next--
+			}
+			return
+		}
+	}
+}
+
+// Len reports the number of scheduled processes.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// Start arms the preemption timer.
+func (s *Scheduler) Start() {
+	if s.on {
+		return
+	}
+	s.on = true
+	s.arm()
+}
+
+// Stop disarms it.
+func (s *Scheduler) Stop() {
+	s.on = false
+	if s.ev != nil {
+		s.k.M.Events.Cancel(s.ev)
+		s.ev = nil
+	}
+}
+
+func (s *Scheduler) arm() {
+	s.ev = s.k.M.Events.Schedule(s.k.M.Clock.Now()+s.quantum, "sched.tick", func(sim.Cycles) {
+		if !s.on {
+			return
+		}
+		s.expired = true
+		s.k.M.Stats.Inc("os.sched_tick")
+		s.arm()
+	})
+}
+
+// NeedsResched reports whether the quantum expired since the last switch.
+func (s *Scheduler) NeedsResched() bool { return s.expired }
+
+// Resched rotates to the next ready process and switches to it, clearing
+// the expired flag. It returns the process now running (nil with an empty
+// queue).
+func (s *Scheduler) Resched() *Process {
+	s.expired = false
+	if len(s.queue) == 0 {
+		return nil
+	}
+	for tries := 0; tries < len(s.queue); tries++ {
+		p := s.queue[s.next%len(s.queue)]
+		s.next++
+		if p.State == ProcZombie {
+			continue
+		}
+		s.k.Switch(p)
+		return p
+	}
+	return nil
+}

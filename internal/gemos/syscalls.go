@@ -1,0 +1,188 @@
+package gemos
+
+import (
+	"fmt"
+
+	"kindle/internal/mem"
+	"kindle/internal/pt"
+)
+
+// pageAlignUp rounds n up to a page multiple.
+func pageAlignUp(n uint64) uint64 {
+	return (n + mem.PageSize - 1) &^ (mem.PageSize - 1)
+}
+
+// enterSyscall charges the fixed syscall overhead in kernel mode.
+func (k *Kernel) enterSyscall(name string) {
+	k.M.Core.EnterKernel()
+	k.M.Clock.Advance(SyscallCost)
+	k.M.Stats.Add("cpu.kernel_cycles", uint64(SyscallCost))
+	k.M.Stats.Inc("os.syscall." + name)
+}
+
+// Mmap maps length bytes for p. addr==0 lets the kernel choose a range.
+// Passing MapNVM in flags allocates the area from NVM, the paper's gemOS
+// API extension (Listing 1). The mapping is demand-paged: physical frames
+// are allocated at first access.
+func (k *Kernel) Mmap(p *Process, addr uint64, length uint64, prot Prot, flags uint32) (uint64, error) {
+	k.enterSyscall("mmap")
+	defer k.M.Core.ExitKernel()
+	if length == 0 {
+		return 0, fmt.Errorf("gemos: mmap with zero length")
+	}
+	length = pageAlignUp(length)
+	kind := mem.DRAM
+	if flags&MapNVM != 0 {
+		kind = mem.NVM
+	}
+	start := addr
+	if start == 0 {
+		start = p.AS.FindFree(p.mmapCursor, length)
+	} else if start%mem.PageSize != 0 {
+		return 0, fmt.Errorf("gemos: mmap hint %#x not page aligned", addr)
+	}
+	if p.AS.Overlaps(start, start+length) {
+		if addr != 0 {
+			return 0, fmt.Errorf("gemos: mmap fixed range %#x-%#x overlaps", start, start+length)
+		}
+		start = p.AS.FindFree(start, length)
+	}
+	name := "[anon]"
+	if kind == mem.NVM {
+		name = "[anon-nvm]"
+	}
+	v := &VMA{Start: start, End: start + length, Prot: prot, Kind: kind, Name: name}
+	if err := p.AS.Insert(v); err != nil {
+		return 0, err
+	}
+	if start+length > p.mmapCursor {
+		p.mmapCursor = start + length
+	}
+	if k.Meta != nil {
+		k.Meta.LogVMAChange(p)
+	}
+	k.M.Stats.Inc("os.mmap")
+	return start, nil
+}
+
+// Munmap unmaps [addr, addr+length): VMAs are trimmed/split, present PTEs
+// are removed (timed page-table writes, wrapped by the consistency hook
+// under the persistent scheme) and their frames freed.
+func (k *Kernel) Munmap(p *Process, addr uint64, length uint64) error {
+	k.enterSyscall("munmap")
+	defer k.M.Core.ExitKernel()
+	if length == 0 || addr%mem.PageSize != 0 {
+		return fmt.Errorf("gemos: munmap bad range %#x+%#x", addr, length)
+	}
+	length = pageAlignUp(length)
+	removed := p.AS.RemoveRange(addr, addr+length)
+	for _, r := range removed {
+		for va := r.Start; va < r.End; va += mem.PageSize {
+			old, _, present := p.Table.Remove(va)
+			if !present {
+				continue
+			}
+			k.Alloc.FreeFrame(old.PFN())
+			k.M.TLB.Invalidate(va / mem.PageSize)
+			if k.Meta != nil && r.Kind == mem.NVM {
+				k.Meta.LogMapping(p, va/mem.PageSize, old.PFN(), false)
+			}
+		}
+	}
+	if k.Meta != nil {
+		k.Meta.LogVMAChange(p)
+	}
+	k.M.Stats.Inc("os.munmap")
+	return nil
+}
+
+// Mprotect rewrites protections on [addr, addr+length).
+func (k *Kernel) Mprotect(p *Process, addr uint64, length uint64, prot Prot) error {
+	k.enterSyscall("mprotect")
+	defer k.M.Core.ExitKernel()
+	if length == 0 || addr%mem.PageSize != 0 {
+		return fmt.Errorf("gemos: mprotect bad range %#x+%#x", addr, length)
+	}
+	length = pageAlignUp(length)
+	changed := p.AS.SetProt(addr, addr+length, prot)
+	for _, c := range changed {
+		for va := c.Start; va < c.End; va += mem.PageSize {
+			e, ok := p.Table.Lookup(va)
+			if !ok {
+				continue
+			}
+			flags := uint64(pt.FlagUser)
+			if prot&ProtWrite != 0 {
+				flags |= pt.FlagWritable
+			}
+			if e.NVM() {
+				flags |= pt.FlagNVM
+			}
+			p.Table.Protect(va, flags)
+			k.M.TLB.Invalidate(va / mem.PageSize)
+		}
+	}
+	if k.Meta != nil {
+		k.Meta.LogVMAChange(p)
+	}
+	k.M.Stats.Inc("os.mprotect")
+	return nil
+}
+
+// Mremap moves/resizes the mapping at oldAddr. Shrinking trims in place;
+// growing relocates the area to a fresh range, migrating page-table
+// entries (frames are not copied — the mapping moves, as with Linux
+// MREMAP_MAYMOVE). It returns the new address.
+func (k *Kernel) Mremap(p *Process, oldAddr, oldLen, newLen uint64) (uint64, error) {
+	k.enterSyscall("mremap")
+	defer k.M.Core.ExitKernel()
+	if oldLen == 0 || newLen == 0 || oldAddr%mem.PageSize != 0 {
+		return 0, fmt.Errorf("gemos: mremap bad args")
+	}
+	oldLen, newLen = pageAlignUp(oldLen), pageAlignUp(newLen)
+	v := p.AS.Find(oldAddr)
+	if v == nil || v.Start != oldAddr || v.Len() != oldLen {
+		return 0, fmt.Errorf("gemos: mremap range %#x+%#x does not match a VMA", oldAddr, oldLen)
+	}
+	if newLen <= oldLen {
+		// Trim tail.
+		k.M.Core.ExitKernel() // Munmap re-enters
+		if err := k.Munmap(p, oldAddr+newLen, oldLen-newLen); err != nil {
+			return 0, err
+		}
+		k.M.Core.EnterKernel()
+		return oldAddr, nil
+	}
+	// Relocate. Capture the old area before mutating the address space.
+	old := *v
+	newStart := p.AS.FindFree(p.mmapCursor, newLen)
+	p.AS.RemoveRange(old.Start, old.End)
+	nv := &VMA{Start: newStart, End: newStart + newLen, Prot: old.Prot, Kind: old.Kind, Name: old.Name}
+	if err := p.AS.Insert(nv); err != nil {
+		return 0, err
+	}
+	if newStart+newLen > p.mmapCursor {
+		p.mmapCursor = newStart + newLen
+	}
+	for off := uint64(0); off < oldLen; off += mem.PageSize {
+		oldVA := old.Start + off
+		e, _, present := p.Table.Remove(oldVA)
+		if !present {
+			continue
+		}
+		k.M.TLB.Invalidate(oldVA / mem.PageSize)
+		newVA := newStart + off
+		if _, _, err := p.Table.Install(newVA, e.PFN(), uint64(e)&^(pt.FlagPresent)|pt.FlagPresent); err != nil {
+			return 0, err
+		}
+		if k.Meta != nil && old.Kind == mem.NVM {
+			k.Meta.LogMapping(p, oldVA/mem.PageSize, e.PFN(), false)
+			k.Meta.LogMapping(p, newVA/mem.PageSize, e.PFN(), true)
+		}
+	}
+	if k.Meta != nil {
+		k.Meta.LogVMAChange(p)
+	}
+	k.M.Stats.Inc("os.mremap")
+	return newStart, nil
+}

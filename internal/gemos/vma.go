@@ -1,0 +1,164 @@
+package gemos
+
+import (
+	"fmt"
+	"sort"
+
+	"kindle/internal/mem"
+)
+
+// Prot is the access protection of a virtual memory area.
+type Prot uint8
+
+// Protection bits (mmap PROT_* analogues).
+const (
+	ProtRead  Prot = 1 << 0
+	ProtWrite Prot = 1 << 1
+)
+
+// Mmap flags. MapNVM is the extension the paper adds to gemOS: an
+// application passes it in mmap() to allocate the area from NVM.
+const (
+	MapNVM uint32 = 1 << 0
+)
+
+// VMA is one virtual memory area. Kindle tags each VMA as DRAM or NVM
+// (from the MapNVM flag) and physical frames are allocated from the
+// matching pool on demand.
+type VMA struct {
+	Start uint64 // inclusive, page-aligned
+	End   uint64 // exclusive, page-aligned
+	Prot  Prot
+	Kind  mem.Kind
+	Name  string
+}
+
+// Len returns the area size in bytes.
+func (v *VMA) Len() uint64 { return v.End - v.Start }
+
+// Pages returns the area size in pages.
+func (v *VMA) Pages() uint64 { return v.Len() / mem.PageSize }
+
+// Contains reports whether va falls inside the area.
+func (v *VMA) Contains(va uint64) bool { return va >= v.Start && va < v.End }
+
+func (v *VMA) String() string {
+	w := "-"
+	if v.Prot&ProtWrite != 0 {
+		w = "w"
+	}
+	return fmt.Sprintf("%#x-%#x r%s %s %s", v.Start, v.End, w, v.Kind, v.Name)
+}
+
+// AddressSpace is an ordered, non-overlapping set of VMAs.
+type AddressSpace struct {
+	vmas []*VMA
+}
+
+// Find returns the VMA containing va, or nil.
+func (as *AddressSpace) Find(va uint64) *VMA {
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].End > va })
+	if i < len(as.vmas) && as.vmas[i].Contains(va) {
+		return as.vmas[i]
+	}
+	return nil
+}
+
+// Overlaps reports whether [start, end) intersects any VMA.
+func (as *AddressSpace) Overlaps(start, end uint64) bool {
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].End > start })
+	return i < len(as.vmas) && as.vmas[i].Start < end
+}
+
+// Insert adds a VMA; it must not overlap existing areas.
+func (as *AddressSpace) Insert(v *VMA) error {
+	if v.Start >= v.End || v.Start%mem.PageSize != 0 || v.End%mem.PageSize != 0 {
+		return fmt.Errorf("gemos: bad VMA bounds %#x-%#x", v.Start, v.End)
+	}
+	if as.Overlaps(v.Start, v.End) {
+		return fmt.Errorf("gemos: VMA %#x-%#x overlaps existing area", v.Start, v.End)
+	}
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].Start > v.Start })
+	as.vmas = append(as.vmas, nil)
+	copy(as.vmas[i+1:], as.vmas[i:])
+	as.vmas[i] = v
+	return nil
+}
+
+// RemoveRange carves [start, end) out of the address space, splitting
+// partially covered VMAs. It returns the removed pieces (full page ranges
+// that were previously mapped by some VMA).
+func (as *AddressSpace) RemoveRange(start, end uint64) []VMA {
+	var removed []VMA
+	var keep []*VMA
+	for _, v := range as.vmas {
+		switch {
+		case v.End <= start || v.Start >= end:
+			keep = append(keep, v)
+		case v.Start >= start && v.End <= end:
+			removed = append(removed, *v)
+		case v.Start < start && v.End > end:
+			// Split into two.
+			right := &VMA{Start: end, End: v.End, Prot: v.Prot, Kind: v.Kind, Name: v.Name}
+			removed = append(removed, VMA{Start: start, End: end, Prot: v.Prot, Kind: v.Kind, Name: v.Name})
+			v.End = start
+			keep = append(keep, v, right)
+		case v.Start < start:
+			removed = append(removed, VMA{Start: start, End: v.End, Prot: v.Prot, Kind: v.Kind, Name: v.Name})
+			v.End = start
+			keep = append(keep, v)
+		default: // v.End > end
+			removed = append(removed, VMA{Start: v.Start, End: end, Prot: v.Prot, Kind: v.Kind, Name: v.Name})
+			v.Start = end
+			keep = append(keep, v)
+		}
+	}
+	sort.Slice(keep, func(i, j int) bool { return keep[i].Start < keep[j].Start })
+	as.vmas = keep
+	return removed
+}
+
+// SetProt rewrites the protection of [start, end), splitting VMAs at the
+// boundaries. It returns the areas whose protection changed.
+func (as *AddressSpace) SetProt(start, end uint64, prot Prot) []VMA {
+	removed := as.RemoveRange(start, end)
+	var changed []VMA
+	for _, r := range removed {
+		nv := &VMA{Start: r.Start, End: r.End, Prot: prot, Kind: r.Kind, Name: r.Name}
+		if err := as.Insert(nv); err != nil {
+			panic("gemos: SetProt reinsert failed: " + err.Error())
+		}
+		changed = append(changed, *nv)
+	}
+	return changed
+}
+
+// All returns the VMAs in address order (callers must not mutate bounds).
+func (as *AddressSpace) All() []*VMA { return as.vmas }
+
+// Count returns the number of areas.
+func (as *AddressSpace) Count() int { return len(as.vmas) }
+
+// TotalPages sums pages over all areas.
+func (as *AddressSpace) TotalPages() uint64 {
+	var n uint64
+	for _, v := range as.vmas {
+		n += v.Pages()
+	}
+	return n
+}
+
+// FindFree locates a gap of length bytes at or above hint, page aligned.
+func (as *AddressSpace) FindFree(hint, length uint64) uint64 {
+	start := hint
+	for _, v := range as.vmas {
+		if v.End <= start {
+			continue
+		}
+		if v.Start >= start+length {
+			break
+		}
+		start = v.End
+	}
+	return start
+}

@@ -1,0 +1,428 @@
+// Package hscc prototypes Hardware/Software Cooperative Caching (Liu et
+// al., ICS'17) on Kindle, following the paper's §III-C implementation:
+// DRAM and NVM sit in a flat address space with a 512-page DRAM pool
+// managed by the OS as a cache for NVM pages. NVM page access counts are
+// maintained in the TLB (incremented when a data access misses the LLC)
+// and spilled to the page-table side on eviction or once per migration
+// interval. Every 31.25 ms the OS inspects the counts with a software
+// page-table walk and migrates pages exceeding the fetch threshold:
+// page selection takes a destination frame from the free, clean or dirty
+// list (dirty requires a copy-back to NVM first), page copy flushes the
+// NVM page's cache lines and copies the 4 KB. Unlike the original HSCC's
+// 96-bit PTEs, the NVM↔DRAM mapping lives in a lookup table indexable by
+// both frame numbers, exactly the design choice described in the paper.
+package hscc
+
+import (
+	"fmt"
+	"time"
+
+	"kindle/internal/gemos"
+	"kindle/internal/machine"
+	"kindle/internal/mem"
+	"kindle/internal/pt"
+	"kindle/internal/sim"
+	"kindle/internal/tlb"
+)
+
+// Config parameterizes the prototype.
+type Config struct {
+	// FetchThreshold is the access count an NVM page must exceed within a
+	// migration interval to become a migration candidate (Fig. 6 uses 5,
+	// 25 and 50).
+	FetchThreshold uint32
+	// MigrationInterval is 31.25 ms (10^8 cycles in the HSCC paper).
+	MigrationInterval sim.Cycles
+	// PoolPages is the DRAM cache size (512 pages in the paper).
+	PoolPages int
+	// ChargeOSTime, when false, performs migrations functionally without
+	// charging the OS work (page selection, page copy) — the
+	// "hardware-only migration activities" baseline of Fig. 6.
+	ChargeOSTime bool
+	// PTEScanCost is the per-PTE cost of the software page-table walk
+	// that inspects access counts each interval.
+	PTEScanCost sim.Cycles
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		FetchThreshold:    25,
+		MigrationInterval: sim.FromDuration(31250 * time.Microsecond),
+		PoolPages:         512,
+		ChargeOSTime:      true,
+		PTEScanCost:       sim.FromNanos(10),
+	}
+}
+
+// pageState tracks one DRAM pool frame.
+type pageState struct {
+	dramPFN uint64
+	nvmPFN  uint64 // 0 when free
+	vpn     uint64
+	dirty   bool
+}
+
+// Controller is the HSCC prototype attached to a kernel.
+type Controller struct {
+	m   *machine.Machine
+	k   *gemos.Kernel
+	cfg Config
+
+	tableBase mem.PhysAddr // lookup table region in NVM
+
+	// DRAM pool lists (free/clean/dirty), updated at interval start.
+	// Pages migrated during the current interval sit in recent — they are
+	// the hottest pages and only become reclaim victims from the next
+	// interval on.
+	free   []*pageState
+	clean  []*pageState
+	dirty  []*pageState
+	recent []*pageState
+	byVPN  map[uint64]*pageState // migrated pages by vpn
+	byDst  map[uint64]*pageState // migrated pages by DRAM pfn
+
+	// counts is the PTE-side access count store (spilled from TLB).
+	counts map[uint64]uint32 // vpn -> count
+
+	proc *gemos.Process
+	ev   *sim.Event
+	on   bool
+}
+
+// Attach builds the prototype over k for process p, allocating the DRAM
+// pool and the lookup table.
+func Attach(k *gemos.Kernel, p *gemos.Process, cfg Config) (*Controller, error) {
+	if cfg.PoolPages <= 0 {
+		return nil, fmt.Errorf("hscc: pool of %d pages", cfg.PoolPages)
+	}
+	base, size := k.PersistArea()
+	if uint64(cfg.PoolPages)*16 > size {
+		return nil, fmt.Errorf("hscc: reserved area too small for lookup table")
+	}
+	c := &Controller{
+		m:         k.M,
+		k:         k,
+		cfg:       cfg,
+		tableBase: base,
+		byVPN:     make(map[uint64]*pageState),
+		byDst:     make(map[uint64]*pageState),
+		counts:    make(map[uint64]uint32),
+		proc:      p,
+	}
+	for i := 0; i < cfg.PoolPages; i++ {
+		pfn, err := k.Alloc.AllocFrame(mem.DRAM)
+		if err != nil {
+			return nil, fmt.Errorf("hscc: allocating pool: %w", err)
+		}
+		c.free = append(c.free, &pageState{dramPFN: pfn})
+	}
+	k.M.Core.SetHooks(c)
+	k.M.TLB.SetEvictHook(c.onTLBEvict)
+	return c, nil
+}
+
+// Start schedules the periodic migration activity.
+func (c *Controller) Start() {
+	if c.on {
+		return
+	}
+	c.on = true
+	c.schedule()
+}
+
+// Stop cancels it.
+func (c *Controller) Stop() {
+	c.on = false
+	if c.ev != nil {
+		c.m.Events.Cancel(c.ev)
+		c.ev = nil
+	}
+}
+
+func (c *Controller) schedule() {
+	c.ev = c.m.Events.Schedule(c.m.Clock.Now()+c.cfg.MigrationInterval, "hscc.migrate", func(sim.Cycles) {
+		if !c.on {
+			return
+		}
+		c.MigrationActivity()
+		if c.on {
+			c.schedule()
+		}
+	})
+}
+
+// OnTranslate implements cpu.Hooks: stores to migrated (DRAM-cached) pages
+// mark the pool frame dirty, so page selection knows a copy-back is needed
+// before reuse.
+func (c *Controller) OnTranslate(e *tlb.Entry, va uint64, write bool) {
+	if !write || e.NVM {
+		return
+	}
+	if ps, ok := c.byVPN[va/mem.PageSize]; ok {
+		ps.dirty = true
+	}
+}
+
+// OnLLCMiss implements cpu.Hooks: the TLB-held access count of an NVM page
+// increments when a data access misses the LLC.
+func (c *Controller) OnLLCMiss(e *tlb.Entry, va uint64, write bool) {
+	if !e.NVM {
+		return
+	}
+	e.AccessCount++
+	if !e.CountSpilled {
+		// Written out to the PTE side once during the interval.
+		c.spillCount(e.VPN, e.AccessCount)
+		e.CountSpilled = true
+	}
+}
+
+// onTLBEvict spills the access count to the PTE-side store.
+func (c *Controller) onTLBEvict(e *tlb.Entry) {
+	if !e.NVM || e.AccessCount == 0 {
+		return
+	}
+	c.spillCount(e.VPN, e.AccessCount)
+}
+
+// spillCount merges a TLB count into the lookup-table store (timed line
+// write — the HSCC hardware writes the count out to the extended PTE).
+func (c *Controller) spillCount(vpn uint64, count uint32) {
+	if count > c.counts[vpn] {
+		c.counts[vpn] = count
+	}
+	ea := c.tableBase + mem.PhysAddr((vpn%4096)*16)
+	c.m.AccessTimed(ea, true)
+	c.m.Stats.Inc("hscc.count_spill")
+}
+
+// MigrationActivity is the per-interval OS work: refresh the pool lists,
+// harvest TLB counts, software-walk the page table to find candidates,
+// migrate them, then reset all counts and invalidate TLB entries so the
+// next interval starts fresh.
+func (c *Controller) MigrationActivity() {
+	m := c.m
+	m.Core.EnterKernel()
+	defer m.Core.ExitKernel()
+	intervalStart := m.Clock.Now()
+
+	// Update free/clean/dirty lists at interval start; last interval's
+	// migrations become reclaimable now.
+	var clean, dirty []*pageState
+	all := append(append(append([]*pageState{}, c.clean...), c.dirty...), c.recent...)
+	for _, ps := range all {
+		if ps.dirty {
+			dirty = append(dirty, ps)
+		} else {
+			clean = append(clean, ps)
+		}
+	}
+	c.clean, c.dirty, c.recent = clean, dirty, nil
+
+	// Harvest counts still sitting in the TLB.
+	m.TLB.ForEach(func(e *tlb.Entry) {
+		if e.NVM && e.AccessCount > 0 {
+			if e.AccessCount > c.counts[e.VPN] {
+				c.counts[e.VPN] = e.AccessCount
+			}
+		}
+	})
+
+	// Software page-table walk inspecting access counts in PTEs.
+	type cand struct {
+		vpn uint64
+		pfn uint64
+		cnt uint32
+	}
+	var cands []cand
+	scanned := 0
+	c.proc.Table.ForEachMapped(func(va uint64, e pt.PTE) bool {
+		scanned++
+		if !e.NVM() {
+			return true
+		}
+		vpn := va / mem.PageSize
+		if cnt := c.counts[vpn]; cnt > c.cfg.FetchThreshold {
+			cands = append(cands, cand{vpn: vpn, pfn: e.PFN(), cnt: cnt})
+		}
+		return true
+	})
+	if c.cfg.ChargeOSTime {
+		m.Clock.Advance(sim.Cycles(scanned) * c.cfg.PTEScanCost)
+		m.Stats.Add("cpu.kernel_cycles", uint64(scanned)*uint64(c.cfg.PTEScanCost))
+	}
+
+	migrated := 0
+	for _, cd := range cands {
+		if c.byVPN[cd.vpn] != nil {
+			continue // already cached in DRAM
+		}
+		ps := c.selectPage()
+		if ps == nil {
+			m.Stats.Inc("hscc.pool_exhausted")
+			break
+		}
+		c.copyPage(ps, cd.vpn, cd.pfn)
+		migrated++
+	}
+
+	// Reset counts and invalidate TLB entries so only the most recent
+	// interval's accesses drive the next round.
+	c.counts = make(map[uint64]uint32)
+	m.TLB.ForEach(func(e *tlb.Entry) {
+		e.AccessCount = 0
+		e.CountSpilled = false
+	})
+
+	m.Stats.Inc("hscc.intervals")
+	m.Stats.Add("hscc.pages_migrated", uint64(migrated))
+	m.Stats.Add("hscc.os_migration_cycles", uint64(m.Clock.Now()-intervalStart))
+}
+
+// selectPage pops a destination DRAM frame: free list, then clean list,
+// then dirty (which costs a copy-back to NVM before reuse). The elapsed
+// simulated time is attributed to page selection.
+func (c *Controller) selectPage() *pageState {
+	m := c.m
+	start := m.Clock.Now()
+	defer func() {
+		if c.cfg.ChargeOSTime {
+			m.Stats.Add("hscc.page_selection_cycles", uint64(m.Clock.Now()-start))
+		}
+	}()
+	if n := len(c.free); n > 0 {
+		ps := c.free[n-1]
+		c.free = c.free[:n-1]
+		m.Stats.Inc("hscc.select_free")
+		return ps
+	}
+	if n := len(c.clean); n > 0 {
+		ps := c.clean[0]
+		c.clean = c.clean[1:]
+		c.unmapCached(ps)
+		m.Stats.Inc("hscc.select_clean")
+		return ps
+	}
+	if n := len(c.dirty); n > 0 {
+		ps := c.dirty[0]
+		c.dirty = c.dirty[1:]
+		// Copy the page back from DRAM to NVM before reuse.
+		c.transferPage(mem.FrameBase(ps.dramPFN), mem.FrameBase(ps.nvmPFN), c.cfg.ChargeOSTime)
+		c.unmapCached(ps)
+		m.Stats.Inc("hscc.select_dirty_copyback")
+		return ps
+	}
+	return nil
+}
+
+// unmapCached restores the NVM mapping of a reclaimed pool frame and
+// invalidates its TLB entry.
+func (c *Controller) unmapCached(ps *pageState) {
+	flags := uint64(pt.FlagUser | pt.FlagWritable | pt.FlagNVM)
+	if c.cfg.ChargeOSTime {
+		c.proc.Table.UpdateLeaf(ps.vpn*mem.PageSize, pt.Make(ps.nvmPFN, flags))
+	} else {
+		c.updateLeafFree(ps.vpn, pt.Make(ps.nvmPFN, flags))
+	}
+	c.m.TLB.Invalidate(ps.vpn)
+	// Update the lookup table entry (timed).
+	ea := c.tableBase + mem.PhysAddr((ps.dramPFN%4096)*16)
+	if c.cfg.ChargeOSTime {
+		c.m.AccessTimed(ea, true)
+	}
+	delete(c.byVPN, ps.vpn)
+	delete(c.byDst, ps.dramPFN)
+	ps.nvmPFN, ps.vpn, ps.dirty = 0, 0, false
+}
+
+// copyPage performs the page-copy step of a migration: flush the NVM
+// page's cache lines, copy NVM→DRAM, update the PTE and lookup table,
+// invalidate the TLB entry.
+func (c *Controller) copyPage(ps *pageState, vpn, nvmPFN uint64) {
+	m := c.m
+	start := m.Clock.Now()
+
+	c.transferPage(mem.FrameBase(nvmPFN), mem.FrameBase(ps.dramPFN), c.cfg.ChargeOSTime)
+
+	// Remap the PTE to the DRAM frame (NVM flag cleared: the page is now
+	// DRAM-cached; the lookup table remembers the home frame).
+	flags := uint64(pt.FlagUser | pt.FlagWritable)
+	newPTE := pt.Make(ps.dramPFN, flags)
+	if c.cfg.ChargeOSTime {
+		c.proc.Table.UpdateLeaf(vpn*mem.PageSize, newPTE)
+	} else {
+		c.updateLeafFree(vpn, newPTE)
+	}
+	m.TLB.Invalidate(vpn)
+	ea := c.tableBase + mem.PhysAddr((nvmPFN%4096)*16)
+	if c.cfg.ChargeOSTime {
+		m.AccessTimed(ea, true)
+	}
+
+	ps.nvmPFN, ps.vpn, ps.dirty = nvmPFN, vpn, false
+	c.byVPN[vpn] = ps
+	c.byDst[ps.dramPFN] = ps
+	c.recent = append(c.recent, ps)
+	if c.cfg.ChargeOSTime {
+		m.Stats.Add("hscc.page_copy_cycles", uint64(m.Clock.Now()-start))
+	}
+}
+
+// transferPage copies one 4 KiB page line by line. When timed, the source
+// lines are flushed from the caches first (the paper's page-copy step) and
+// every line transfer is a pair of simulated memory accesses.
+func (c *Controller) transferPage(src, dst mem.PhysAddr, timed bool) {
+	m := c.m
+	for off := mem.PhysAddr(0); off < mem.PageSize; off += mem.LineSize {
+		if timed {
+			m.Core.Clwb(src + off)
+			m.AccessTimed(src+off, false)
+			m.AccessTimed(dst+off, true)
+		}
+	}
+	m.Ctrl.Backing().CopyFrame(mem.FrameNumber(dst), mem.FrameNumber(src))
+	if m.Cfg.Layout.KindOf(dst) == mem.NVM {
+		m.CommitRange(dst, mem.PageSize)
+	}
+	m.Stats.Inc("hscc.page_transfer")
+}
+
+// updateLeafFree rewrites a leaf PTE without charging time (hardware-only
+// baseline). It temporarily replaces the table's write hook, so the HSCC
+// hardware-only mode must not be combined with the persistent page-table
+// scheme (whose hook it would bypass); the experiments never pair them.
+func (c *Controller) updateLeafFree(vpn uint64, e pt.PTE) {
+	// Perform the update functionally by temporarily hooking the write.
+	tbl := c.proc.Table
+	tbl.SetWriteHook(func(pa mem.PhysAddr, v pt.PTE) sim.Cycles {
+		c.m.StoreU64(pa, uint64(v))
+		return 0
+	})
+	tbl.UpdateLeaf(vpn*mem.PageSize, e)
+	tbl.SetWriteHook(nil)
+}
+
+// CachedPages reports how many pages currently live in the DRAM pool.
+func (c *Controller) CachedPages() int { return len(c.byVPN) }
+
+// PoolCounts reports the list sizes (free, clean, dirty).
+func (c *Controller) PoolCounts() (free, clean, dirty int) {
+	return len(c.free), len(c.clean) + len(c.recent), len(c.dirty)
+}
+
+// Detach releases the DRAM pool and restores NVM mappings.
+func (c *Controller) Detach() {
+	c.Stop()
+	all := append(append(append([]*pageState{}, c.free...), c.clean...), c.dirty...)
+	for _, ps := range append(all, c.recent...) {
+		if ps.nvmPFN != 0 {
+			c.transferPage(mem.FrameBase(ps.dramPFN), mem.FrameBase(ps.nvmPFN), false)
+			c.unmapCached(ps)
+		}
+		c.k.Alloc.FreeFrame(ps.dramPFN)
+	}
+	c.free, c.clean, c.dirty, c.recent = nil, nil, nil, nil
+	c.m.Core.SetHooks(nil)
+	c.m.TLB.SetEvictHook(nil)
+}

@@ -1,0 +1,265 @@
+package hscc_test
+
+import (
+	"testing"
+	"time"
+
+	"kindle/internal/core"
+	"kindle/internal/gemos"
+	"kindle/internal/hscc"
+	"kindle/internal/mem"
+	"kindle/internal/pt"
+	"kindle/internal/sim"
+	"kindle/internal/workloads"
+)
+
+func setup(t testing.TB, cfg hscc.Config) (*core.Framework, *hscc.Controller, *core.Replay, *gemos.Process) {
+	t.Helper()
+	f := core.NewSmall()
+	wcfg := workloads.SmallYCSB()
+	wcfg.Ops = 30_000
+	img, err := workloads.YCSB(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, rep, err := f.LaunchInit(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := hscc.Attach(f.K, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, c, rep, p
+}
+
+func testConfig() hscc.Config {
+	cfg := hscc.DefaultConfig()
+	cfg.PoolPages = 64
+	cfg.MigrationInterval = sim.FromDuration(50 * time.Microsecond)
+	cfg.FetchThreshold = 2
+	return cfg
+}
+
+func TestAccessCountsAccumulate(t *testing.T) {
+	f, _, rep, _ := setup(t, testConfig())
+	rep.Step(5000)
+	// Counts are visible through spill stats after enough LLC misses.
+	if f.M.Stats.Get("hscc.count_spill") == 0 {
+		t.Fatal("no access counts spilled")
+	}
+}
+
+func TestMigrationMovesHotPages(t *testing.T) {
+	f, c, rep, _ := setup(t, testConfig())
+	c.Start()
+	if err := rep.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	if f.M.Stats.Get("hscc.intervals") == 0 {
+		t.Fatal("no migration intervals fired")
+	}
+	if f.M.Stats.Get("hscc.pages_migrated") == 0 {
+		t.Fatal("no pages migrated")
+	}
+	if c.CachedPages() == 0 {
+		t.Fatal("no pages cached in DRAM pool")
+	}
+}
+
+func TestMigratedPageServedFromDRAM(t *testing.T) {
+	f, c, rep, p := setup(t, testConfig())
+	c.Start()
+	rep.Step(20_000)
+	c.Stop()
+	if c.CachedPages() == 0 {
+		t.Skip("no migrations in this window")
+	}
+	// Find a migrated vpn via the page table: a page in an NVM VMA whose
+	// PTE now points at DRAM.
+	var migratedVA uint64
+	p.Table.ForEachMapped(func(va uint64, e pt.PTE) bool {
+		if !e.NVM() && f.M.Cfg.Layout.KindOf(mem.FrameBase(e.PFN())) == mem.DRAM {
+			if v := p.AS.Find(va); v != nil && v.Kind == mem.NVM {
+				migratedVA = va
+				return false
+			}
+		}
+		return true
+	})
+	if migratedVA == 0 {
+		t.Fatal("no migrated PTE found")
+	}
+	if _, err := f.M.Core.Access(migratedVA, false, 8); err != nil {
+		t.Fatalf("access to migrated page: %v", err)
+	}
+}
+
+func TestHigherThresholdMigratesFewer(t *testing.T) {
+	// Table V's shape: pages migrated falls sharply as the threshold
+	// rises.
+	run := func(th uint32) uint64 {
+		cfg := testConfig()
+		cfg.FetchThreshold = th
+		f, c, rep, _ := setup(t, cfg)
+		c.Start()
+		if err := rep.Run(); err != nil {
+			t.Fatal(err)
+		}
+		c.Stop()
+		return f.M.Stats.Get("hscc.pages_migrated")
+	}
+	low := run(1)
+	high := run(40)
+	if low == 0 {
+		t.Fatal("no migrations at low threshold")
+	}
+	if high >= low {
+		t.Fatalf("migrations: th=1 %d, th=40 %d (want fewer at higher threshold)", low, high)
+	}
+}
+
+func TestOSTimeChargedVsHWOnly(t *testing.T) {
+	// Fig. 6's normalization baseline: HW-only migrations take less
+	// simulated time than OS-charged migrations of the same workload.
+	run := func(chargeOS bool) sim.Cycles {
+		cfg := testConfig()
+		cfg.ChargeOSTime = chargeOS
+		f, c, rep, _ := setup(t, cfg)
+		c.Start()
+		if err := rep.Run(); err != nil {
+			t.Fatal(err)
+		}
+		c.Stop()
+		return f.M.Clock.Now()
+	}
+	withOS := run(true)
+	hwOnly := run(false)
+	if withOS <= hwOnly {
+		t.Fatalf("OS-charged run (%d) not slower than HW-only (%d)", withOS, hwOnly)
+	}
+}
+
+func TestPageCopyDominatesSelection(t *testing.T) {
+	// Table VI's shape: page copy takes the lion's share of OS migration
+	// time while the free list lasts.
+	f, c, rep, _ := setup(t, testConfig())
+	c.Start()
+	if err := rep.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	sel := f.M.Stats.Get("hscc.page_selection_cycles")
+	cp := f.M.Stats.Get("hscc.page_copy_cycles")
+	if cp == 0 {
+		t.Fatal("no copy cycles recorded")
+	}
+	if sel > cp {
+		t.Fatalf("selection (%d) exceeded copy (%d) with a fresh pool", sel, cp)
+	}
+}
+
+func TestDirtyCopyBackOnPoolPressure(t *testing.T) {
+	// With a tiny pool and a low threshold, reclaim must reach the dirty
+	// list and pay copy-backs.
+	cfg := testConfig()
+	cfg.PoolPages = 4
+	cfg.FetchThreshold = 1
+	f, c, rep, _ := setup(t, cfg)
+	c.Start()
+	if err := rep.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	if f.M.Stats.Get("hscc.select_free") == 0 {
+		t.Fatal("free list never used")
+	}
+	reclaims := f.M.Stats.Get("hscc.select_clean") + f.M.Stats.Get("hscc.select_dirty_copyback")
+	if reclaims == 0 {
+		t.Fatal("pool pressure never forced reclaim")
+	}
+}
+
+func TestPoolAccounting(t *testing.T) {
+	cfg := testConfig()
+	f, c, rep, _ := setup(t, cfg)
+	free0, clean0, dirty0 := c.PoolCounts()
+	if free0 != cfg.PoolPages || clean0 != 0 || dirty0 != 0 {
+		t.Fatalf("initial pool: %d/%d/%d", free0, clean0, dirty0)
+	}
+	c.Start()
+	rep.Run()
+	c.Stop()
+	free1, clean1, dirty1 := c.PoolCounts()
+	if free1+clean1+dirty1 != cfg.PoolPages {
+		t.Fatalf("pool frames leaked: %d+%d+%d != %d", free1, clean1, dirty1, cfg.PoolPages)
+	}
+	_ = f
+}
+
+func TestDataIntegrityAcrossMigration(t *testing.T) {
+	// Data written before migration must read back identically after the
+	// page moves to DRAM (and after copy-back to NVM under pressure).
+	f := core.NewSmall()
+	k := f.K
+	p, err := k.Spawn("integrity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Switch(p)
+	a, err := k.Mmap(p, 0, 8*mem.PageSize, gemos.ProtRead|gemos.ProtWrite, gemos.MapNVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.FetchThreshold = 0 // every touched page migrates
+	c, err := hscc.Attach(k, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write patterns, commit them (assumed data-consistency), then drive
+	// misses so counts accumulate.
+	for i := uint64(0); i < 8; i++ {
+		va := a + i*mem.PageSize
+		if _, err := f.M.Core.Access(va, true, 8); err != nil {
+			t.Fatal(err)
+		}
+		pa, _ := f.M.Core.VirtToPhys(va)
+		f.M.Ctrl.WriteU64(pa, 0xA5A5_0000+i)
+	}
+	// Evict from caches so subsequent accesses miss the LLC and count.
+	for i := 0; i < 3*64*1024; i++ {
+		f.M.Hier.Access(mem.PhysAddr(i*mem.LineSize), false)
+	}
+	for round := 0; round < 3; round++ {
+		for i := uint64(0); i < 8; i++ {
+			f.M.Core.Access(a+i*mem.PageSize, false, 8)
+		}
+	}
+	c.MigrationActivity()
+	if c.CachedPages() == 0 {
+		t.Fatal("no pages migrated")
+	}
+	for i := uint64(0); i < 8; i++ {
+		va := a + i*mem.PageSize
+		pa, ok := f.M.Core.VirtToPhys(va)
+		if !ok {
+			t.Fatalf("page %d unmapped after migration", i)
+		}
+		if got := f.M.Ctrl.ReadU64(pa); got != 0xA5A5_0000+i {
+			t.Fatalf("page %d data = %#x after migration", i, got)
+		}
+	}
+	c.Detach()
+	// After detach the mappings are NVM again with intact data.
+	for i := uint64(0); i < 8; i++ {
+		pa, _ := f.M.Core.VirtToPhys(a + i*mem.PageSize)
+		if f.M.Cfg.Layout.KindOf(pa) != mem.NVM {
+			t.Fatalf("page %d not back in NVM after detach", i)
+		}
+		if got := f.M.Ctrl.ReadU64(pa); got != 0xA5A5_0000+i {
+			t.Fatalf("page %d data = %#x after detach", i, got)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package machine
+
+import (
+	"testing"
+
+	"kindle/internal/cpu"
+	"kindle/internal/mem"
+	"kindle/internal/pt"
+	"kindle/internal/sim"
+	"kindle/internal/tlb"
+)
+
+// frameAlloc is a minimal allocator over the machine layout for tests.
+type frameAlloc struct {
+	layout mem.Layout
+	nextD  uint64
+	nextN  uint64
+}
+
+func newFrameAlloc(l mem.Layout) *frameAlloc {
+	return &frameAlloc{layout: l, nextD: mem.FrameNumber(l.DRAMBase), nextN: mem.FrameNumber(l.NVMBase)}
+}
+
+func (a *frameAlloc) AllocFrame(k mem.Kind) (uint64, error) {
+	if k == mem.DRAM {
+		pfn := a.nextD
+		a.nextD++
+		return pfn, nil
+	}
+	pfn := a.nextN
+	a.nextN++
+	return pfn, nil
+}
+func (a *frameAlloc) FreeFrame(pfn uint64) {}
+
+// demandPager installs a fresh frame on every fault.
+type demandPager struct {
+	m     *Machine
+	table *pt.Table
+	alloc *frameAlloc
+	kind  mem.Kind
+	count int
+}
+
+func (p *demandPager) HandlePageFault(va uint64, write bool) (sim.Cycles, error) {
+	p.count++
+	pfn, err := p.alloc.AllocFrame(p.kind)
+	if err != nil {
+		return 0, err
+	}
+	flags := uint64(pt.FlagWritable | pt.FlagUser)
+	if p.kind == mem.NVM {
+		flags |= pt.FlagNVM
+	}
+	_, _, err = p.table.Install(va&^(mem.PageSize-1), pfn, flags)
+	return 500, err
+}
+
+func newBooted(t testing.TB, kind mem.Kind) (*Machine, *pt.Table, *demandPager) {
+	t.Helper()
+	m := New(TestConfig())
+	alloc := newFrameAlloc(m.Cfg.Layout)
+	table, err := pt.New(m, alloc, mem.DRAM, m.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pager := &demandPager{m: m, table: table, alloc: alloc, kind: kind}
+	m.Core.SetFaultHandler(pager)
+	m.Core.SetAddressSpace(table)
+	return m, table, pager
+}
+
+func TestDemandPagingAccess(t *testing.T) {
+	m, table, pager := newBooted(t, mem.DRAM)
+	lat, err := m.Core.Access(0x400000, true, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat == 0 {
+		t.Fatal("no latency charged")
+	}
+	if pager.count != 1 {
+		t.Fatalf("faults = %d, want 1", pager.count)
+	}
+	if table.Mapped() != 1 {
+		t.Fatalf("mapped = %d", table.Mapped())
+	}
+	// Second access: TLB hit, no fault.
+	lat2, err := m.Core.Access(0x400000, false, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat2 >= lat {
+		t.Fatalf("warm access (%d) not cheaper than cold (%d)", lat2, lat)
+	}
+	if pager.count != 1 {
+		t.Fatal("extra fault on warm access")
+	}
+}
+
+func TestAccessSpansPages(t *testing.T) {
+	m, _, pager := newBooted(t, mem.DRAM)
+	// 16 bytes straddling a page boundary → two faults.
+	if _, err := m.Core.Access(2*mem.PageSize-8, true, 16); err != nil {
+		t.Fatal(err)
+	}
+	if pager.count != 2 {
+		t.Fatalf("faults = %d, want 2", pager.count)
+	}
+}
+
+func TestAccessMultiLine(t *testing.T) {
+	m, _, _ := newBooted(t, mem.DRAM)
+	// 256-byte access touches 4 or 5 lines; the latency must exceed a
+	// single-line warm access.
+	m.Core.Access(0x1000, true, 256)
+	warmWide, _ := m.Core.Access(0x1000, false, 256)
+	warmOne, _ := m.Core.Access(0x1000, false, 8)
+	if warmWide <= warmOne {
+		t.Fatalf("multi-line access (%d) not dearer than single (%d)", warmWide, warmOne)
+	}
+}
+
+func TestWriteToReadOnlyFaults(t *testing.T) {
+	m, table, _ := newBooted(t, mem.DRAM)
+	alloc := newFrameAlloc(m.Cfg.Layout)
+	pfn, _ := alloc.AllocFrame(mem.DRAM)
+	table.Install(0x7000, pfn, pt.FlagUser) // not writable
+	if _, err := m.Core.Access(0x7000, true, 1); err == nil {
+		t.Fatal("write to read-only page succeeded")
+	}
+	if _, err := m.Core.Access(0x7000, false, 1); err != nil {
+		t.Fatalf("read of read-only page failed: %v", err)
+	}
+}
+
+func TestNVMAccessSlowerThanDRAM(t *testing.T) {
+	md, _, _ := newBooted(t, mem.DRAM)
+	mn, _, _ := newBooted(t, mem.NVM)
+	// Touch many pages cold; NVM-backed machine must accumulate more time
+	// (reads miss to the PCM array).
+	for i := uint64(0); i < 64; i++ {
+		md.Core.Access(0x100000+i*mem.PageSize, false, 8)
+		mn.Core.Access(0x100000+i*mem.PageSize, false, 8)
+	}
+	if mn.Clock.Now() <= md.Clock.Now() {
+		t.Fatalf("NVM machine (%d) not slower than DRAM machine (%d)", mn.Clock.Now(), md.Clock.Now())
+	}
+}
+
+func TestNVMFlagPropagatesToTLB(t *testing.T) {
+	m, _, _ := newBooted(t, mem.NVM)
+	m.Core.Access(0x9000, true, 1)
+	e, _ := m.TLB.Lookup(0x9000 / mem.PageSize)
+	if e == nil || !e.NVM {
+		t.Fatal("TLB entry missing NVM tag")
+	}
+}
+
+func TestHooksFire(t *testing.T) {
+	m, _, _ := newBooted(t, mem.NVM)
+	h := &recordingHooks{}
+	m.Core.SetHooks(h)
+	m.Core.Access(0x9000, true, 1)
+	if h.translates == 0 {
+		t.Fatal("OnTranslate never fired")
+	}
+	if h.llcMisses == 0 {
+		t.Fatal("OnLLCMiss never fired on a cold access")
+	}
+	warmBefore := h.llcMisses
+	m.Core.Access(0x9000, true, 1)
+	if h.llcMisses != warmBefore {
+		t.Fatal("warm access counted an LLC miss")
+	}
+}
+
+type recordingHooks struct {
+	translates int
+	llcMisses  int
+}
+
+func (h *recordingHooks) OnTranslate(e *tlb.Entry, va uint64, write bool) { h.translates++ }
+func (h *recordingHooks) OnLLCMiss(e *tlb.Entry, va uint64, write bool)   { h.llcMisses++ }
+
+func TestKernelTimeAttribution(t *testing.T) {
+	m, _, _ := newBooted(t, mem.DRAM)
+	m.Core.EnterKernel()
+	m.Core.Access(0x1000, true, 8)
+	m.Core.ExitKernel()
+	if m.Stats.Get("cpu.kernel_cycles") == 0 {
+		t.Fatal("no kernel cycles recorded")
+	}
+	user := m.Stats.Get("cpu.user_cycles")
+	m.Core.Access(0x1000, false, 8)
+	if m.Stats.Get("cpu.user_cycles") <= user {
+		t.Fatal("no user cycles recorded")
+	}
+}
+
+func TestMSRs(t *testing.T) {
+	m := New(TestConfig())
+	if m.Core.ReadMSR(cpu.MSRSSPEnable) != 0 {
+		t.Fatal("MSR not zero initially")
+	}
+	m.Core.WriteMSR(cpu.MSRSSPRangeBase, 0x1000)
+	if m.Core.ReadMSR(cpu.MSRSSPRangeBase) != 0x1000 {
+		t.Fatal("MSR write lost")
+	}
+}
+
+func TestClwbFencePersistence(t *testing.T) {
+	m, _, _ := newBooted(t, mem.NVM)
+	m.Core.Access(0x9000, true, 8)
+	pa, ok := m.Core.VirtToPhys(0x9000)
+	if !ok {
+		t.Fatal("VirtToPhys failed")
+	}
+	m.Ctrl.Write(pa, []byte("persist!"))
+	m.Core.Clwb(pa)
+	m.Core.Fence()
+	m.Crash()
+	got := make([]byte, 8)
+	m.Ctrl.Read(pa, got)
+	if string(got) != "persist!" {
+		t.Fatalf("after crash: %q", got)
+	}
+}
+
+func TestCrashLosesVolatileState(t *testing.T) {
+	m, _, _ := newBooted(t, mem.DRAM)
+	m.Core.Access(0x1000, true, 8)
+	m.Core.Regs.GPR[cpu.RAX] = 42
+	m.Events.Schedule(m.Clock.Now()+100, "x", func(sim.Cycles) {})
+	m.Crash()
+	if m.Core.Regs.GPR[cpu.RAX] != 0 {
+		t.Fatal("registers survived crash")
+	}
+	if m.Events.Len() != 0 {
+		t.Fatal("events survived crash")
+	}
+	if m.Core.AddressSpace() != nil {
+		t.Fatal("PTBR survived crash")
+	}
+	if m.BootGeneration() != 1 {
+		t.Fatalf("boot generation = %d", m.BootGeneration())
+	}
+	// Access without an address space fails cleanly.
+	if _, err := m.Core.Access(0x1000, false, 1); err == nil {
+		t.Fatal("access succeeded with no address space")
+	}
+}
+
+func TestTickFiresDueEvents(t *testing.T) {
+	m := New(TestConfig())
+	fired := false
+	m.Events.Schedule(m.Clock.Now()+10, "t", func(sim.Cycles) { fired = true })
+	m.Tick()
+	if fired {
+		t.Fatal("event fired early")
+	}
+	m.Clock.Advance(10)
+	m.Tick()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Layout.DRAMSize != 3*mem.GiB || cfg.Layout.NVMSize != 2*mem.GiB {
+		t.Fatal("layout != Table I")
+	}
+	if cfg.NVM.WriteBuf != 48 || cfg.NVM.ReadBuf != 64 {
+		t.Fatal("NVM buffers != Table I")
+	}
+	if cfg.Caches.L1.Size != 32*mem.KiB || cfg.Caches.L2.Size != 512*mem.KiB || cfg.Caches.LLC.Size != 2*mem.MiB {
+		t.Fatal("cache sizes != paper")
+	}
+}
+
+func TestZeroSizeAccessRejected(t *testing.T) {
+	m, _, _ := newBooted(t, mem.DRAM)
+	if _, err := m.Core.Access(0x1000, false, 0); err == nil {
+		t.Fatal("zero-size access accepted")
+	}
+}
+
+func BenchmarkWarmAccess(b *testing.B) {
+	m, _, _ := newBooted(b, mem.DRAM)
+	m.Core.Access(0x1000, true, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Core.Access(0x1000, false, 8)
+	}
+}
+
+func BenchmarkColdPageStream(b *testing.B) {
+	// Wrap the virtual stream so arbitrary b.N stays within the small
+	// test layout's frame pool (the bump allocator holds 8K pages here).
+	m, _, _ := newBooted(b, mem.DRAM)
+	const window = 8192
+	for i := 0; i < b.N; i++ {
+		m.Core.Access(uint64(0x100000)+uint64(i%window)*mem.PageSize, true, 8)
+	}
+}

@@ -1,0 +1,112 @@
+package mem
+
+import "fmt"
+
+// Backing is the functional content store for physical memory. Frames are
+// allocated lazily so a 5 GB machine does not cost 5 GB of host memory;
+// only frames actually written exist. Reads of untouched memory return
+// zeroes, matching real hardware after the memory controller scrubs.
+type Backing struct {
+	frames map[uint64]*[PageSize]byte
+}
+
+// NewBacking returns an empty content store.
+func NewBacking() *Backing {
+	return &Backing{frames: make(map[uint64]*[PageSize]byte)}
+}
+
+// Read copies len(dst) bytes at pa into dst. Crossing frame boundaries is
+// supported.
+func (b *Backing) Read(pa PhysAddr, dst []byte) {
+	for len(dst) > 0 {
+		pfn := FrameNumber(pa)
+		off := uint64(pa) % PageSize
+		n := PageSize - off
+		if uint64(len(dst)) < n {
+			n = uint64(len(dst))
+		}
+		if f := b.frames[pfn]; f != nil {
+			copy(dst[:n], f[off:off+n])
+		} else {
+			for i := uint64(0); i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		pa += PhysAddr(n)
+	}
+}
+
+// Write copies src into memory at pa.
+func (b *Backing) Write(pa PhysAddr, src []byte) {
+	for len(src) > 0 {
+		pfn := FrameNumber(pa)
+		off := uint64(pa) % PageSize
+		n := PageSize - off
+		if uint64(len(src)) < n {
+			n = uint64(len(src))
+		}
+		f := b.frames[pfn]
+		if f == nil {
+			f = new([PageSize]byte)
+			b.frames[pfn] = f
+		}
+		copy(f[off:off+n], src[:n])
+		src = src[n:]
+		pa += PhysAddr(n)
+	}
+}
+
+// ReadU64 reads a little-endian uint64 at pa.
+func (b *Backing) ReadU64(pa PhysAddr) uint64 {
+	var buf [8]byte
+	b.Read(pa, buf[:])
+	return uint64(buf[0]) | uint64(buf[1])<<8 | uint64(buf[2])<<16 | uint64(buf[3])<<24 |
+		uint64(buf[4])<<32 | uint64(buf[5])<<40 | uint64(buf[6])<<48 | uint64(buf[7])<<56
+}
+
+// WriteU64 writes a little-endian uint64 at pa.
+func (b *Backing) WriteU64(pa PhysAddr, v uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	b.Write(pa, buf[:])
+}
+
+// ZeroFrame clears an entire 4 KiB frame (releasing backing storage).
+func (b *Backing) ZeroFrame(pfn uint64) { delete(b.frames, pfn) }
+
+// CopyFrame copies a whole frame from src to dst frame numbers.
+func (b *Backing) CopyFrame(dstPFN, srcPFN uint64) {
+	src := b.frames[srcPFN]
+	if src == nil {
+		delete(b.frames, dstPFN)
+		return
+	}
+	dst := b.frames[dstPFN]
+	if dst == nil {
+		dst = new([PageSize]byte)
+		b.frames[dstPFN] = dst
+	}
+	*dst = *src
+}
+
+// DropRange forgets contents of every frame that overlaps [base, base+size).
+// Machine crash uses this to lose DRAM.
+func (b *Backing) DropRange(base PhysAddr, size uint64) {
+	first := FrameNumber(base)
+	last := FrameNumber(base + PhysAddr(size) - 1)
+	for pfn := range b.frames {
+		if pfn >= first && pfn <= last {
+			delete(b.frames, pfn)
+		}
+	}
+}
+
+// PopulatedFrames reports how many frames hold data (test/diagnostic aid).
+func (b *Backing) PopulatedFrames() int { return len(b.frames) }
+
+func (b *Backing) String() string {
+	return fmt.Sprintf("mem.Backing{frames: %d}", len(b.frames))
+}

@@ -1,0 +1,91 @@
+package mem
+
+import (
+	"fmt"
+
+	"kindle/internal/sim"
+)
+
+// Controller is the memory-side port of the machine: it routes line-sized
+// timing requests to the DRAM or NVM device model and byte-ranged functional
+// requests to the persist-domain-wrapped backing store.
+type Controller struct {
+	Layout  Layout
+	clock   *sim.Clock
+	stats   *sim.Stats
+	dram    *DRAMSim
+	nvm     *NVMSim
+	domain  *PersistDomain
+	backing *Backing
+}
+
+// NewController assembles the full memory system for layout.
+func NewController(layout Layout, dramT DRAMTiming, nvmT NVMTiming, clock *sim.Clock, stats *sim.Stats) *Controller {
+	backing := NewBacking()
+	return &Controller{
+		Layout:  layout,
+		clock:   clock,
+		stats:   stats,
+		dram:    NewDRAMSim(dramT, layout.DRAMBase, stats),
+		nvm:     NewNVMSim(nvmT, clock, stats),
+		domain:  NewPersistDomain(layout, backing, stats),
+		backing: backing,
+	}
+}
+
+// AccessLine returns the device latency for one 64-byte line at pa. It is
+// the timing path used by the cache hierarchy on misses and write-backs.
+func (c *Controller) AccessLine(pa PhysAddr, write bool) sim.Cycles {
+	switch c.Layout.KindOf(pa) {
+	case DRAM:
+		return c.dram.Access(pa, write)
+	case NVM:
+		return c.nvm.Access(pa, write)
+	default:
+		panic(fmt.Sprintf("mem: access to unmapped physical address %#x", pa))
+	}
+}
+
+// Read performs a functional read of cache-visible data.
+func (c *Controller) Read(pa PhysAddr, dst []byte) { c.domain.Read(pa, dst) }
+
+// Write performs a functional write with cache-visible semantics (volatile
+// for NVM until committed).
+func (c *Controller) Write(pa PhysAddr, src []byte) { c.domain.Write(pa, src) }
+
+// ReadU64 reads a little-endian uint64 (cache-visible).
+func (c *Controller) ReadU64(pa PhysAddr) uint64 {
+	var buf [8]byte
+	c.domain.Read(pa, buf[:])
+	return uint64(buf[0]) | uint64(buf[1])<<8 | uint64(buf[2])<<16 | uint64(buf[3])<<24 |
+		uint64(buf[4])<<32 | uint64(buf[5])<<40 | uint64(buf[6])<<48 | uint64(buf[7])<<56
+}
+
+// WriteU64 writes a little-endian uint64 (cache-visible).
+func (c *Controller) WriteU64(pa PhysAddr, v uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	c.domain.Write(pa, buf[:])
+}
+
+// Domain exposes the persist domain (commit, crash, pending queries).
+func (c *Controller) Domain() *PersistDomain { return c.domain }
+
+// NVM exposes the NVM device model (drain latency for fences).
+func (c *Controller) NVM() *NVMSim { return c.nvm }
+
+// DRAM exposes the DRAM device model.
+func (c *Controller) DRAM() *DRAMSim { return c.dram }
+
+// Backing exposes the raw functional store (page-copy helpers).
+func (c *Controller) Backing() *Backing { return c.backing }
+
+// Crash applies power-failure semantics to the whole memory system: DRAM
+// and non-committed NVM lines are lost; device timing state resets.
+func (c *Controller) Crash() {
+	c.domain.Crash()
+	c.dram.Reset()
+	c.nvm.Reset()
+}

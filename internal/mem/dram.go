@@ -1,0 +1,101 @@
+package mem
+
+import "kindle/internal/sim"
+
+// DRAMTiming holds the DDR4-2400 16x4 device parameters used by the paper
+// (Table I). Values are nanoseconds of the standard JEDEC timings.
+type DRAMTiming struct {
+	TRCD  float64 // ACT to internal read/write
+	TCAS  float64 // CAS latency
+	TRP   float64 // precharge
+	Burst float64 // data burst transfer time for one 64B line
+	Banks int     // banks per rank used for row-buffer interleave
+	RowSz uint64  // row (page) size per bank in bytes
+}
+
+// DDR4_2400 returns DDR4-2400 timing: tCL-tRCD-tRP = 17-17-17 DRAM clocks at
+// 1200 MHz → 14.16 ns each; a 64-byte burst (BL8) moves in 8 beats at
+// 2400 MT/s → 3.33 ns.
+func DDR4_2400() DRAMTiming {
+	return DRAMTiming{
+		TRCD:  14.16,
+		TCAS:  14.16,
+		TRP:   14.16,
+		Burst: 3.33,
+		Banks: 16,
+		RowSz: 8 * KiB,
+	}
+}
+
+// DRAMSim is the timing model of the DRAM device behind the controller. It
+// tracks an open row per bank; accesses hitting the open row pay CAS only,
+// misses pay precharge+activate+CAS. This reproduces the locality behaviour
+// (sequential scans fast, random pointer-chasing slow) without simulating
+// command-bus scheduling.
+type DRAMSim struct {
+	timing  DRAMTiming
+	base    PhysAddr
+	openRow []int64 // open row id per bank, -1 when closed
+	stats   *sim.Stats
+
+	rowHitCycles  sim.Cycles
+	rowMissCycles sim.Cycles
+	burstCycles   sim.Cycles
+}
+
+// NewDRAMSim builds the device model for the region starting at base.
+func NewDRAMSim(t DRAMTiming, base PhysAddr, stats *sim.Stats) *DRAMSim {
+	d := &DRAMSim{
+		timing:  t,
+		base:    base,
+		openRow: make([]int64, t.Banks),
+		stats:   stats,
+	}
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
+	d.rowHitCycles = sim.FromNanos(t.TCAS)
+	d.rowMissCycles = sim.FromNanos(t.TRP + t.TRCD + t.TCAS)
+	d.burstCycles = sim.FromNanos(t.Burst)
+	return d
+}
+
+// bankAndRow decodes the bank index and row id of a line address. Rows are
+// interleaved across banks at row granularity, the common open-page mapping.
+func (d *DRAMSim) bankAndRow(pa PhysAddr) (bank int, row int64) {
+	off := uint64(pa - d.base)
+	rowGlobal := off / d.timing.RowSz
+	return int(rowGlobal % uint64(d.timing.Banks)), int64(rowGlobal / uint64(d.timing.Banks))
+}
+
+// Access returns the device latency for one 64-byte line transfer at pa.
+// Write and read share timing at the device level for DRAM.
+func (d *DRAMSim) Access(pa PhysAddr, write bool) sim.Cycles {
+	bank, row := d.bankAndRow(pa)
+	lat := d.burstCycles
+	if d.openRow[bank] == row {
+		lat += d.rowHitCycles
+		d.stats.Inc("dram.row_hit")
+	} else {
+		if d.openRow[bank] == -1 {
+			lat += sim.FromNanos(d.timing.TRCD + d.timing.TCAS)
+		} else {
+			lat += d.rowMissCycles
+		}
+		d.openRow[bank] = row
+		d.stats.Inc("dram.row_miss")
+	}
+	if write {
+		d.stats.Inc("dram.write")
+	} else {
+		d.stats.Inc("dram.read")
+	}
+	return lat
+}
+
+// Reset closes all rows (power-up state).
+func (d *DRAMSim) Reset() {
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
+}

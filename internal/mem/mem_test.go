@@ -1,0 +1,466 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"kindle/internal/sim"
+)
+
+func TestLayoutKinds(t *testing.T) {
+	l := DefaultLayout()
+	if l.Total() != 5*GiB {
+		t.Fatalf("total = %d, want 5GiB", l.Total())
+	}
+	cases := []struct {
+		pa   PhysAddr
+		want Kind
+	}{
+		{0, DRAM},
+		{3*GiB - 1, DRAM},
+		{3 * GiB, NVM},
+		{5*GiB - 1, NVM},
+		{5 * GiB, Hole},
+	}
+	for _, tc := range cases {
+		if got := l.KindOf(tc.pa); got != tc.want {
+			t.Errorf("KindOf(%#x) = %v, want %v", tc.pa, got, tc.want)
+		}
+	}
+	if !l.Contains(0, PageSize) || l.Contains(3*GiB-1, 2) || l.Contains(5*GiB-1, 2) {
+		t.Fatal("Contains misjudges region boundaries")
+	}
+	if l.Contains(0, 0) {
+		t.Fatal("Contains(_, 0) should be false")
+	}
+}
+
+func TestE820(t *testing.T) {
+	regions := DefaultLayout().E820()
+	if len(regions) != 2 {
+		t.Fatalf("e820 entries = %d, want 2", len(regions))
+	}
+	if regions[0].Kind != DRAM || regions[0].Size != 3*GiB {
+		t.Fatalf("first region %+v", regions[0])
+	}
+	if regions[1].Kind != NVM || regions[1].Base != 3*GiB || regions[1].Size != 2*GiB {
+		t.Fatalf("second region %+v", regions[1])
+	}
+	if regions[0].String() == "" || DRAM.String() != "DRAM" || NVM.String() != "NVM" || Hole.String() != "hole" {
+		t.Fatal("String() renderings broken")
+	}
+}
+
+func TestFrameHelpers(t *testing.T) {
+	if FrameNumber(PageSize+5) != 1 || FrameBase(3) != 3*PageSize {
+		t.Fatal("frame helpers wrong")
+	}
+	if LineBase(130) != 128 || PageBase(PageSize+17) != PageSize {
+		t.Fatal("alignment helpers wrong")
+	}
+	if LinesPerPage != 64 {
+		t.Fatalf("LinesPerPage = %d, want 64", LinesPerPage)
+	}
+}
+
+func TestBackingReadWrite(t *testing.T) {
+	b := NewBacking()
+	data := []byte("hello hybrid memory")
+	// Write across a frame boundary.
+	pa := PhysAddr(PageSize - 5)
+	b.Write(pa, data)
+	got := make([]byte, len(data))
+	b.Read(pa, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("cross-frame round trip: got %q", got)
+	}
+	// Untouched memory reads zero.
+	z := make([]byte, 16)
+	b.Read(10*PageSize, z)
+	for _, v := range z {
+		if v != 0 {
+			t.Fatal("untouched memory not zero")
+		}
+	}
+}
+
+func TestBackingU64(t *testing.T) {
+	b := NewBacking()
+	b.WriteU64(1000, 0xDEADBEEFCAFEF00D)
+	if got := b.ReadU64(1000); got != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("u64 round trip = %#x", got)
+	}
+	if b.ReadU64(5000) != 0 {
+		t.Fatal("untouched u64 not zero")
+	}
+}
+
+func TestBackingRoundTripProperty(t *testing.T) {
+	b := NewBacking()
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		pa := PhysAddr(off)
+		b.Write(pa, data)
+		got := make([]byte, len(data))
+		b.Read(pa, got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackingCopyZeroFrame(t *testing.T) {
+	b := NewBacking()
+	b.Write(FrameBase(2), []byte{1, 2, 3})
+	b.CopyFrame(5, 2)
+	got := make([]byte, 3)
+	b.Read(FrameBase(5), got)
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("CopyFrame: %v", got)
+	}
+	// Copy from an unpopulated frame zeroes the destination.
+	b.CopyFrame(5, 9)
+	b.Read(FrameBase(5), got)
+	if !bytes.Equal(got, []byte{0, 0, 0}) {
+		t.Fatalf("CopyFrame from empty: %v", got)
+	}
+	b.Write(FrameBase(7), []byte{9})
+	b.ZeroFrame(7)
+	one := make([]byte, 1)
+	b.Read(FrameBase(7), one)
+	if one[0] != 0 {
+		t.Fatal("ZeroFrame did not clear")
+	}
+}
+
+func TestBackingDropRange(t *testing.T) {
+	b := NewBacking()
+	b.Write(FrameBase(1), []byte{1})
+	b.Write(FrameBase(10), []byte{2})
+	b.DropRange(FrameBase(0), 5*PageSize)
+	one := make([]byte, 1)
+	b.Read(FrameBase(1), one)
+	if one[0] != 0 {
+		t.Fatal("DropRange missed frame 1")
+	}
+	b.Read(FrameBase(10), one)
+	if one[0] != 2 {
+		t.Fatal("DropRange dropped out-of-range frame")
+	}
+}
+
+func TestDRAMRowBuffer(t *testing.T) {
+	stats := sim.NewStats()
+	d := NewDRAMSim(DDR4_2400(), 0, stats)
+	// First access opens the row.
+	first := d.Access(0, false)
+	// Second access in the same row is a row hit and strictly cheaper.
+	hit := d.Access(64, false)
+	if hit >= first {
+		t.Fatalf("row hit (%d) not cheaper than row open (%d)", hit, first)
+	}
+	// Access to a different row in the same bank is a row miss, the most
+	// expensive case.
+	rowSz := DDR4_2400().RowSz
+	banks := uint64(DDR4_2400().Banks)
+	miss := d.Access(PhysAddr(rowSz*banks), false) // same bank, next row
+	if miss <= hit {
+		t.Fatalf("row miss (%d) not dearer than hit (%d)", miss, hit)
+	}
+	if stats.Get("dram.row_hit") != 1 || stats.Get("dram.row_miss") != 2 {
+		t.Fatalf("row stats: hit=%d miss=%d", stats.Get("dram.row_hit"), stats.Get("dram.row_miss"))
+	}
+	d.Reset()
+	if got := d.Access(0, true); got != first {
+		t.Fatalf("after Reset, access = %d, want %d (row closed again)", got, first)
+	}
+}
+
+func TestNVMReadWriteAsymmetry(t *testing.T) {
+	clock := sim.NewClock()
+	stats := sim.NewStats()
+	n := NewNVMSim(PCM(), clock, stats)
+	r := n.Access(0, false)
+	w := n.Access(64, true)
+	// An isolated write is absorbed by the buffer: cheaper than an array
+	// read from the requester's perspective.
+	if w >= r {
+		t.Fatalf("buffered write (%d) should beat array read (%d)", w, r)
+	}
+	if r < sim.FromNanos(150) {
+		t.Fatalf("read latency %d below array time", r)
+	}
+}
+
+func TestNVMWriteBufferFillsAndStalls(t *testing.T) {
+	clock := sim.NewClock()
+	stats := sim.NewStats()
+	n := NewNVMSim(PCM(), clock, stats)
+	// Issue a burst of writes with no time passing: buffer must fill at
+	// its capacity (48) and then writes must stall.
+	for i := 0; i < PCM().WriteBuf; i++ {
+		lat := n.Access(PhysAddr(i*64), true)
+		clock.Advance(lat)
+	}
+	if stats.Get("nvm.write_stall") != 0 {
+		t.Fatal("stalled before buffer was full")
+	}
+	lat := n.Access(PhysAddr(999*64), true)
+	if stats.Get("nvm.write_stall") == 0 {
+		t.Fatal("no stall when buffer full")
+	}
+	if lat <= sim.FromNanos(PCM().Burst) {
+		t.Fatalf("stalled write latency %d suspiciously low", lat)
+	}
+}
+
+func TestNVMWriteBufferDrains(t *testing.T) {
+	clock := sim.NewClock()
+	stats := sim.NewStats()
+	n := NewNVMSim(PCM(), clock, stats)
+	for i := 0; i < 10; i++ {
+		clock.Advance(n.Access(PhysAddr(i*64), true))
+	}
+	if n.Pending() == 0 {
+		t.Fatal("no pending writes after burst")
+	}
+	clock.Advance(n.DrainLatency())
+	if n.Pending() != 0 {
+		t.Fatalf("pending = %d after waiting for drain", n.Pending())
+	}
+	if n.DrainLatency() != 0 {
+		t.Fatal("drain latency nonzero when buffer empty")
+	}
+}
+
+func TestNVMReadHitsWriteBuffer(t *testing.T) {
+	clock := sim.NewClock()
+	stats := sim.NewStats()
+	n := NewNVMSim(PCM(), clock, stats)
+	n.Access(128, true)
+	lat := n.Access(128, false)
+	if lat >= sim.FromNanos(PCM().ReadNanos) {
+		t.Fatalf("read of buffered line paid array latency: %d", lat)
+	}
+	if stats.Get("nvm.read_wbuf_hit") != 1 {
+		t.Fatal("write-buffer read hit not counted")
+	}
+}
+
+func TestPersistDomainCommitAndCrash(t *testing.T) {
+	l := SmallLayout()
+	stats := sim.NewStats()
+	b := NewBacking()
+	p := NewPersistDomain(l, b, stats)
+	nvmPA := l.NVMBase
+
+	p.Write(nvmPA, []byte("durable?"))
+	// Cache-visible read sees pending data.
+	got := make([]byte, 8)
+	p.Read(nvmPA, got)
+	if string(got) != "durable?" {
+		t.Fatalf("pending read: %q", got)
+	}
+	// Not yet committed: crash loses it.
+	p.Crash()
+	p.Read(nvmPA, got)
+	if string(got) == "durable?" {
+		t.Fatal("uncommitted NVM write survived crash")
+	}
+
+	p.Write(nvmPA, []byte("durable!"))
+	p.CommitLine(nvmPA)
+	p.Crash()
+	p.Read(nvmPA, got)
+	if string(got) != "durable!" {
+		t.Fatalf("committed NVM write lost: %q", got)
+	}
+}
+
+func TestPersistDomainDRAMLostOnCrash(t *testing.T) {
+	l := SmallLayout()
+	p := NewPersistDomain(l, NewBacking(), sim.NewStats())
+	p.Write(l.DRAMBase+100, []byte{42})
+	p.Crash()
+	got := make([]byte, 1)
+	p.Read(l.DRAMBase+100, got)
+	if got[0] != 0 {
+		t.Fatal("DRAM contents survived crash")
+	}
+}
+
+func TestPersistDomainCommitRange(t *testing.T) {
+	l := SmallLayout()
+	p := NewPersistDomain(l, NewBacking(), sim.NewStats())
+	for i := 0; i < 4; i++ {
+		p.Write(l.NVMBase+PhysAddr(i*LineSize), []byte{byte(i + 1)})
+	}
+	if p.PendingLines() != 4 {
+		t.Fatalf("pending = %d, want 4", p.PendingLines())
+	}
+	if n := p.PendingInRange(l.NVMBase, 2*LineSize); n != 2 {
+		t.Fatalf("PendingInRange = %d, want 2", n)
+	}
+	n := p.CommitRange(l.NVMBase, 2*LineSize)
+	if n != 2 || p.PendingLines() != 2 {
+		t.Fatalf("CommitRange committed %d, pending %d", n, p.PendingLines())
+	}
+	p.Crash()
+	got := make([]byte, 1)
+	p.Read(l.NVMBase, got)
+	if got[0] != 1 {
+		t.Fatal("committed line lost")
+	}
+	p.Read(l.NVMBase+2*LineSize, got)
+	if got[0] != 0 {
+		t.Fatal("uncommitted line survived")
+	}
+}
+
+func TestPersistDomainCommitAll(t *testing.T) {
+	l := SmallLayout()
+	p := NewPersistDomain(l, NewBacking(), sim.NewStats())
+	for i := 0; i < 8; i++ {
+		p.Write(l.NVMBase+PhysAddr(i*LineSize), []byte{0xAB})
+	}
+	if got := p.CommitAll(); got != 8 {
+		t.Fatalf("CommitAll = %d, want 8", got)
+	}
+	if p.PendingLines() != 0 {
+		t.Fatal("pending lines remain after CommitAll")
+	}
+	// Idempotent on clean lines.
+	p.CommitLine(l.NVMBase)
+	if got := p.CommitAll(); got != 0 {
+		t.Fatalf("CommitAll on clean domain = %d", got)
+	}
+}
+
+func TestPersistPropertyCommittedSurvives(t *testing.T) {
+	l := SmallLayout()
+	p := NewPersistDomain(l, NewBacking(), sim.NewStats())
+	f := func(lineIdx uint8, val byte, commit bool) bool {
+		pa := l.NVMBase + PhysAddr(uint64(lineIdx)*LineSize)
+		p.Write(pa, []byte{val})
+		if commit {
+			p.CommitLine(pa)
+		}
+		p.Crash()
+		got := make([]byte, 1)
+		p.Read(pa, got)
+		if commit {
+			return got[0] == val
+		}
+		// Without commit, the line must hold whatever was last committed
+		// there (possibly from an earlier iteration) — never the fresh val
+		// unless val coincides. We can only assert the value equals the
+		// committed image.
+		comm := make([]byte, 1)
+		p.ReadCommitted(pa, comm)
+		return got[0] == comm[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerRouting(t *testing.T) {
+	clock := sim.NewClock()
+	stats := sim.NewStats()
+	c := NewController(SmallLayout(), DDR4_2400(), PCM(), clock, stats)
+	dLat := c.AccessLine(0, false)
+	nLat := c.AccessLine(c.Layout.NVMBase, false)
+	if nLat <= dLat {
+		t.Fatalf("NVM read (%d) should be slower than DRAM read (%d)", nLat, dLat)
+	}
+	if stats.Get("dram.read") != 1 || stats.Get("nvm.read") != 1 {
+		t.Fatal("routing stats wrong")
+	}
+}
+
+func TestControllerUnmappedPanics(t *testing.T) {
+	c := NewController(SmallLayout(), DDR4_2400(), PCM(), sim.NewClock(), sim.NewStats())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmapped access did not panic")
+		}
+	}()
+	c.AccessLine(PhysAddr(10*GiB), false)
+}
+
+func TestControllerFunctionalU64(t *testing.T) {
+	c := NewController(SmallLayout(), DDR4_2400(), PCM(), sim.NewClock(), sim.NewStats())
+	c.WriteU64(c.Layout.NVMBase+8, 12345)
+	if got := c.ReadU64(c.Layout.NVMBase + 8); got != 12345 {
+		t.Fatalf("controller u64 = %d", got)
+	}
+	c.Domain().CommitLine(c.Layout.NVMBase + 8)
+	c.Crash()
+	if got := c.ReadU64(c.Layout.NVMBase + 8); got != 12345 {
+		t.Fatalf("after crash committed u64 = %d", got)
+	}
+}
+
+func BenchmarkDRAMAccessSequential(b *testing.B) {
+	d := NewDRAMSim(DDR4_2400(), 0, sim.NewStats())
+	for i := 0; i < b.N; i++ {
+		d.Access(PhysAddr((i*64)%(1<<26)), false)
+	}
+}
+
+func BenchmarkNVMWrite(b *testing.B) {
+	clock := sim.NewClock()
+	n := NewNVMSim(PCM(), clock, sim.NewStats())
+	for i := 0; i < b.N; i++ {
+		clock.Advance(n.Access(PhysAddr((i*64)%(1<<26)), true))
+	}
+}
+
+func BenchmarkPersistDomainWrite(b *testing.B) {
+	l := SmallLayout()
+	p := NewPersistDomain(l, NewBacking(), sim.NewStats())
+	buf := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := 0; i < b.N; i++ {
+		p.Write(l.NVMBase+PhysAddr((i*8)%(1<<20)), buf)
+	}
+}
+
+func TestNVMSameLineRewriteCoalesces(t *testing.T) {
+	clock := sim.NewClock()
+	stats := sim.NewStats()
+	n := NewNVMSim(PCM(), clock, stats)
+	// Two writes to the same line enqueue two drains; the buffer entry
+	// tracks the newest. A read between them still hits the buffer, and
+	// draining clears both without panicking or leaking entries.
+	n.Access(64, true)
+	n.Access(64, true)
+	if lat := n.Access(64, false); lat >= sim.FromNanos(PCM().ReadNanos) {
+		t.Fatalf("read after rewrite paid array latency: %d", lat)
+	}
+	clock.Advance(n.DrainLatency())
+	if n.Pending() != 0 {
+		t.Fatalf("pending after drain: %d", n.Pending())
+	}
+	// After the drain, reads pay the array again.
+	if lat := n.Access(64, false); lat < sim.FromNanos(PCM().ReadNanos) {
+		t.Fatalf("post-drain read too cheap: %d", lat)
+	}
+}
+
+func TestDRAMDifferentBanksIndependentRows(t *testing.T) {
+	stats := sim.NewStats()
+	d := NewDRAMSim(DDR4_2400(), 0, stats)
+	rowSz := DDR4_2400().RowSz
+	// Open rows in two banks; re-touching each is a hit for both.
+	d.Access(0, false)                  // bank 0
+	d.Access(PhysAddr(rowSz), false)    // bank 1
+	d.Access(32, false)                 // bank 0 again
+	d.Access(PhysAddr(rowSz+32), false) // bank 1 again
+	if stats.Get("dram.row_hit") != 2 {
+		t.Fatalf("row hits = %d, want 2 (independent banks)", stats.Get("dram.row_hit"))
+	}
+}

@@ -1,0 +1,153 @@
+package mem
+
+import "kindle/internal/sim"
+
+// NVMTiming holds the PCM interface parameters. The paper configures gem5's
+// NVM interface with PCM timings based on Song et al. (ISMM'20), which in
+// turn follow Lee et al. (ISCA'09): array reads around 150 ns and writes
+// (SET/RESET programming) several times slower. The controller buffers
+// writes (48 entries) and reads (64 entries), per Table I.
+type NVMTiming struct {
+	ReadNanos  float64 // array read latency for a 64B line
+	WriteNanos float64 // programming latency for a 64B line
+	Burst      float64 // interface transfer time for 64B
+	WriteBuf   int     // write buffer entries (Table I: 48)
+	ReadBuf    int     // read buffer entries (Table I: 64)
+}
+
+// PCM returns the Table I configuration.
+func PCM() NVMTiming {
+	return NVMTiming{
+		ReadNanos:  150,
+		WriteNanos: 500,
+		Burst:      3.33,
+		WriteBuf:   48,
+		ReadBuf:    64,
+	}
+}
+
+// NVMSim models the NVM device + controller front-end. Writes are absorbed
+// into a write buffer and drain in the background at the device programming
+// rate; a write only stalls the requester when the buffer is full. Reads
+// that hit a buffered write are served from the buffer; otherwise they pay
+// the array read latency. This captures the two effects the paper's
+// experiments depend on: writes are cheap until sustained write bandwidth
+// exceeds the drain rate (checkpoint storms), and reads are uniformly slow
+// (page-table walks in NVM).
+type NVMSim struct {
+	timing NVMTiming
+	clock  *sim.Clock
+	stats  *sim.Stats
+
+	readCycles  sim.Cycles
+	writeCycles sim.Cycles
+	burstCycles sim.Cycles
+
+	// Write buffer: each entry is the line address and its drain deadline.
+	// drainFree is the cycle at which the device can start the next drain.
+	wbuf      map[PhysAddr]sim.Cycles // line -> drain completion
+	drainHead []wbufEntry             // FIFO of (line, completion)
+	drainFree sim.Cycles
+}
+
+type wbufEntry struct {
+	line PhysAddr
+	done sim.Cycles
+}
+
+// NewNVMSim builds the NVM device model.
+func NewNVMSim(t NVMTiming, clock *sim.Clock, stats *sim.Stats) *NVMSim {
+	return &NVMSim{
+		timing:      t,
+		clock:       clock,
+		stats:       stats,
+		readCycles:  sim.FromNanos(t.ReadNanos),
+		writeCycles: sim.FromNanos(t.WriteNanos),
+		burstCycles: sim.FromNanos(t.Burst),
+		wbuf:        make(map[PhysAddr]sim.Cycles),
+	}
+}
+
+// expire drops buffer entries whose programming completed by now.
+func (n *NVMSim) expire(now sim.Cycles) {
+	i := 0
+	for ; i < len(n.drainHead); i++ {
+		e := n.drainHead[i]
+		if e.done > now {
+			break
+		}
+		if n.wbuf[e.line] == e.done {
+			delete(n.wbuf, e.line)
+		}
+	}
+	if i > 0 {
+		n.drainHead = n.drainHead[i:]
+	}
+}
+
+// Access returns the latency of one 64-byte line access at pa.
+func (n *NVMSim) Access(pa PhysAddr, write bool) sim.Cycles {
+	line := LineBase(pa)
+	now := n.clock.Now()
+	n.expire(now)
+	if write {
+		n.stats.Inc("nvm.write")
+		lat := n.burstCycles
+		// If the buffer is full, stall until the oldest entry drains.
+		if len(n.drainHead) >= n.timing.WriteBuf {
+			oldest := n.drainHead[0]
+			if oldest.done > now {
+				stall := oldest.done - now
+				lat += stall
+				now = oldest.done
+				n.stats.Add("nvm.write_stall_cycles", uint64(stall))
+				n.stats.Inc("nvm.write_stall")
+			}
+			n.expire(now)
+		}
+		// Queue the programming operation: the device drains entries
+		// serially at the programming rate.
+		start := n.drainFree
+		if start < now {
+			start = now
+		}
+		done := start + n.writeCycles
+		n.drainFree = done
+		n.wbuf[line] = done
+		n.drainHead = append(n.drainHead, wbufEntry{line: line, done: done})
+		return lat
+	}
+	n.stats.Inc("nvm.read")
+	// Read hit in the write buffer: served at interface speed.
+	if _, ok := n.wbuf[line]; ok {
+		n.stats.Inc("nvm.read_wbuf_hit")
+		return n.burstCycles
+	}
+	return n.readCycles + n.burstCycles
+}
+
+// DrainLatency returns how long the requester must wait for every buffered
+// write to reach the array (a persist barrier / flush-on-fence).
+func (n *NVMSim) DrainLatency() sim.Cycles {
+	now := n.clock.Now()
+	n.expire(now)
+	if n.drainFree <= now {
+		return 0
+	}
+	return n.drainFree - now
+}
+
+// Pending reports the number of writes still in the buffer.
+func (n *NVMSim) Pending() int {
+	n.expire(n.clock.Now())
+	return len(n.drainHead)
+}
+
+// Reset clears the write buffer (power-up after crash; buffered writes that
+// had not reached the array are lost — the persist domain models the data
+// loss, this models the timing state).
+func (n *NVMSim) Reset() {
+	n.wbuf = make(map[PhysAddr]sim.Cycles)
+	n.drainHead = nil
+	n.drainFree = n.clock.Now()
+}

@@ -1,0 +1,160 @@
+package mem
+
+import "kindle/internal/sim"
+
+// PersistDomain implements NVM crash semantics on top of the functional
+// Backing store. CPU stores to NVM first land in the volatile cache
+// hierarchy; they become durable only when the line is written back —
+// explicitly (clwb + fence) or implicitly (dirty eviction). A power failure
+// loses everything not yet written back.
+//
+// Rather than holding data functionally inside the simulated caches, the
+// domain keeps two images per dirty NVM line: the *committed* bytes (what
+// the array holds) and the *pending* bytes (what the caches hold). Commit
+// moves pending to committed; Crash discards pending. Reads through the
+// memory system observe pending data (caches are coherent); recovery code
+// running after a crash observes committed data only.
+type PersistDomain struct {
+	layout  Layout
+	backing *Backing
+	stats   *sim.Stats
+
+	// pending maps a line base address to the cached (not yet durable)
+	// contents of the full 64-byte line. The backing store continues to
+	// hold the committed image until commit time.
+	pending map[PhysAddr]*[LineSize]byte
+}
+
+// NewPersistDomain wraps backing with crash semantics for the NVM region of
+// layout.
+func NewPersistDomain(layout Layout, backing *Backing, stats *sim.Stats) *PersistDomain {
+	return &PersistDomain{
+		layout:  layout,
+		backing: backing,
+		stats:   stats,
+		pending: make(map[PhysAddr]*[LineSize]byte),
+	}
+}
+
+// isNVM reports whether pa belongs to the persistent region.
+func (p *PersistDomain) isNVM(pa PhysAddr) bool { return p.layout.KindOf(pa) == NVM }
+
+// Read copies the *cache-visible* bytes at pa into dst: pending data where
+// it exists, committed data elsewhere. Accesses may span lines.
+func (p *PersistDomain) Read(pa PhysAddr, dst []byte) {
+	for len(dst) > 0 {
+		line := LineBase(pa)
+		off := uint64(pa - line)
+		n := uint64(LineSize) - off
+		if uint64(len(dst)) < n {
+			n = uint64(len(dst))
+		}
+		if buf, ok := p.pending[line]; ok && p.isNVM(pa) {
+			copy(dst[:n], buf[off:off+n])
+		} else {
+			p.backing.Read(pa, dst[:n])
+		}
+		dst = dst[n:]
+		pa += PhysAddr(n)
+	}
+}
+
+// Write stores src at pa with cache-visible (volatile for NVM) semantics.
+// DRAM writes go straight to backing — DRAM has no durability to model and
+// is dropped wholesale on crash. NVM writes populate the pending image.
+func (p *PersistDomain) Write(pa PhysAddr, src []byte) {
+	for len(src) > 0 {
+		line := LineBase(pa)
+		off := uint64(pa - line)
+		n := uint64(LineSize) - off
+		if uint64(len(src)) < n {
+			n = uint64(len(src))
+		}
+		if p.isNVM(pa) {
+			buf, ok := p.pending[line]
+			if !ok {
+				buf = new([LineSize]byte)
+				p.backing.Read(line, buf[:]) // start from committed image
+				p.pending[line] = buf
+			}
+			copy(buf[off:off+n], src[:n])
+		} else {
+			p.backing.Write(pa, src[:n])
+		}
+		src = src[n:]
+		pa += PhysAddr(n)
+	}
+}
+
+// CommitLine makes the pending contents of the line containing pa durable.
+// Called on clwb/clflush completion and on dirty write-back of an NVM line
+// from the cache hierarchy. Committing a line with no pending data is a
+// no-op (clwb of a clean line).
+func (p *PersistDomain) CommitLine(pa PhysAddr) {
+	line := LineBase(pa)
+	buf, ok := p.pending[line]
+	if !ok {
+		return
+	}
+	p.backing.Write(line, buf[:])
+	delete(p.pending, line)
+	p.stats.Inc("persist.commit")
+}
+
+// CommitRange commits every pending line overlapping [pa, pa+size).
+func (p *PersistDomain) CommitRange(pa PhysAddr, size uint64) int {
+	if size == 0 {
+		return 0
+	}
+	n := 0
+	for line := LineBase(pa); line < pa+PhysAddr(size); line += LineSize {
+		if _, ok := p.pending[line]; ok {
+			p.CommitLine(line)
+			n++
+		}
+	}
+	return n
+}
+
+// CommitAll drains every pending line (a full persist barrier, used by
+// orderly shutdown and by tests).
+func (p *PersistDomain) CommitAll() int {
+	n := 0
+	for line := range p.pending {
+		p.CommitLine(line)
+		n++
+	}
+	return n
+}
+
+// PendingLines reports how many NVM lines are dirty-in-cache.
+func (p *PersistDomain) PendingLines() int { return len(p.pending) }
+
+// PendingInRange reports dirty-in-cache lines overlapping [pa, pa+size).
+func (p *PersistDomain) PendingInRange(pa PhysAddr, size uint64) int {
+	n := 0
+	end := pa + PhysAddr(size)
+	for line := range p.pending {
+		if line >= pa && line < end {
+			n++
+		}
+	}
+	return n
+}
+
+// Crash models power loss: all pending (non-durable) NVM data is lost and
+// all DRAM contents disappear. The committed NVM image survives untouched.
+func (p *PersistDomain) Crash() {
+	dropped := len(p.pending)
+	p.pending = make(map[PhysAddr]*[LineSize]byte)
+	p.stats.Add("persist.crash_lost_lines", uint64(dropped))
+	p.backing.DropRange(p.layout.DRAMBase, p.layout.DRAMSize)
+	p.stats.Inc("persist.crashes")
+}
+
+// ReadCommitted reads the durable image directly, bypassing pending data.
+// Only post-crash assertions in tests need it; recovery code simply uses
+// Read after Crash has discarded pending lines.
+func (p *PersistDomain) ReadCommitted(pa PhysAddr, dst []byte) {
+	p.backing.Read(pa, dst)
+}

@@ -1,0 +1,139 @@
+// Package persist implements Kindle's core contribution: full process
+// persistence in a hybrid memory system. Each persisted process keeps a
+// *saved state* in NVM holding two copies of its execution context (one
+// consistent, one working), an NVM redo log captures OS metadata changes
+// between checkpoints, and a periodic checkpoint makes the working copy
+// consistent. Two page-table consistency schemes are provided:
+//
+//   - Rebuild: the page table lives in DRAM; a virtual→NVM-physical mapping
+//     list is maintained in the saved state at every checkpoint and replayed
+//     to rebuild the table after a crash.
+//   - Persistent: the page table lives in NVM; every page-table store is
+//     wrapped in an NVM consistency mechanism (log append + clwb + fence);
+//     recovery just points the PTBR at the surviving root.
+package persist
+
+import (
+	"fmt"
+
+	"kindle/internal/mem"
+)
+
+// Scheme selects how the page table is kept consistent.
+type Scheme int
+
+// The two schemes compared in the paper's §III-A.
+const (
+	Rebuild Scheme = iota
+	Persistent
+)
+
+func (s Scheme) String() string {
+	if s == Persistent {
+		return "persistent"
+	}
+	return "rebuild"
+}
+
+// Magic values identifying on-NVM structures.
+const (
+	areaMagic = 0x4B494E444C_450001 // "KINDLE" v1
+	slotMagic = 0x4B494E444C_530001
+)
+
+// Area geometry (offsets from the kernel's persist-area base).
+const (
+	areaHeaderSize = mem.PageSize
+	ptLogSize      = 64 * mem.KiB // persistent-scheme page-table write log ring
+	redoLogSize    = 2 * mem.MiB
+
+	// SlotCount is how many processes can be persisted concurrently.
+	SlotCount = 8
+
+	// Slot-internal offsets.
+	slotHeaderSize = mem.PageSize
+	vmaTableSize   = 8 * mem.KiB // 256 VMAs x 32 B
+	vmaEntrySize   = 32
+	// MaxVMAs bounds the serialized VMA table.
+	MaxVMAs = vmaTableSize / vmaEntrySize
+
+	v2pEntrySize = 16 // vpn u64 + pfn u64
+)
+
+// Slot header field offsets.
+const (
+	hdrMagic      = 0x00
+	hdrPID        = 0x08
+	hdrValid      = 0x10
+	hdrWhich      = 0x18 // 0 = copy A consistent, 1 = copy B
+	hdrPTRoot     = 0x20 // persistent scheme: surviving PML4 base
+	hdrGeneration = 0x28 // checkpoint count
+	hdrNameLen    = 0x30
+	hdrName       = 0x38 // 64 bytes
+	hdrRegsA      = 0x100
+	hdrRegsB      = 0x200
+	hdrCursorA    = 0x300
+	hdrCursorB    = 0x308
+	hdrVMACountA  = 0x310
+	hdrVMACountB  = 0x318
+	hdrV2PCountA  = 0x320
+	hdrV2PCountB  = 0x328
+
+	regsBytes = 18 * 8 // 16 GPR + RIP + RFLAGS
+)
+
+// geometry describes where everything lives for a given persist area.
+type geometry struct {
+	base mem.PhysAddr
+	size uint64
+
+	ptLogBase mem.PhysAddr
+	redoBase  mem.PhysAddr
+	slotBase  mem.PhysAddr
+	slotSize  uint64
+	v2pCap    uint64 // entries per v2p copy
+}
+
+func newGeometry(base mem.PhysAddr, size uint64) (geometry, error) {
+	g := geometry{base: base, size: size}
+	g.ptLogBase = base + areaHeaderSize
+	g.redoBase = g.ptLogBase + ptLogSize
+	g.slotBase = g.redoBase + redoLogSize
+	const overhead = areaHeaderSize + ptLogSize + redoLogSize
+	if size <= overhead {
+		return g, fmt.Errorf("persist: area too small: %d bytes", size)
+	}
+	avail := size - overhead
+	g.slotSize = avail / SlotCount
+	fixed := uint64(slotHeaderSize + 2*vmaTableSize)
+	if g.slotSize <= fixed+2*v2pEntrySize {
+		return g, fmt.Errorf("persist: area too small: %d bytes for %d slots", size, SlotCount)
+	}
+	g.v2pCap = (g.slotSize - fixed) / (2 * v2pEntrySize)
+	return g, nil
+}
+
+// slotAddr returns the base of slot i.
+func (g geometry) slotAddr(i int) mem.PhysAddr {
+	return g.slotBase + mem.PhysAddr(uint64(i)*g.slotSize)
+}
+
+// vmaTableAddr returns the VMA table copy (0=A, 1=B) base of slot i.
+func (g geometry) vmaTableAddr(i, copyIdx int) mem.PhysAddr {
+	return g.slotAddr(i) + slotHeaderSize + mem.PhysAddr(copyIdx*vmaTableSize)
+}
+
+// v2pAddr returns the v2p list copy (0=A, 1=B) base of slot i.
+func (g geometry) v2pAddr(i, copyIdx int) mem.PhysAddr {
+	return g.slotAddr(i) + slotHeaderSize + 2*vmaTableSize +
+		mem.PhysAddr(uint64(copyIdx)*g.v2pCap*v2pEntrySize)
+}
+
+// regsAddr returns the register area of copy 0/1 in slot i.
+func (g geometry) regsAddr(i, copyIdx int) mem.PhysAddr {
+	off := mem.PhysAddr(hdrRegsA)
+	if copyIdx == 1 {
+		off = hdrRegsB
+	}
+	return g.slotAddr(i) + off
+}

@@ -1,0 +1,72 @@
+package persist
+
+import (
+	"kindle/internal/machine"
+	"kindle/internal/mem"
+	"kindle/internal/sim"
+)
+
+// Redo-log entry types. The log captures modifications to OS-level process
+// metadata between checkpoints; the checkpoint applies all logged entries
+// to the working copy of the context and then marks it consistent.
+const (
+	logVMAChange = iota + 1
+	logMapAdd
+	logMapRemove
+	logRegs
+)
+
+const logEntrySize = 64 // one cache line per entry
+
+// redoLog is an NVM-resident ring of fixed-size entries. Appends are timed
+// (one line write + clwb, the paper's "redo log stored in NVM"); the
+// checkpoint reads and applies entries (timed reads), then resets the head.
+type redoLog struct {
+	m     *machine.Machine
+	base  mem.PhysAddr
+	size  uint64
+	head  uint64 // next append offset (bytes)
+	count uint64
+}
+
+func newRedoLog(m *machine.Machine, base mem.PhysAddr, size uint64) *redoLog {
+	return &redoLog{m: m, base: base, size: size}
+}
+
+// append writes one entry: {type, pid, a, b} packed into a line.
+func (l *redoLog) append(typ uint64, pid int, a, b uint64) sim.Cycles {
+	if l.head+logEntrySize > l.size {
+		// Ring wrapped within one checkpoint interval: the paper's design
+		// sizes the log for an interval; we fall back to overwriting from
+		// the start after accounting. Entries already applied are gone.
+		l.head = 0
+		l.m.Stats.Inc("persist.redo_wrap")
+	}
+	ea := l.base + mem.PhysAddr(l.head)
+	l.m.StoreU64(ea, typ)
+	l.m.StoreU64(ea+8, uint64(pid))
+	l.m.StoreU64(ea+16, a)
+	l.m.StoreU64(ea+24, b)
+	lat := l.m.AccessTimed(ea, true)
+	lat += l.m.Core.Clwb(ea)
+	l.head += logEntrySize
+	l.count++
+	l.m.Stats.Inc("persist.redo_append")
+	return lat
+}
+
+// drain charges the cost of reading every outstanding entry (the
+// checkpoint's "applying changes in the redo log") and resets the ring.
+// It returns the number of entries applied.
+func (l *redoLog) drain() (entries uint64, lat sim.Cycles) {
+	for off := uint64(0); off < l.head; off += logEntrySize {
+		lat += l.m.AccessTimed(l.base+mem.PhysAddr(off), false)
+	}
+	entries = l.count
+	l.head = 0
+	l.count = 0
+	return entries, lat
+}
+
+// pending reports outstanding (un-checkpointed) entries.
+func (l *redoLog) pending() uint64 { return l.count }

@@ -1,0 +1,217 @@
+// Package prep is Kindle's preparation component. In the paper it is the
+// host-side half of the framework: a driver program coordinates the
+// application's execution under Intel Pin (and SniP for per-thread stacks),
+// captures the virtual memory layout from /proc/pid/maps, and an
+// image/code generator turns the trace into (a) a disk image of
+// (period, offset, operation, size, area) tuples for gem5 and (b) a gemOS
+// template program that replays them.
+//
+// Here the instrumented workloads (internal/workloads) play the role of
+// Pin: they emit the same tuples. This package provides the rest — the
+// driver orchestration, the maps-format layout capture, the stack-area
+// capture, the binary disk image on disk, and the generated template code.
+package prep
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"kindle/internal/trace"
+	"kindle/internal/workloads"
+)
+
+// Benchmark names accepted by the driver (Table II, plus the
+// multi-threaded YCSB variant exercising the SniP stack capture).
+const (
+	BenchPageRank = "Gapbs_pr"
+	BenchSSSP     = "G500_sssp"
+	BenchYCSB     = "Ycsb_mem"
+	BenchYCSBMT   = "Ycsb_mem_mt"
+)
+
+// Benchmarks lists the standard applications in Table II order (the
+// multi-threaded variant last).
+func Benchmarks() []string { return []string{BenchPageRank, BenchSSSP, BenchYCSB, BenchYCSBMT} }
+
+// Result is everything the preparation run produces.
+type Result struct {
+	Image        *trace.Image
+	MapsText     string // /proc/pid/maps-style capture
+	TemplateCode string // generated gemOS replay template
+	ImagePath    string // written disk image ("" when OutDir unset)
+	TemplatePath string
+}
+
+// Driver coordinates tracing and image generation, the role of the paper's
+// driver program (1) and code/image generator (2).
+type Driver struct {
+	// OutDir, when set, receives the disk image and template code files.
+	OutDir string
+	// Small selects the reduced test-scale workload configurations.
+	Small bool
+}
+
+// Run traces the named benchmark and generates its artifacts.
+func (d *Driver) Run(benchmark string) (*Result, error) {
+	img, err := d.traceBenchmark(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Image:        img,
+		MapsText:     MapsText(img),
+		TemplateCode: GenerateTemplate(img),
+	}
+	if d.OutDir != "" {
+		if err := os.MkdirAll(d.OutDir, 0o755); err != nil {
+			return nil, fmt.Errorf("prep: %w", err)
+		}
+		res.ImagePath = filepath.Join(d.OutDir, benchmark+".img")
+		if err := WriteImageFile(res.ImagePath, img); err != nil {
+			return nil, err
+		}
+		res.TemplatePath = filepath.Join(d.OutDir, benchmark+"_template.c")
+		if err := os.WriteFile(res.TemplatePath, []byte(res.TemplateCode), 0o644); err != nil {
+			return nil, fmt.Errorf("prep: writing template: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// traceBenchmark runs the instrumented application (the Pin stand-in).
+func (d *Driver) traceBenchmark(benchmark string) (*trace.Image, error) {
+	switch benchmark {
+	case BenchPageRank:
+		cfg := workloads.DefaultPageRank()
+		if d.Small {
+			cfg = workloads.SmallPageRank()
+		}
+		return workloads.PageRank(cfg)
+	case BenchSSSP:
+		cfg := workloads.DefaultSSSP()
+		if d.Small {
+			cfg = workloads.SmallSSSP()
+		}
+		return workloads.SSSP(cfg)
+	case BenchYCSB:
+		cfg := workloads.DefaultYCSB()
+		if d.Small {
+			cfg = workloads.SmallYCSB()
+		}
+		return workloads.YCSB(cfg)
+	case BenchYCSBMT:
+		cfg := workloads.DefaultYCSBMT()
+		if d.Small {
+			cfg = workloads.SmallYCSBMT()
+		}
+		return workloads.YCSBMT(cfg)
+	default:
+		return nil, fmt.Errorf("prep: unknown benchmark %q (want one of %v)", benchmark, Benchmarks())
+	}
+}
+
+// MapsText renders the captured virtual memory layout in the
+// /proc/pid/maps format the driver program reads on Linux. Areas are
+// placed at synthetic base addresses in capture order; stack areas (the
+// SniP-captured regions for threads) render with their thread tag.
+func MapsText(img *trace.Image) string {
+	var b strings.Builder
+	base := uint64(0x4000_0000)
+	for _, a := range img.Areas {
+		perms := "r--p"
+		if a.Write {
+			perms = "rw-p"
+		}
+		name := a.Name
+		switch {
+		case strings.HasPrefix(name, "heap"):
+			name = "[" + name + "]"
+		case strings.HasPrefix(name, "stack"):
+			name = "[" + name + "]"
+		}
+		fmt.Fprintf(&b, "%012x-%012x %s 00000000 00:00 0    %s\n", base, base+a.Size, perms, name)
+		base += a.Size + 0x10000 // guard gap
+	}
+	return b.String()
+}
+
+// StackAreas returns the stack areas of the image — the part of the layout
+// SniP contributes for multi-threaded applications (the maps file alone
+// cannot attribute thread stacks).
+func StackAreas(img *trace.Image) []trace.Area {
+	var out []trace.Area
+	for _, a := range img.Areas {
+		if strings.HasPrefix(a.Name, "stack") {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// GenerateTemplate emits the gemOS template program the code generator
+// produces: heap and stack allocations matching the traced layout plus the
+// replay loop reading tuples from the disk image. Users of Kindle edit this
+// template to add functionality before launching init.
+func GenerateTemplate(img *trace.Image) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* Generated by Kindle's code generator for %s.\n", img.Benchmark)
+	b.WriteString(" * Allocations mirror the traced application's layout; the replay loop\n")
+	b.WriteString(" * reads (period, offset, operation, size, area) tuples from the disk\n")
+	b.WriteString(" * image and mimics each access. Edit before launching init if needed. */\n\n")
+	b.WriteString("#include <gemos.h>\n\n")
+	fmt.Fprintf(&b, "static void *area[%d];\n\n", len(img.Areas))
+	b.WriteString("int main(void) {\n")
+	for i, a := range img.Areas {
+		flags := "0"
+		if a.NVM {
+			flags = "MAP_NVM"
+		}
+		prot := "PROT_READ"
+		if a.Write {
+			prot = "PROT_READ|PROT_WRITE"
+		}
+		fmt.Fprintf(&b, "    area[%d] = mmap(NULL, %d, %s, %s); /* %s */\n", i, a.Size, prot, flags, a.Name)
+	}
+	b.WriteString("\n    struct kindle_tuple t;\n")
+	b.WriteString("    while (kindle_next_tuple(&t) == 0) {\n")
+	b.WriteString("        char *p = (char *)area[t.area] + t.offset;\n")
+	b.WriteString("        if (t.op == KINDLE_WRITE)\n")
+	b.WriteString("            kindle_touch_write(p, t.size);\n")
+	b.WriteString("        else\n")
+	b.WriteString("            kindle_touch_read(p, t.size);\n")
+	b.WriteString("    }\n\n")
+	for i := range img.Areas {
+		fmt.Fprintf(&b, "    munmap(area[%d], %d);\n", i, img.Areas[i].Size)
+	}
+	b.WriteString("    return 0;\n}\n")
+	return b.String()
+}
+
+// WriteImageFile writes the binary disk image.
+func WriteImageFile(path string, img *trace.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prep: %w", err)
+	}
+	defer f.Close()
+	if err := trace.Encode(f, img); err != nil {
+		return fmt.Errorf("prep: encoding image: %w", err)
+	}
+	return f.Sync()
+}
+
+// ReadImageFile loads a disk image written by WriteImageFile.
+func ReadImageFile(path string) (*trace.Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("prep: %w", err)
+	}
+	defer f.Close()
+	img, err := trace.Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("prep: decoding %s: %w", path, err)
+	}
+	return img, nil
+}

@@ -1,0 +1,99 @@
+package prep
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDriverRunsAllBenchmarks(t *testing.T) {
+	d := &Driver{Small: true}
+	for _, name := range Benchmarks() {
+		res, err := d.Run(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Image.Benchmark != name {
+			t.Fatalf("benchmark name mismatch: %s", res.Image.Benchmark)
+		}
+		if len(res.Image.Records) == 0 {
+			t.Fatalf("%s produced empty trace", name)
+		}
+		if res.MapsText == "" || res.TemplateCode == "" {
+			t.Fatalf("%s missing artifacts", name)
+		}
+	}
+}
+
+func TestDriverRejectsUnknown(t *testing.T) {
+	d := &Driver{Small: true}
+	if _, err := d.Run("nosuch"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestMapsTextFormat(t *testing.T) {
+	d := &Driver{Small: true}
+	res, _ := d.Run(BenchPageRank)
+	lines := strings.Split(strings.TrimSpace(res.MapsText), "\n")
+	if len(lines) != len(res.Image.Areas) {
+		t.Fatalf("maps lines = %d, areas = %d", len(lines), len(res.Image.Areas))
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "-") || !strings.Contains(l, "p ") {
+			t.Fatalf("malformed maps line: %q", l)
+		}
+	}
+	if !strings.Contains(res.MapsText, "[heap.rank]") {
+		t.Fatal("heap area missing from maps")
+	}
+	if !strings.Contains(res.MapsText, "[stack.main]") {
+		t.Fatal("stack area missing from maps (SniP capture)")
+	}
+}
+
+func TestStackAreas(t *testing.T) {
+	d := &Driver{Small: true}
+	res, _ := d.Run(BenchYCSB)
+	stacks := StackAreas(res.Image)
+	if len(stacks) != 1 || !strings.HasPrefix(stacks[0].Name, "stack") {
+		t.Fatalf("stacks = %+v", stacks)
+	}
+}
+
+func TestTemplateCode(t *testing.T) {
+	d := &Driver{Small: true}
+	res, _ := d.Run(BenchSSSP)
+	code := res.TemplateCode
+	for _, want := range []string{"MAP_NVM", "mmap(NULL", "kindle_next_tuple", "munmap(", "G500_sssp"} {
+		if !strings.Contains(code, want) {
+			t.Fatalf("template missing %q", want)
+		}
+	}
+	// One mmap per area.
+	if got := strings.Count(code, "mmap(NULL"); got != len(res.Image.Areas) {
+		t.Fatalf("mmap count %d, areas %d", got, len(res.Image.Areas))
+	}
+}
+
+func TestImageFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := &Driver{Small: true, OutDir: dir}
+	res, err := d.Run(BenchYCSB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ImagePath != filepath.Join(dir, "Ycsb_mem.img") {
+		t.Fatalf("image path %q", res.ImagePath)
+	}
+	img, err := ReadImageFile(res.ImagePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Records) != len(res.Image.Records) {
+		t.Fatal("records lost in file round trip")
+	}
+	if _, err := ReadImageFile(filepath.Join(dir, "missing.img")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,90 @@
+// Package pt implements x86-64 4-level page tables that live inside the
+// simulated physical memory. Table pages are real simulated frames, entry
+// reads and writes are real simulated memory accesses — which is exactly
+// why the paper's two page-table consistency schemes behave differently:
+// hosting the table in NVM makes every walk and every modification pay NVM
+// latency, hosting it in DRAM requires rebuilding after a crash.
+package pt
+
+import "fmt"
+
+// PTE is one 64-bit page-table entry in x86-64 format.
+type PTE uint64
+
+// Architectural and software-defined PTE flag bits.
+const (
+	FlagPresent  = 1 << 0
+	FlagWritable = 1 << 1
+	FlagUser     = 1 << 2
+	FlagAccessed = 1 << 5
+	FlagDirty    = 1 << 6
+	// FlagNVM is a software bit (one of the ignored bits 9-11) Kindle uses
+	// to tag translations that target NVM frames, so the TLB fill can set
+	// Entry.NVM and the prototypes can filter NVM pages cheaply.
+	FlagNVM = 1 << 9
+
+	pfnShift = 12
+	pfnMask  = (uint64(1)<<40 - 1) << pfnShift // bits 12..51
+)
+
+// Make builds a PTE from a frame number and flag bits.
+func Make(pfn uint64, flags uint64) PTE {
+	return PTE((pfn << pfnShift & pfnMask) | (flags &^ pfnMask))
+}
+
+// Present reports bit 0.
+func (p PTE) Present() bool { return p&FlagPresent != 0 }
+
+// Writable reports bit 1.
+func (p PTE) Writable() bool { return p&FlagWritable != 0 }
+
+// User reports bit 2.
+func (p PTE) User() bool { return p&FlagUser != 0 }
+
+// Dirty reports bit 6.
+func (p PTE) Dirty() bool { return p&FlagDirty != 0 }
+
+// NVM reports the software NVM-target bit.
+func (p PTE) NVM() bool { return p&FlagNVM != 0 }
+
+// PFN extracts the frame number.
+func (p PTE) PFN() uint64 { return (uint64(p) & pfnMask) >> pfnShift }
+
+// WithFlags returns p with extra flags or-ed in.
+func (p PTE) WithFlags(flags uint64) PTE { return p | PTE(flags&^pfnMask) }
+
+func (p PTE) String() string {
+	if !p.Present() {
+		return "PTE{not present}"
+	}
+	s := fmt.Sprintf("PTE{pfn=%#x", p.PFN())
+	if p.Writable() {
+		s += " W"
+	}
+	if p.User() {
+		s += " U"
+	}
+	if p.Dirty() {
+		s += " D"
+	}
+	if p.NVM() {
+		s += " NVM"
+	}
+	return s + "}"
+}
+
+// Levels of the radix tree, top-down. Level 4 = PML4, 1 = leaf page table.
+const Levels = 4
+
+// indexAt returns the 9-bit table index for va at the given level (4..1).
+func indexAt(va uint64, level int) uint64 {
+	shift := uint(12 + 9*(level-1))
+	return (va >> shift) & 0x1FF
+}
+
+// EntriesPerTable is 512 for 4 KiB tables of 8-byte entries.
+const EntriesPerTable = 512
+
+// CanonicalMax is the highest user virtual address we model (47-bit user
+// space, matching x86-64 lower-half canonical addresses).
+const CanonicalMax = uint64(1)<<47 - 1

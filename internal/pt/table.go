@@ -1,0 +1,370 @@
+package pt
+
+import (
+	"errors"
+	"fmt"
+
+	"kindle/internal/mem"
+	"kindle/internal/sim"
+)
+
+// Memory is the machine port the page table uses: timed line accesses
+// through the cache hierarchy plus functional 64-bit loads/stores through
+// the controller (persist-domain aware). machine.Machine satisfies it.
+type Memory interface {
+	// AccessTimed performs a timed access to the cache line containing pa
+	// and returns its latency.
+	AccessTimed(pa mem.PhysAddr, write bool) sim.Cycles
+	// LoadU64 / StoreU64 move functional data (cache-visible semantics).
+	LoadU64(pa mem.PhysAddr) uint64
+	StoreU64(pa mem.PhysAddr, v uint64)
+}
+
+// FrameAllocator hands out physical frames for table pages.
+type FrameAllocator interface {
+	AllocFrame(kind mem.Kind) (pfn uint64, err error)
+	FreeFrame(pfn uint64)
+}
+
+// WriteHook observes and times one PTE store. The persistent page-table
+// scheme replaces the default (a plain timed store) with a version that
+// wraps the store in an NVM consistency mechanism (log + clwb + fence).
+// It must perform the functional store itself and return the total latency.
+type WriteHook func(pa mem.PhysAddr, v PTE) sim.Cycles
+
+// ErrNoMemory is returned when the frame allocator is exhausted.
+var ErrNoMemory = errors.New("pt: out of frames for page-table pages")
+
+// Table is one process's 4-level page table.
+type Table struct {
+	root  mem.PhysAddr // PML4 physical base
+	kind  mem.Kind     // where table pages are hosted (DRAM or NVM)
+	mem   Memory
+	alloc FrameAllocator
+	write WriteHook
+	stats *sim.Stats
+
+	tablePages map[uint64]bool // pfns of all table pages incl. root
+	mapped     int             // count of present leaf PTEs
+}
+
+// New allocates a root table page of the given kind and returns the table.
+func New(m Memory, alloc FrameAllocator, kind mem.Kind, stats *sim.Stats) (*Table, error) {
+	rootPFN, err := alloc.AllocFrame(kind)
+	if err != nil {
+		return nil, fmt.Errorf("pt: allocating root: %w", err)
+	}
+	t := &Table{
+		root:       mem.FrameBase(rootPFN),
+		kind:       kind,
+		mem:        m,
+		alloc:      alloc,
+		stats:      stats,
+		tablePages: map[uint64]bool{rootPFN: true},
+	}
+	t.write = t.defaultWrite
+	return t, nil
+}
+
+// Attach reconstructs a Table handle over an existing radix tree rooted at
+// root (the persistent scheme's recovery: set PTBR and go). The table-page
+// set and mapped count are rebuilt by scanning the tree functionally.
+func Attach(m Memory, alloc FrameAllocator, kind mem.Kind, root mem.PhysAddr, stats *sim.Stats) *Table {
+	t := &Table{
+		root:       root,
+		kind:       kind,
+		mem:        m,
+		alloc:      alloc,
+		stats:      stats,
+		tablePages: map[uint64]bool{mem.FrameNumber(root): true},
+	}
+	t.write = t.defaultWrite
+	t.rescan()
+	return t
+}
+
+// rescan rebuilds bookkeeping (table pages, mapped count) from the tree.
+func (t *Table) rescan() {
+	t.mapped = 0
+	var walk func(base mem.PhysAddr, level int)
+	walk = func(base mem.PhysAddr, level int) {
+		for i := uint64(0); i < EntriesPerTable; i++ {
+			e := PTE(t.mem.LoadU64(base + mem.PhysAddr(i*8)))
+			if !e.Present() {
+				continue
+			}
+			if level == 1 {
+				t.mapped++
+				continue
+			}
+			t.tablePages[e.PFN()] = true
+			walk(mem.FrameBase(e.PFN()), level-1)
+		}
+	}
+	walk(t.root, Levels)
+}
+
+// Root returns the PML4 base (the PTBR value).
+func (t *Table) Root() mem.PhysAddr { return t.root }
+
+// Kind returns where table pages are hosted.
+func (t *Table) Kind() mem.Kind { return t.kind }
+
+// Mapped returns the number of present leaf PTEs.
+func (t *Table) Mapped() int { return t.mapped }
+
+// TablePageCount returns how many physical frames the tree occupies.
+func (t *Table) TablePageCount() int { return len(t.tablePages) }
+
+// TablePages returns the frame numbers of every table page (root
+// included). Recovery garbage collection uses them as GC roots for
+// NVM-hosted tables.
+func (t *Table) TablePages() []uint64 {
+	out := make([]uint64, 0, len(t.tablePages))
+	for pfn := range t.tablePages {
+		out = append(out, pfn)
+	}
+	return out
+}
+
+// SetWriteHook replaces the PTE-store path (nil restores the default).
+func (t *Table) SetWriteHook(h WriteHook) {
+	if h == nil {
+		t.write = t.defaultWrite
+		return
+	}
+	t.write = h
+}
+
+// defaultWrite is a plain timed store of one PTE.
+func (t *Table) defaultWrite(pa mem.PhysAddr, v PTE) sim.Cycles {
+	lat := t.mem.AccessTimed(pa, true)
+	t.mem.StoreU64(pa, uint64(v))
+	return lat
+}
+
+// readTimed reads one PTE with timing.
+func (t *Table) readTimed(pa mem.PhysAddr) (PTE, sim.Cycles) {
+	lat := t.mem.AccessTimed(pa, false)
+	return PTE(t.mem.LoadU64(pa)), lat
+}
+
+// entryAddr returns the physical address of the PTE for va at level inside
+// the table page at base.
+func entryAddr(base mem.PhysAddr, va uint64, level int) mem.PhysAddr {
+	return base + mem.PhysAddr(indexAt(va, level)*8)
+}
+
+// Install maps va -> pfn with flags (FlagPresent is implied), creating
+// intermediate table pages as needed. It returns the simulated latency of
+// all entry reads/writes performed. Installing over an existing mapping
+// replaces it. NewTablePages reports frames allocated for intermediate
+// levels during this call, which the persistence layer logs.
+func (t *Table) Install(va uint64, pfn uint64, flags uint64) (lat sim.Cycles, newTablePages []uint64, err error) {
+	if va > CanonicalMax {
+		return 0, nil, fmt.Errorf("pt: non-canonical va %#x", va)
+	}
+	base := t.root
+	for level := Levels; level > 1; level-- {
+		ea := entryAddr(base, va, level)
+		e, l := t.readTimed(ea)
+		lat += l
+		if !e.Present() {
+			tp, aerr := t.alloc.AllocFrame(t.kind)
+			if aerr != nil {
+				return lat, newTablePages, ErrNoMemory
+			}
+			t.zeroTablePage(tp)
+			t.tablePages[tp] = true
+			newTablePages = append(newTablePages, tp)
+			e = Make(tp, FlagPresent|FlagWritable|FlagUser)
+			lat += t.write(ea, e)
+			t.stats.Inc("pt.table_page_alloc")
+		}
+		base = mem.FrameBase(e.PFN())
+	}
+	ea := entryAddr(base, va, 1)
+	old, l := t.readTimed(ea)
+	lat += l
+	leaf := Make(pfn, flags|FlagPresent)
+	lat += t.write(ea, leaf)
+	if !old.Present() {
+		t.mapped++
+	}
+	t.stats.Inc("pt.install")
+	return lat, newTablePages, nil
+}
+
+// Committer is an optional Memory capability: making a physical range
+// durable. The machine implements it via the persist domain; NVM-hosted
+// tables use it so freshly zeroed table pages survive a crash (a reused
+// frame could otherwise resurrect stale committed entries).
+type Committer interface {
+	CommitRange(pa mem.PhysAddr, size uint64)
+}
+
+// zeroTablePage clears a fresh table frame with timed line writes, and for
+// NVM-hosted tables commits the zeroed page.
+func (t *Table) zeroTablePage(pfn uint64) {
+	base := mem.FrameBase(pfn)
+	for off := uint64(0); off < mem.PageSize; off += 8 {
+		t.mem.StoreU64(base+mem.PhysAddr(off), 0)
+	}
+	for off := uint64(0); off < mem.PageSize; off += mem.LineSize {
+		t.mem.AccessTimed(base+mem.PhysAddr(off), true)
+	}
+	if t.kind == mem.NVM {
+		if c, ok := t.mem.(Committer); ok {
+			c.CommitRange(base, mem.PageSize)
+		}
+	}
+}
+
+// Remove unmaps va. It returns the old leaf (so the caller can free the
+// data frame), the latency, and whether a mapping was present.
+func (t *Table) Remove(va uint64) (old PTE, lat sim.Cycles, present bool) {
+	base := t.root
+	for level := Levels; level > 1; level-- {
+		ea := entryAddr(base, va, level)
+		e, l := t.readTimed(ea)
+		lat += l
+		if !e.Present() {
+			return 0, lat, false
+		}
+		base = mem.FrameBase(e.PFN())
+	}
+	ea := entryAddr(base, va, 1)
+	e, l := t.readTimed(ea)
+	lat += l
+	if !e.Present() {
+		return 0, lat, false
+	}
+	lat += t.write(ea, 0)
+	t.mapped--
+	t.stats.Inc("pt.remove")
+	return e, lat, true
+}
+
+// Protect rewrites the flags of an existing mapping (mprotect). Returns
+// ok=false when va is unmapped.
+func (t *Table) Protect(va uint64, flags uint64) (lat sim.Cycles, ok bool) {
+	base := t.root
+	for level := Levels; level > 1; level-- {
+		ea := entryAddr(base, va, level)
+		e, l := t.readTimed(ea)
+		lat += l
+		if !e.Present() {
+			return lat, false
+		}
+		base = mem.FrameBase(e.PFN())
+	}
+	ea := entryAddr(base, va, 1)
+	e, l := t.readTimed(ea)
+	lat += l
+	if !e.Present() {
+		return lat, false
+	}
+	lat += t.write(ea, Make(e.PFN(), flags|FlagPresent))
+	t.stats.Inc("pt.protect")
+	return lat, true
+}
+
+// Lookup translates va functionally (no timing, no state change): the
+// OS-internal query path.
+func (t *Table) Lookup(va uint64) (PTE, bool) {
+	base := t.root
+	for level := Levels; level > 1; level-- {
+		e := PTE(t.mem.LoadU64(entryAddr(base, va, level)))
+		if !e.Present() {
+			return 0, false
+		}
+		base = mem.FrameBase(e.PFN())
+	}
+	e := PTE(t.mem.LoadU64(entryAddr(base, va, 1)))
+	if !e.Present() {
+		return 0, false
+	}
+	return e, true
+}
+
+// Walk performs the hardware page-table walk for va: four timed PTE reads
+// through the cache hierarchy (walker caches are not modeled). Returns the
+// leaf, total latency, and whether translation succeeded.
+func (t *Table) Walk(va uint64) (PTE, sim.Cycles, bool) {
+	var lat sim.Cycles
+	base := t.root
+	for level := Levels; level > 1; level-- {
+		e, l := t.readTimed(entryAddr(base, va, level))
+		lat += l
+		if !e.Present() {
+			t.stats.Inc("pt.walk_fault")
+			return 0, lat, false
+		}
+		base = mem.FrameBase(e.PFN())
+	}
+	e, l := t.readTimed(entryAddr(base, va, 1))
+	lat += l
+	if !e.Present() {
+		t.stats.Inc("pt.walk_fault")
+		return 0, lat, false
+	}
+	t.stats.Inc("pt.walk")
+	return e, lat, true
+}
+
+// ForEachMapped visits every present leaf mapping in ascending va order.
+// Return false from fn to stop early. Traversal is functional — callers
+// that model traversal cost (checkpointing, HSCC scans) charge it
+// separately via bulk costing, keeping host time bounded on huge tables.
+func (t *Table) ForEachMapped(fn func(va uint64, e PTE) bool) {
+	t.forEachIn(t.root, Levels, 0, fn)
+}
+
+func (t *Table) forEachIn(base mem.PhysAddr, level int, vaPrefix uint64, fn func(va uint64, e PTE) bool) bool {
+	for i := uint64(0); i < EntriesPerTable; i++ {
+		e := PTE(t.mem.LoadU64(base + mem.PhysAddr(i*8)))
+		if !e.Present() {
+			continue
+		}
+		va := vaPrefix | i<<uint(12+9*(level-1))
+		if level == 1 {
+			if !fn(va, e) {
+				return false
+			}
+			continue
+		}
+		if !t.forEachIn(mem.FrameBase(e.PFN()), level-1, va, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// UpdateLeaf rewrites the leaf PTE for va via the write hook without
+// touching intermediate levels (HSCC remapping and access-count resets).
+// ok=false when va is unmapped.
+func (t *Table) UpdateLeaf(va uint64, e PTE) (lat sim.Cycles, ok bool) {
+	base := t.root
+	for level := Levels; level > 1; level-- {
+		pe := PTE(t.mem.LoadU64(entryAddr(base, va, level)))
+		if !pe.Present() {
+			return 0, false
+		}
+		base = mem.FrameBase(pe.PFN())
+	}
+	ea := entryAddr(base, va, 1)
+	if !PTE(t.mem.LoadU64(ea)).Present() {
+		return 0, false
+	}
+	return t.write(ea, e.WithFlags(FlagPresent)), true
+}
+
+// Destroy frees all table pages (not the mapped data frames). The table is
+// unusable afterwards.
+func (t *Table) Destroy() {
+	for pfn := range t.tablePages {
+		t.alloc.FreeFrame(pfn)
+	}
+	t.tablePages = map[uint64]bool{}
+	t.mapped = 0
+}

@@ -1,0 +1,397 @@
+package pt
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kindle/internal/mem"
+	"kindle/internal/sim"
+)
+
+// testMem adapts controller + hierarchy-free timing for pt unit tests:
+// timed accesses just charge device latency via the controller, and the
+// clock advances so device buffers behave realistically.
+type testMem struct {
+	ctrl  *mem.Controller
+	clock *sim.Clock
+}
+
+func (m *testMem) AccessTimed(pa mem.PhysAddr, write bool) sim.Cycles {
+	lat := m.ctrl.AccessLine(pa, write)
+	m.clock.Advance(lat)
+	return lat
+}
+func (m *testMem) LoadU64(pa mem.PhysAddr) uint64     { return m.ctrl.ReadU64(pa) }
+func (m *testMem) StoreU64(pa mem.PhysAddr, v uint64) { m.ctrl.WriteU64(pa, v) }
+
+// bumpAlloc is a trivial per-kind bump allocator with a free list.
+type bumpAlloc struct {
+	layout mem.Layout
+	nextD  uint64
+	nextN  uint64
+	free   []uint64
+	freed  map[uint64]bool
+}
+
+func newBumpAlloc(l mem.Layout) *bumpAlloc {
+	return &bumpAlloc{
+		layout: l,
+		nextD:  mem.FrameNumber(l.DRAMBase),
+		nextN:  mem.FrameNumber(l.NVMBase),
+		freed:  map[uint64]bool{},
+	}
+}
+
+func (a *bumpAlloc) AllocFrame(k mem.Kind) (uint64, error) {
+	if n := len(a.free); n > 0 {
+		pfn := a.free[n-1]
+		a.free = a.free[:n-1]
+		delete(a.freed, pfn)
+		return pfn, nil
+	}
+	if k == mem.DRAM {
+		pfn := a.nextD
+		a.nextD++
+		return pfn, nil
+	}
+	pfn := a.nextN
+	a.nextN++
+	return pfn, nil
+}
+
+func (a *bumpAlloc) FreeFrame(pfn uint64) {
+	if a.freed[pfn] {
+		panic("double free")
+	}
+	a.freed[pfn] = true
+	a.free = append(a.free, pfn)
+}
+
+func newTestTable(t testing.TB, kind mem.Kind) (*Table, *testMem, *bumpAlloc) {
+	t.Helper()
+	clock := sim.NewClock()
+	stats := sim.NewStats()
+	ctrl := mem.NewController(mem.SmallLayout(), mem.DDR4_2400(), mem.PCM(), clock, stats)
+	m := &testMem{ctrl: ctrl, clock: clock}
+	alloc := newBumpAlloc(ctrl.Layout)
+	tbl, err := New(m, alloc, kind, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, m, alloc
+}
+
+func TestPTEBits(t *testing.T) {
+	e := Make(0x12345, FlagWritable|FlagUser|FlagNVM|FlagPresent)
+	if !e.Present() || !e.Writable() || !e.User() || !e.NVM() || e.Dirty() {
+		t.Fatalf("flag decode wrong: %v", e)
+	}
+	if e.PFN() != 0x12345 {
+		t.Fatalf("PFN = %#x", e.PFN())
+	}
+	if PTE(0).String() != "PTE{not present}" {
+		t.Fatal("zero PTE string")
+	}
+	e2 := e.WithFlags(FlagDirty)
+	if !e2.Dirty() || e2.PFN() != 0x12345 {
+		t.Fatal("WithFlags broke PFN or missed flag")
+	}
+}
+
+func TestPTEPFNRoundTripProperty(t *testing.T) {
+	f := func(pfn uint32, flags uint16) bool {
+		e := Make(uint64(pfn), uint64(flags)|FlagPresent)
+		return e.PFN() == uint64(pfn) && e.Present()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexAt(t *testing.T) {
+	va := CanonicalMax
+	for level := 1; level <= 3; level++ {
+		if got := indexAt(va, level); got != 0x1FF {
+			t.Fatalf("indexAt(max, %d) = %#x", level, got)
+		}
+	}
+	// 47-bit user space only reaches half the PML4.
+	if got := indexAt(va, 4); got != 0xFF {
+		t.Fatalf("indexAt(max, 4) = %#x, want 0xff", got)
+	}
+	if indexAt(0, 4) != 0 || indexAt(1<<21, 1) != 0 || indexAt(1<<21, 2) != 1 {
+		t.Fatal("indexAt arithmetic wrong")
+	}
+}
+
+func TestInstallLookupWalk(t *testing.T) {
+	tbl, _, _ := newTestTable(t, mem.DRAM)
+	va := uint64(0x4000_0000) // 1 GiB: exercises distinct L3/L2/L1 indices
+	lat, newPages, err := tbl.Install(va, 777, FlagWritable|FlagUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat == 0 {
+		t.Fatal("install charged no time")
+	}
+	if len(newPages) != 3 {
+		t.Fatalf("intermediate pages allocated = %d, want 3 (L3,L2,L1)", len(newPages))
+	}
+	e, ok := tbl.Lookup(va)
+	if !ok || e.PFN() != 777 || !e.Writable() {
+		t.Fatalf("Lookup: %v %v", e, ok)
+	}
+	we, wlat, ok := tbl.Walk(va)
+	if !ok || we.PFN() != 777 || wlat == 0 {
+		t.Fatalf("Walk: %v %d %v", we, wlat, ok)
+	}
+	if _, ok := tbl.Lookup(va + mem.PageSize); ok {
+		t.Fatal("phantom mapping")
+	}
+	if tbl.Mapped() != 1 {
+		t.Fatalf("Mapped = %d", tbl.Mapped())
+	}
+	if tbl.TablePageCount() != 4 { // root + 3
+		t.Fatalf("TablePageCount = %d", tbl.TablePageCount())
+	}
+}
+
+func TestInstallSharedIntermediates(t *testing.T) {
+	tbl, _, _ := newTestTable(t, mem.DRAM)
+	if _, p, _ := tbl.Install(0x1000, 1, 0); len(p) != 3 {
+		t.Fatal("first install should allocate 3 levels")
+	}
+	// Next page in the same 2 MiB region shares all intermediates.
+	if _, p, _ := tbl.Install(0x2000, 2, 0); len(p) != 0 {
+		t.Fatalf("second install allocated %d new table pages", len(p))
+	}
+	// A page 1 GiB away shares only the root and L3.
+	if _, p, _ := tbl.Install(1<<30, 3, 0); len(p) != 2 {
+		t.Fatalf("1GiB-away install allocated %d new table pages, want 2", len(p))
+	}
+}
+
+func TestInstallReplace(t *testing.T) {
+	tbl, _, _ := newTestTable(t, mem.DRAM)
+	tbl.Install(0x1000, 10, 0)
+	tbl.Install(0x1000, 20, 0)
+	if e, _ := tbl.Lookup(0x1000); e.PFN() != 20 {
+		t.Fatalf("replacement failed: %v", e)
+	}
+	if tbl.Mapped() != 1 {
+		t.Fatalf("Mapped = %d after replace", tbl.Mapped())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tbl, _, _ := newTestTable(t, mem.DRAM)
+	tbl.Install(0x5000, 55, FlagNVM)
+	old, lat, present := tbl.Remove(0x5000)
+	if !present || old.PFN() != 55 || !old.NVM() || lat == 0 {
+		t.Fatalf("Remove: %v %d %v", old, lat, present)
+	}
+	if _, ok := tbl.Lookup(0x5000); ok {
+		t.Fatal("mapping survived Remove")
+	}
+	if tbl.Mapped() != 0 {
+		t.Fatal("Mapped not decremented")
+	}
+	if _, _, present := tbl.Remove(0x5000); present {
+		t.Fatal("double Remove reported present")
+	}
+	// Removing in a never-touched region is safe.
+	if _, _, present := tbl.Remove(1 << 40); present {
+		t.Fatal("Remove found mapping in empty region")
+	}
+}
+
+func TestProtect(t *testing.T) {
+	tbl, _, _ := newTestTable(t, mem.DRAM)
+	tbl.Install(0x1000, 5, FlagWritable)
+	if _, ok := tbl.Protect(0x1000, 0); !ok {
+		t.Fatal("Protect failed")
+	}
+	e, _ := tbl.Lookup(0x1000)
+	if e.Writable() {
+		t.Fatal("Protect did not clear writable")
+	}
+	if e.PFN() != 5 {
+		t.Fatal("Protect clobbered PFN")
+	}
+	if _, ok := tbl.Protect(0x9000, 0); ok {
+		t.Fatal("Protect of unmapped va succeeded")
+	}
+}
+
+func TestWalkFault(t *testing.T) {
+	tbl, _, _ := newTestTable(t, mem.DRAM)
+	if _, _, ok := tbl.Walk(0x1234000); ok {
+		t.Fatal("walk of empty table succeeded")
+	}
+	tbl.Install(0x1000, 1, 0)
+	// Sibling page: intermediates exist, leaf absent.
+	if _, _, ok := tbl.Walk(0x2000); ok {
+		t.Fatal("walk found absent leaf")
+	}
+}
+
+func TestForEachMappedOrderAndEarlyStop(t *testing.T) {
+	tbl, _, _ := newTestTable(t, mem.DRAM)
+	vas := []uint64{1 << 30, 0x1000, 5 << 21, 0x3000}
+	for i, va := range vas {
+		tbl.Install(va, uint64(100+i), 0)
+	}
+	var seen []uint64
+	tbl.ForEachMapped(func(va uint64, e PTE) bool {
+		seen = append(seen, va)
+		return true
+	})
+	want := append([]uint64(nil), vas...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(seen) != len(want) {
+		t.Fatalf("visited %d, want %d", len(seen), len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("order: got %#x want %#x at %d", seen[i], want[i], i)
+		}
+	}
+	// Early stop.
+	n := 0
+	tbl.ForEachMapped(func(uint64, PTE) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestUpdateLeaf(t *testing.T) {
+	tbl, _, _ := newTestTable(t, mem.DRAM)
+	tbl.Install(0x1000, 5, FlagWritable|FlagNVM)
+	lat, ok := tbl.UpdateLeaf(0x1000, Make(9, FlagWritable))
+	if !ok || lat == 0 {
+		t.Fatal("UpdateLeaf failed")
+	}
+	e, _ := tbl.Lookup(0x1000)
+	if e.PFN() != 9 || e.NVM() {
+		t.Fatalf("UpdateLeaf result: %v", e)
+	}
+	if _, ok := tbl.UpdateLeaf(0x8000, Make(1, 0)); ok {
+		t.Fatal("UpdateLeaf of unmapped va succeeded")
+	}
+	if tbl.Mapped() != 1 {
+		t.Fatal("UpdateLeaf changed mapped count")
+	}
+}
+
+func TestWriteHook(t *testing.T) {
+	tbl, m, _ := newTestTable(t, mem.NVM)
+	var hookWrites int
+	tbl.SetWriteHook(func(pa mem.PhysAddr, v PTE) sim.Cycles {
+		hookWrites++
+		m.StoreU64(pa, uint64(v))
+		return 123
+	})
+	tbl.Install(0x1000, 7, 0)
+	if hookWrites != 4 { // 3 intermediates + 1 leaf
+		t.Fatalf("hook writes = %d, want 4", hookWrites)
+	}
+	if e, ok := tbl.Lookup(0x1000); !ok || e.PFN() != 7 {
+		t.Fatal("hooked install not visible")
+	}
+	tbl.SetWriteHook(nil)
+	tbl.Install(0x2000, 8, 0)
+	if hookWrites != 4 {
+		t.Fatal("hook fired after removal")
+	}
+}
+
+func TestNVMTableSlower(t *testing.T) {
+	dtbl, dm, _ := newTestTable(t, mem.DRAM)
+	ntbl, nm, _ := newTestTable(t, mem.NVM)
+	dLat, _, _ := dtbl.Install(0x1000, 1, 0)
+	nLat, _, _ := ntbl.Install(0x1000, 1, 0)
+	if nLat <= dLat {
+		t.Fatalf("NVM-hosted install (%d) not slower than DRAM-hosted (%d)", nLat, dLat)
+	}
+	// Walks too (no caches in this harness: raw device latency). Let the
+	// NVM write buffer drain first so reads hit the array, not the buffer.
+	nm.clock.Advance(sim.FromNanos(1e6))
+	dm.clock.Advance(sim.FromNanos(1e6))
+	_, dw, _ := dtbl.Walk(0x1000)
+	_, nw, _ := ntbl.Walk(0x1000)
+	if nw <= dw {
+		t.Fatalf("NVM walk (%d) not slower than DRAM walk (%d)", nw, dw)
+	}
+}
+
+func TestAttachRebuildsState(t *testing.T) {
+	tbl, m, alloc := newTestTable(t, mem.NVM)
+	for i := uint64(0); i < 20; i++ {
+		tbl.Install(0x1000+i*mem.PageSize, 100+i, FlagNVM)
+	}
+	tbl.Install(1<<35, 999, 0)
+	re := Attach(m, alloc, mem.NVM, tbl.Root(), sim.NewStats())
+	if re.Mapped() != 21 {
+		t.Fatalf("reattached Mapped = %d, want 21", re.Mapped())
+	}
+	if re.TablePageCount() != tbl.TablePageCount() {
+		t.Fatalf("table pages %d vs %d", re.TablePageCount(), tbl.TablePageCount())
+	}
+	if e, ok := re.Lookup(1 << 35); !ok || e.PFN() != 999 {
+		t.Fatal("reattached table lost a mapping")
+	}
+}
+
+func TestDestroyFreesTablePages(t *testing.T) {
+	tbl, _, alloc := newTestTable(t, mem.DRAM)
+	tbl.Install(0x1000, 1, 0)
+	n := tbl.TablePageCount()
+	tbl.Destroy()
+	if len(alloc.free) != n {
+		t.Fatalf("freed %d frames, want %d", len(alloc.free), n)
+	}
+	if tbl.Mapped() != 0 || tbl.TablePageCount() != 0 {
+		t.Fatal("Destroy left state")
+	}
+}
+
+func TestNonCanonicalInstall(t *testing.T) {
+	tbl, _, _ := newTestTable(t, mem.DRAM)
+	if _, _, err := tbl.Install(1<<48, 1, 0); err == nil {
+		t.Fatal("non-canonical va accepted")
+	}
+}
+
+func TestInstallLookupProperty(t *testing.T) {
+	tbl, _, _ := newTestTable(t, mem.DRAM)
+	f := func(page uint16, pfn uint16) bool {
+		va := uint64(page) * mem.PageSize
+		if _, _, err := tbl.Install(va, uint64(pfn), FlagWritable); err != nil {
+			return false
+		}
+		e, ok := tbl.Lookup(va)
+		return ok && e.PFN() == uint64(pfn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWalk(b *testing.B) {
+	tbl, _, _ := newTestTable(b, mem.DRAM)
+	tbl.Install(0x1000, 1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Walk(0x1000)
+	}
+}
+
+func BenchmarkInstallRemove(b *testing.B) {
+	tbl, _, _ := newTestTable(b, mem.DRAM)
+	for i := 0; i < b.N; i++ {
+		va := uint64(i%10000+1) * mem.PageSize
+		tbl.Install(va, uint64(i), 0)
+		tbl.Remove(va)
+	}
+}

@@ -1,0 +1,91 @@
+// Package sim provides the simulation kernel shared by every Kindle
+// component: a global cycle clock, a deterministic event queue, a stats
+// registry, and a reproducible random-number source.
+//
+// All timing in Kindle is expressed in CPU cycles of a fixed-frequency core
+// (3 GHz, matching the paper's gem5 configuration). Components convert
+// nanosecond device parameters to cycles through the Clock so the whole
+// machine shares one time base.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cycles counts CPU clock cycles. It is the single unit of simulated time.
+type Cycles uint64
+
+// Frequency is the simulated core clock in Hz. The paper configures gem5
+// with an Intel 64-bit in-order CPU at 3 GHz.
+const Frequency = 3_000_000_000
+
+// CyclesPerNano is the number of cycles in one nanosecond at Frequency.
+const CyclesPerNano = Frequency / 1_000_000_000
+
+// FromNanos converts a duration in nanoseconds to cycles.
+func FromNanos(ns float64) Cycles {
+	if ns <= 0 {
+		return 0
+	}
+	return Cycles(ns*float64(CyclesPerNano) + 0.5)
+}
+
+// FromDuration converts a wall-clock style duration to cycles.
+func FromDuration(d time.Duration) Cycles {
+	return Cycles(uint64(d.Nanoseconds()) * CyclesPerNano)
+}
+
+// Nanos converts cycles to nanoseconds.
+func (c Cycles) Nanos() float64 { return float64(c) / float64(CyclesPerNano) }
+
+// Micros converts cycles to microseconds.
+func (c Cycles) Micros() float64 { return c.Nanos() / 1e3 }
+
+// Millis converts cycles to milliseconds.
+func (c Cycles) Millis() float64 { return c.Nanos() / 1e6 }
+
+// Duration converts cycles to a time.Duration (nanosecond granularity).
+func (c Cycles) Duration() time.Duration {
+	return time.Duration(uint64(c) / CyclesPerNano)
+}
+
+func (c Cycles) String() string {
+	switch {
+	case c >= FromDuration(time.Millisecond):
+		return fmt.Sprintf("%.3fms", c.Millis())
+	case c >= FromDuration(time.Microsecond):
+		return fmt.Sprintf("%.3fµs", c.Micros())
+	default:
+		return fmt.Sprintf("%.0fns", c.Nanos())
+	}
+}
+
+// Clock is the global simulated time source. It only moves forward.
+// Components advance it as latencies accrue; the event queue fires callbacks
+// whose deadlines have passed.
+type Clock struct {
+	now Cycles
+}
+
+// NewClock returns a clock at cycle zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current simulated cycle.
+func (c *Clock) Now() Cycles { return c.now }
+
+// Advance moves simulated time forward by d cycles.
+func (c *Clock) Advance(d Cycles) { c.now += d }
+
+// AdvanceTo moves simulated time forward to at least t. Moving backwards is
+// a programming error and panics: simulated time is monotonic.
+func (c *Clock) AdvanceTo(t Cycles) {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: clock moved backwards: now=%d target=%d", c.now, t))
+	}
+	c.now = t
+}
+
+// Reset rewinds the clock to zero. Only Machine reset paths (reboot after a
+// crash keeps the clock; unit tests reset it) should use this.
+func (c *Clock) Reset() { c.now = 0 }

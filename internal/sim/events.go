@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled to run at a simulated deadline. Handlers run
+// synchronously on the simulation goroutine when Queue.RunDue is called with
+// a clock at or past the deadline. A handler may reschedule itself (periodic
+// timers do).
+type Event struct {
+	When Cycles
+	Name string
+	Fn   func(now Cycles)
+
+	seq   uint64 // tie-break so equal deadlines fire FIFO
+	index int    // heap index, -1 when not queued
+}
+
+// Queue is a deterministic min-heap of events ordered by (When, insertion
+// order). It is not safe for concurrent use; Kindle simulations are
+// single-goroutine by design (the paper's gem5 runs are too).
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// NewQueue returns an empty event queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Schedule enqueues fn to run at deadline when. It returns the event so
+// callers can cancel it.
+func (q *Queue) Schedule(when Cycles, name string, fn func(now Cycles)) *Event {
+	if fn == nil {
+		panic("sim: Schedule with nil handler")
+	}
+	e := &Event{When: when, Name: name, Fn: fn, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Cancel removes e from the queue. Cancelling an already-fired or cancelled
+// event is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.index < 0 || e.index >= len(q.h) || q.h[e.index] != e {
+		return
+	}
+	heap.Remove(&q.h, e.index)
+}
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// NextDeadline returns the earliest pending deadline, or ok=false when the
+// queue is empty.
+func (q *Queue) NextDeadline() (when Cycles, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].When, true
+}
+
+// RunDue fires, in deadline order, every event whose deadline is <= now.
+// Handlers run with the deadline that triggered them; they may schedule new
+// events (including ones already due, which fire in the same call). The
+// number of events fired is returned.
+func (q *Queue) RunDue(now Cycles) int {
+	n := 0
+	for len(q.h) > 0 && q.h[0].When <= now {
+		e := heap.Pop(&q.h).(*Event)
+		e.Fn(e.When)
+		n++
+	}
+	return n
+}
+
+// Drain discards all pending events (used on machine crash: a power failure
+// forgets every scheduled activity).
+func (q *Queue) Drain() {
+	q.h = q.h[:0]
+}
+
+func (q *Queue) String() string {
+	return fmt.Sprintf("sim.Queue{pending: %d}", len(q.h))
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].When != h[j].When {
+		return h[i].When < h[j].When
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats is a flat registry of named counters, mirroring gem5's stats files.
+// Components register counters under dotted names ("cache.l1d.miss",
+// "nvm.write.drained"). Counters are plain uint64s; Kindle simulations are
+// single-goroutine so no synchronization is needed.
+type Stats struct {
+	counters map[string]uint64
+}
+
+// NewStats returns an empty registry.
+func NewStats() *Stats { return &Stats{counters: make(map[string]uint64)} }
+
+// Add increments counter name by delta.
+func (s *Stats) Add(name string, delta uint64) { s.counters[name] += delta }
+
+// Inc increments counter name by one.
+func (s *Stats) Inc(name string) { s.counters[name]++ }
+
+// Set overwrites counter name.
+func (s *Stats) Set(name string, v uint64) { s.counters[name] = v }
+
+// Get returns counter name (zero when never touched).
+func (s *Stats) Get(name string) uint64 { return s.counters[name] }
+
+// Reset zeroes every counter but keeps registrations.
+func (s *Stats) Reset() {
+	for k := range s.counters {
+		s.counters[k] = 0
+	}
+}
+
+// Names returns all counter names in sorted order.
+func (s *Stats) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of every counter, for diffing across a phase.
+func (s *Stats) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// DiffFrom returns per-counter deltas since a snapshot taken earlier.
+func (s *Stats) DiffFrom(snap map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64)
+	for k, v := range s.counters {
+		if d := v - snap[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// Dump renders all counters with a given name prefix, gem5-stats style.
+func (s *Stats) Dump(prefix string) string {
+	var b strings.Builder
+	for _, name := range s.Names() {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		fmt.Fprintf(&b, "%-48s %12d\n", name, s.counters[name])
+	}
+	return b.String()
+}
+
+// Ratio returns num/den as a float, or 0 when den is 0.
+func (s *Stats) Ratio(num, den string) float64 {
+	d := s.counters[den]
+	if d == 0 {
+		return 0
+	}
+	return float64(s.counters[num]) / float64(d)
+}

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteStatsFile renders the registry in gem5's stats.txt format — the
+// paper's artifact ships Python scripts that parse exactly this layout, so
+// Kindle emits it for drop-in compatibility with existing tooling.
+func (s *Stats) WriteStatsFile(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "---------- Begin Simulation Statistics ----------"); err != nil {
+		return err
+	}
+	for _, name := range s.Names() {
+		if _, err := fmt.Fprintf(bw, "%-44s %20d                       # (Unspecified)\n", name, s.counters[name]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "---------- End Simulation Statistics   ----------"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ParseStatsFile reads a stats file written by WriteStatsFile (or by gem5,
+// for integer scalar stats) back into a counter map.
+func ParseStatsFile(r io.Reader) (map[string]uint64, error) {
+	out := make(map[string]uint64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	inBlock := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			continue
+		case strings.HasPrefix(line, "---------- Begin"):
+			inBlock = true
+			continue
+		case strings.HasPrefix(line, "---------- End"):
+			inBlock = false
+			continue
+		}
+		if !inBlock {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("sim: stats line %d malformed: %q", lineNo, line)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			// gem5 emits non-integer stats too; skip them, as the
+			// artifact's parsers do for values they don't use.
+			continue
+		}
+		out[fields[0]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

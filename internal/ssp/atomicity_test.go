@@ -1,0 +1,184 @@
+package ssp_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"kindle/internal/core"
+	"kindle/internal/gemos"
+	"kindle/internal/mem"
+	"kindle/internal/sim"
+	"kindle/internal/ssp"
+)
+
+// faseSetup boots a machine with an SSP-protected NVM region and returns
+// the pieces plus the base VA of a mapped, touched page range.
+func faseSetup(t *testing.T, pages int) (*core.Framework, *ssp.Controller, *gemos.Process, uint64) {
+	t.Helper()
+	f := core.NewSmall()
+	c, err := ssp.Attach(f.K, ssp.Config{
+		ConsistencyInterval:   sim.FromDuration(time.Second), // manual interval ends only
+		ConsolidationInterval: sim.FromDuration(time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.K.Spawn("fase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.K.Switch(p)
+	a, err := f.K.Mmap(p, 0, uint64(pages)*mem.PageSize, gemos.ProtRead|gemos.ProtWrite, gemos.MapNVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Enable(a, a+uint64(pages)*mem.PageSize)
+	// Fault the pages in (allocates the page pairs).
+	for i := 0; i < pages; i++ {
+		if _, err := f.M.Core.Access(a+uint64(i)*mem.PageSize, true, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f, c, p, a
+}
+
+func TestDataRoutingReadsBack(t *testing.T) {
+	f, c, p, a := faseSetup(t, 2)
+	msg := []byte("shadow sub-paging!")
+	if err := c.WriteData(p, a+100, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := c.ReadData(p, a+100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read-your-write failed: %q", got)
+	}
+	_ = f
+}
+
+func TestFASEAtomicityUncommittedRollsBack(t *testing.T) {
+	f, c, p, a := faseSetup(t, 1)
+	// Establish a committed value.
+	v1 := []byte("value-1")
+	if err := c.WriteData(p, a, v1); err != nil {
+		t.Fatal(err)
+	}
+	c.IntervalEnd() // durability point for v1
+
+	// Overwrite within a new interval, no interval end: uncommitted.
+	v2 := []byte("value-2")
+	if err := c.WriteData(p, a, v2); err != nil {
+		t.Fatal(err)
+	}
+	// The live view sees v2...
+	got := make([]byte, len(v2))
+	c.ReadData(p, a, got)
+	if !bytes.Equal(got, v2) {
+		t.Fatalf("live view = %q", got)
+	}
+	// ...but the crash-safe view still holds v1.
+	c.ReadCommittedData(p, a, got)
+	if !bytes.Equal(got, v1) {
+		t.Fatalf("committed view = %q, want %q (torn FASE!)", got, v1)
+	}
+	_ = f
+}
+
+func TestFASEAtomicityCommittedSurvives(t *testing.T) {
+	f, c, p, a := faseSetup(t, 1)
+	v1 := []byte("durable-value")
+	if err := c.WriteData(p, a, v1); err != nil {
+		t.Fatal(err)
+	}
+	c.IntervalEnd()
+	got := make([]byte, len(v1))
+	c.ReadCommittedData(p, a, got)
+	if !bytes.Equal(got, v1) {
+		t.Fatalf("committed view after interval end = %q", got)
+	}
+	// The persist domain agrees: a machine crash leaves the committed
+	// bytes readable at the committed copy.
+	f.M.Crash()
+	c.ReadCommittedData(p, a, got)
+	if !bytes.Equal(got, v1) {
+		t.Fatalf("after crash = %q", got)
+	}
+}
+
+func TestFASESubPageGranularity(t *testing.T) {
+	// Two lines of the same page: commit one, leave the other
+	// uncommitted; the crash-safe view mixes per line — exactly the
+	// sub-page granularity SSP exists for.
+	f, c, p, a := faseSetup(t, 1)
+	lineA := a        // line 0
+	lineB := a + 1024 // line 16
+	c.WriteData(p, lineA, []byte("AAAA"))
+	c.WriteData(p, lineB, []byte("BBBB"))
+	c.IntervalEnd()
+	// New interval: update only line B.
+	c.WriteData(p, lineB, []byte("bbbb"))
+	got := make([]byte, 4)
+	c.ReadCommittedData(p, lineA, got)
+	if string(got) != "AAAA" {
+		t.Fatalf("line A committed view %q", got)
+	}
+	c.ReadCommittedData(p, lineB, got)
+	if string(got) != "BBBB" {
+		t.Fatalf("line B committed view %q (uncommitted bbbb leaked)", got)
+	}
+	c.ReadData(p, lineB, got)
+	if string(got) != "bbbb" {
+		t.Fatalf("line B live view %q", got)
+	}
+	_ = f
+}
+
+func TestFASEConsolidationPreservesData(t *testing.T) {
+	f, c, p, a := faseSetup(t, 1)
+	v := []byte("merge-me")
+	c.WriteData(p, a, v)
+	c.IntervalEnd()
+	// Evict the translation (context-switch flush) and consolidate: data
+	// must move back to the original page with no loss.
+	f.M.TLB.InvalidateAll()
+	c.Consolidate()
+	got := make([]byte, len(v))
+	if err := c.ReadData(p, a, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v) {
+		t.Fatalf("after consolidation: %q", got)
+	}
+	c.ReadCommittedData(p, a, got)
+	if !bytes.Equal(got, v) {
+		t.Fatalf("committed after consolidation: %q", got)
+	}
+	if f.M.Stats.Get("ssp.pages_consolidated") == 0 {
+		t.Fatal("nothing consolidated")
+	}
+}
+
+func TestFASEWriteOutsideRangeIsPlain(t *testing.T) {
+	f := core.NewSmall()
+	c, err := ssp.Attach(f.K, ssp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := f.K.Spawn("plain")
+	f.K.Switch(p)
+	a, _ := f.K.Mmap(p, 0, mem.PageSize, gemos.ProtRead|gemos.ProtWrite, gemos.MapNVM)
+	// SSP never enabled: WriteData behaves as a plain store.
+	if err := c.WriteData(p, a, []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 5)
+	if err := c.ReadData(p, a, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "plain" {
+		t.Fatalf("plain store round trip: %q", got)
+	}
+}

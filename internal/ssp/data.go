@@ -1,0 +1,144 @@
+package ssp
+
+import (
+	"fmt"
+
+	"kindle/internal/gemos"
+	"kindle/internal/mem"
+)
+
+// This file implements SSP's functional data path: sub-page shadow
+// routing. Within a consistency interval, the first store to a cache line
+// is routed to the copy (original or shadow) *not* holding the committed
+// version; the interval-end flush makes the new copies durable and flips
+// the per-line `current` bits atomically with the metadata write-back. A
+// crash mid-interval therefore exposes only pre-interval data — the
+// failure-atomic-section guarantee SSP provides.
+//
+// The timed replay path (core.Replay / cpu.Core.Access) models only
+// timing; workloads that need data fidelity under SSP use WriteData /
+// ReadData, which combine the timed access with the routed functional
+// store/load.
+
+// latestCopy returns the frame holding the newest data for the line: the
+// current-selector side (the translate hook flips it at the first write
+// after a commit).
+func (mt *meta) latestCopy(bit uint) uint64 {
+	if mt.current&(1<<bit) == 0 {
+		return mt.orig
+	}
+	return mt.shadow
+}
+
+// committedCopy returns the frame holding the committed (crash-safe)
+// version of the line.
+func (mt *meta) committedCopy(bit uint) uint64 {
+	if mt.commit&(1<<bit) == 0 {
+		return mt.orig
+	}
+	return mt.shadow
+}
+
+// WriteData performs a timed store at va in p's address space and routes
+// the bytes to the correct physical copy at cache-line granularity. The
+// write stays non-durable (pending in the persist domain) until the
+// interval-end flush commits it.
+func (c *Controller) WriteData(p *gemos.Process, va uint64, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	// Timed path (TLB, caches, fault handling, bitmap hooks).
+	if _, err := c.m.Core.Access(va, true, len(data)); err != nil {
+		return err
+	}
+	for len(data) > 0 {
+		vpn := va / mem.PageSize
+		bit := uint((va % mem.PageSize) / mem.LineSize)
+		lineEnd := (va/mem.LineSize + 1) * mem.LineSize
+		n := int(lineEnd - va)
+		if n > len(data) {
+			n = len(data)
+		}
+		mt, ok := c.entries[vpn]
+		if !ok || !c.inRange(va) {
+			// Outside the FASE range: plain store to the mapped frame.
+			pa, mapped := c.m.Core.VirtToPhys(va)
+			if !mapped {
+				return fmt.Errorf("ssp: WriteData to unmapped va %#x", va)
+			}
+			c.m.Ctrl.Write(pa, data[:n])
+		} else {
+			// The timed Access above already let the translate hook flip
+			// the current selector for this line, so the latest copy is
+			// the destination.
+			dest := mt.latestCopy(bit)
+			off := mem.PhysAddr(va % mem.PageSize)
+			c.m.Ctrl.Write(mem.FrameBase(dest)+off, data[:n])
+			c.m.Stats.Inc("ssp.data_routed_write")
+		}
+		data = data[n:]
+		va += uint64(n)
+	}
+	return nil
+}
+
+// ReadData performs a timed load at va and returns the newest bytes,
+// following the per-line routing (working copy if written this interval,
+// committed copy otherwise).
+func (c *Controller) ReadData(p *gemos.Process, va uint64, buf []byte) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	if _, err := c.m.Core.Access(va, false, len(buf)); err != nil {
+		return err
+	}
+	for len(buf) > 0 {
+		vpn := va / mem.PageSize
+		bit := uint((va % mem.PageSize) / mem.LineSize)
+		lineEnd := (va/mem.LineSize + 1) * mem.LineSize
+		n := int(lineEnd - va)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		mt, ok := c.entries[vpn]
+		if !ok || !c.inRange(va) {
+			pa, mapped := c.m.Core.VirtToPhys(va)
+			if !mapped {
+				return fmt.Errorf("ssp: ReadData from unmapped va %#x", va)
+			}
+			c.m.Ctrl.Read(pa, buf[:n])
+		} else {
+			src := mt.latestCopy(bit)
+			off := mem.PhysAddr(va % mem.PageSize)
+			c.m.Ctrl.Read(mem.FrameBase(src)+off, buf[:n])
+		}
+		buf = buf[n:]
+		va += uint64(n)
+	}
+	return nil
+}
+
+// ReadCommittedData returns the crash-safe view of va — what a reboot
+// after an immediate power failure would observe. Tests use it to verify
+// failure atomicity.
+func (c *Controller) ReadCommittedData(p *gemos.Process, va uint64, buf []byte) error {
+	for len(buf) > 0 {
+		vpn := va / mem.PageSize
+		bit := uint((va % mem.PageSize) / mem.LineSize)
+		lineEnd := (va/mem.LineSize + 1) * mem.LineSize
+		n := int(lineEnd - va)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		mt, ok := c.entries[vpn]
+		if !ok {
+			return fmt.Errorf("ssp: no SSP pair for va %#x", va)
+		}
+		src := mt.committedCopy(bit)
+		off := mem.PhysAddr(va % mem.PageSize)
+		c.m.Ctrl.Domain().ReadCommitted(mem.FrameBase(src)+off, buf[:n])
+		buf = buf[n:]
+		va += uint64(n)
+	}
+	return nil
+}

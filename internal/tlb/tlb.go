@@ -1,0 +1,266 @@
+// Package tlb models the translation lookaside buffers of a Kindle core.
+//
+// The paper's prototypes both extend the TLB: SSP adds an alternate
+// physical-page field plus `updated`/`current` bitmaps per entry (one bit
+// per 64-byte sub-page line), and HSCC adds a per-page access counter that
+// is spilled to the page table on eviction. Entry therefore carries those
+// extension fields, and eviction is observable through a hook so the
+// prototypes can write metadata back.
+package tlb
+
+import (
+	"fmt"
+
+	"kindle/internal/mem"
+	"kindle/internal/sim"
+)
+
+// Entry is one TLB translation with Kindle's prototype extensions.
+type Entry struct {
+	VPN      uint64 // virtual page number
+	PFN      uint64 // physical frame number
+	Writable bool
+	NVM      bool // translation targets NVM (set from the VMA kind)
+
+	// SSP extension (Shadow Sub-Paging): the alternate physical page, and
+	// the per-line bitmaps. Updated marks lines written in the current
+	// consistency interval; Current marks which physical copy holds the
+	// latest version of each line.
+	SSPAlt     uint64
+	SSPUpdated uint64
+	SSPCurrent uint64
+	SSPValid   bool // extension fields populated
+
+	// HSCC extension: access counter incremented on LLC miss for this
+	// page; written back to the PTE/lookup table on eviction or once per
+	// migration interval.
+	AccessCount  uint32
+	CountSpilled bool // already written out this interval
+
+	lru uint64
+}
+
+// EvictFn observes an entry leaving the TLB (capacity eviction or explicit
+// invalidation). SSP uses it to push bitmaps to the SSP cache; HSCC uses it
+// to spill the access count.
+type EvictFn func(e *Entry)
+
+// Config sizes one TLB level.
+type Config struct {
+	Name    string
+	Entries int
+	Ways    int
+	Latency sim.Cycles
+}
+
+// level is one set-associative TLB.
+type level struct {
+	name    string
+	sets    int
+	ways    int
+	latency sim.Cycles
+	tags    [][]Entry
+	clock   uint64
+	stats   *sim.Stats
+}
+
+func newLevel(cfg Config, stats *sim.Stats) *level {
+	if cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		panic(fmt.Sprintf("tlb: bad geometry for %s", cfg.Name))
+	}
+	return &level{
+		name:    cfg.Name,
+		sets:    cfg.Entries / cfg.Ways,
+		ways:    cfg.Ways,
+		latency: cfg.Latency,
+		tags:    make([][]Entry, cfg.Entries/cfg.Ways),
+		stats:   stats,
+	}
+}
+
+func (l *level) setIndex(vpn uint64) int { return int(vpn % uint64(l.sets)) }
+
+func (l *level) lookup(vpn uint64) *Entry {
+	set := l.tags[l.setIndex(vpn)]
+	for i := range set {
+		if set[i].VPN == vpn {
+			l.clock++
+			set[i].lru = l.clock
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func (l *level) insert(e Entry, onEvict EvictFn) {
+	si := l.setIndex(e.VPN)
+	set := l.tags[si]
+	l.clock++
+	e.lru = l.clock
+	// Replace an existing translation for the same VPN.
+	for i := range set {
+		if set[i].VPN == e.VPN {
+			set[i] = e
+			return
+		}
+	}
+	if len(set) < l.ways {
+		l.tags[si] = append(set, e)
+		return
+	}
+	lruIdx := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[lruIdx].lru {
+			lruIdx = i
+		}
+	}
+	victim := set[lruIdx]
+	set[lruIdx] = e
+	l.stats.Inc("tlb." + l.name + ".evict")
+	if onEvict != nil {
+		onEvict(&victim)
+	}
+}
+
+func (l *level) invalidate(vpn uint64) (Entry, bool) {
+	si := l.setIndex(vpn)
+	set := l.tags[si]
+	for i := range set {
+		if set[i].VPN == vpn {
+			victim := set[i]
+			set[i] = set[len(set)-1]
+			l.tags[si] = set[:len(set)-1]
+			return victim, true
+		}
+	}
+	return Entry{}, false
+}
+
+func (l *level) reset() {
+	for i := range l.tags {
+		l.tags[i] = nil
+	}
+}
+
+// forEach visits every entry (mutable).
+func (l *level) forEach(fn func(e *Entry)) {
+	for si := range l.tags {
+		for i := range l.tags[si] {
+			fn(&l.tags[si][i])
+		}
+	}
+}
+
+// TLB is the two-level translation cache (64-entry L1 dTLB, 1536-entry L2
+// STLB, conventional sizes for the simulated core).
+type TLB struct {
+	l1, l2  *level
+	stats   *sim.Stats
+	onEvict EvictFn
+}
+
+// DefaultConfigL1 is a 64-entry 4-way L1 dTLB with 1-cycle lookup.
+func DefaultConfigL1() Config { return Config{Name: "l1", Entries: 64, Ways: 4, Latency: 1} }
+
+// DefaultConfigL2 is a 1536-entry 12-way STLB with 7-cycle lookup.
+func DefaultConfigL2() Config { return Config{Name: "l2", Entries: 1536, Ways: 12, Latency: 7} }
+
+// New builds the two-level TLB.
+func New(l1, l2 Config, stats *sim.Stats) *TLB {
+	return &TLB{l1: newLevel(l1, stats), l2: newLevel(l2, stats), stats: stats}
+}
+
+// NewDefault builds the TLB with default geometry.
+func NewDefault(stats *sim.Stats) *TLB {
+	return New(DefaultConfigL1(), DefaultConfigL2(), stats)
+}
+
+// SetEvictHook installs fn to observe entries leaving the whole TLB.
+// An entry evicted from L1 falls into L2 (exclusive fill), so only L2
+// evictions and explicit invalidations reach the hook.
+func (t *TLB) SetEvictHook(fn EvictFn) { t.onEvict = fn }
+
+// Lookup translates vpn. On hit it returns the entry (mutable — prototype
+// extensions update counters in place) and the lookup latency. On miss the
+// entry is nil and latency covers both level probes; the caller walks the
+// page table and calls Insert.
+func (t *TLB) Lookup(vpn uint64) (*Entry, sim.Cycles) {
+	if e := t.l1.lookup(vpn); e != nil {
+		t.stats.Inc("tlb.l1.hit")
+		return e, t.l1.latency
+	}
+	t.stats.Inc("tlb.l1.miss")
+	if e := t.l2.lookup(vpn); e != nil {
+		t.stats.Inc("tlb.l2.hit")
+		// Promote to L1; the L1 victim falls back into L2.
+		promoted := *e
+		t.l2.invalidate(vpn)
+		t.l1.insert(promoted, func(v *Entry) { t.l2.insert(*v, t.onEvict) })
+		if e1 := t.l1.lookup(vpn); e1 != nil {
+			return e1, t.l1.latency + t.l2.latency
+		}
+		panic("tlb: promoted entry vanished")
+	}
+	t.stats.Inc("tlb.l2.miss")
+	return nil, t.l1.latency + t.l2.latency
+}
+
+// Insert installs a fresh translation (after a page-table walk) into L1.
+func (t *TLB) Insert(e Entry) {
+	t.l1.insert(e, func(v *Entry) { t.l2.insert(*v, t.onEvict) })
+}
+
+// Invalidate removes vpn from both levels, firing the evict hook if the
+// translation was present (the OS invalidates after PTE changes; prototype
+// metadata must be saved first, as in the paper's SSP design where
+// TLB-evicted entries are marked in the SSP cache).
+func (t *TLB) Invalidate(vpn uint64) bool {
+	found := false
+	if v, ok := t.l1.invalidate(vpn); ok {
+		found = true
+		if t.onEvict != nil {
+			t.onEvict(&v)
+		}
+	}
+	if v, ok := t.l2.invalidate(vpn); ok {
+		found = true
+		if t.onEvict != nil {
+			t.onEvict(&v)
+		}
+	}
+	if found {
+		t.stats.Inc("tlb.invalidate")
+	}
+	return found
+}
+
+// InvalidateAll flushes the whole TLB (context switch / global shootdown),
+// firing the evict hook per entry.
+func (t *TLB) InvalidateAll() {
+	if t.onEvict != nil {
+		t.l1.forEach(func(e *Entry) { t.onEvict(e) })
+		t.l2.forEach(func(e *Entry) { t.onEvict(e) })
+	}
+	t.l1.reset()
+	t.l2.reset()
+	t.stats.Inc("tlb.flush_all")
+}
+
+// ForEach visits every live entry in both levels (prototypes scan the TLB
+// at interval boundaries: SSP harvests bitmaps, HSCC spills counters).
+func (t *TLB) ForEach(fn func(e *Entry)) {
+	t.l1.forEach(fn)
+	t.l2.forEach(fn)
+}
+
+// Reset empties the TLB without firing hooks (power loss).
+func (t *TLB) Reset() {
+	t.l1.reset()
+	t.l2.reset()
+}
+
+// PageOffsetLineBit returns the bit index (0..63) of the sub-page line that
+// virtual address va falls in — the bit SSP sets in the Updated bitmap.
+func PageOffsetLineBit(va uint64) uint {
+	return uint((va % mem.PageSize) / mem.LineSize)
+}

@@ -1,0 +1,303 @@
+// Package trace defines Kindle's memory-trace format. The preparation
+// component records every memory access of an instrumented application as a
+// (period, offset, operation, size, area) tuple — exactly the tuple the
+// paper's image generator emits — and packs traces plus the captured
+// virtual-memory layout into a disk image the simulation side replays.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op is the memory operation type.
+type Op uint8
+
+// Operations.
+const (
+	Read Op = iota
+	Write
+)
+
+func (o Op) String() string {
+	if o == Write {
+		return "W"
+	}
+	return "R"
+}
+
+// Record is one traced memory access:
+//
+//	Period — logical time of the access (instruction count at capture)
+//	Offset — byte offset of the access within its memory area
+//	Op     — read or write
+//	Size   — access size in bytes
+//	Area   — index into the image's area table (which heap/stack area)
+type Record struct {
+	Period uint64
+	Offset uint64
+	Op     Op
+	Size   uint32
+	Area   uint32
+}
+
+// Area describes one memory region of the traced application, as captured
+// from the /proc/pid/maps-style layout (stack areas come from the SniP
+// stand-in for multi-threaded programs).
+type Area struct {
+	Name  string // e.g. "heap0", "stack.tid3"
+	Size  uint64 // bytes, page aligned
+	NVM   bool   // replayed with MAP_NVM
+	Write bool   // mapped writable
+}
+
+// Image is the disk image consumed by the simulation component: the area
+// table plus the access stream.
+type Image struct {
+	Benchmark string
+	Areas     []Area
+	Records   []Record
+}
+
+// Validate checks internal consistency.
+func (img *Image) Validate() error {
+	if img.Benchmark == "" {
+		return errors.New("trace: image without benchmark name")
+	}
+	if len(img.Areas) == 0 {
+		return errors.New("trace: image without areas")
+	}
+	var lastPeriod uint64
+	for i, r := range img.Records {
+		if int(r.Area) >= len(img.Areas) {
+			return fmt.Errorf("trace: record %d references area %d of %d", i, r.Area, len(img.Areas))
+		}
+		a := img.Areas[r.Area]
+		if r.Offset+uint64(r.Size) > a.Size {
+			return fmt.Errorf("trace: record %d overruns area %q (%d+%d > %d)", i, a.Name, r.Offset, r.Size, a.Size)
+		}
+		if r.Size == 0 {
+			return fmt.Errorf("trace: record %d has zero size", i)
+		}
+		if r.Period < lastPeriod {
+			return fmt.Errorf("trace: record %d period goes backwards (%d < %d)", i, r.Period, lastPeriod)
+		}
+		lastPeriod = r.Period
+	}
+	return nil
+}
+
+// Mix reports the read/write percentages of the trace (Table II columns).
+func (img *Image) Mix() (readPct, writePct float64) {
+	if len(img.Records) == 0 {
+		return 0, 0
+	}
+	var w int
+	for _, r := range img.Records {
+		if r.Op == Write {
+			w++
+		}
+	}
+	writePct = 100 * float64(w) / float64(len(img.Records))
+	return 100 - writePct, writePct
+}
+
+// Footprint returns the total bytes across all areas.
+func (img *Image) Footprint() uint64 {
+	var n uint64
+	for _, a := range img.Areas {
+		n += a.Size
+	}
+	return n
+}
+
+const (
+	formatMagic  = uint32(0x4B545243) // "KTRC"
+	formatVer    = uint32(1)
+	maxNameBytes = 255
+)
+
+// Encode writes the image in the binary on-disk format.
+func Encode(w io.Writer, img *Image) error {
+	if err := img.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	var scratch [binary.MaxVarintLen64]byte
+	putU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putString := func(s string) error {
+		if len(s) > maxNameBytes {
+			return fmt.Errorf("trace: name %q too long", s)
+		}
+		if err := bw.WriteByte(byte(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+
+	if err := putU32(formatMagic); err != nil {
+		return err
+	}
+	if err := putU32(formatVer); err != nil {
+		return err
+	}
+	if err := putString(img.Benchmark); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(img.Areas))); err != nil {
+		return err
+	}
+	for _, a := range img.Areas {
+		if err := putString(a.Name); err != nil {
+			return err
+		}
+		if err := putUvarint(a.Size); err != nil {
+			return err
+		}
+		var flags byte
+		if a.NVM {
+			flags |= 1
+		}
+		if a.Write {
+			flags |= 2
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+	}
+	if err := putUvarint(uint64(len(img.Records))); err != nil {
+		return err
+	}
+	// Records are delta-encoded on Period (Validate guarantees it is
+	// monotone non-decreasing) and raw-varint elsewhere.
+	var lastPeriod uint64
+	for _, r := range img.Records {
+		if err := putUvarint(r.Period - lastPeriod); err != nil {
+			return err
+		}
+		lastPeriod = r.Period
+		if err := putUvarint(r.Offset); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(r.Op)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(r.Size)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(r.Area)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads an image written by Encode.
+func Decode(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	var scratch [4]byte
+	getU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	getString := func() (string, error) {
+		n, err := br.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	magic, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != formatMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", magic)
+	}
+	ver, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVer {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	img := &Image{}
+	if img.Benchmark, err = getString(); err != nil {
+		return nil, err
+	}
+	nAreas, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	img.Areas = make([]Area, nAreas)
+	for i := range img.Areas {
+		if img.Areas[i].Name, err = getString(); err != nil {
+			return nil, err
+		}
+		if img.Areas[i].Size, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		img.Areas[i].NVM = flags&1 != 0
+		img.Areas[i].Write = flags&2 != 0
+	}
+	nRecs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	img.Records = make([]Record, nRecs)
+	var lastPeriod uint64
+	for i := range img.Records {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		lastPeriod += d
+		img.Records[i].Period = lastPeriod
+		if img.Records[i].Offset, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		op, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		img.Records[i].Op = Op(op)
+		sz, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		img.Records[i].Size = uint32(sz)
+		ar, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		img.Records[i].Area = uint32(ar)
+	}
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	return img, nil
+}

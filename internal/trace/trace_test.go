@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Image {
+	return &Image{
+		Benchmark: "sample",
+		Areas: []Area{
+			{Name: "heap0", Size: 8192, NVM: true, Write: true},
+			{Name: "stack", Size: 4096, Write: true},
+		},
+		Records: []Record{
+			{Period: 1, Offset: 0, Op: Read, Size: 8, Area: 0},
+			{Period: 2, Offset: 64, Op: Write, Size: 8, Area: 0},
+			{Period: 2, Offset: 16, Op: Write, Size: 4, Area: 1},
+			{Period: 9, Offset: 8000, Op: Read, Size: 64, Area: 0},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	img := sample()
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmark != img.Benchmark {
+		t.Fatal("name lost")
+	}
+	for i := range img.Records {
+		if got.Records[i] != img.Records[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got.Records[i], img.Records[i])
+		}
+	}
+	for i := range img.Areas {
+		if got.Areas[i] != img.Areas[i] {
+			t.Fatalf("area %d mismatch", i)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Fatal("op strings")
+	}
+}
+
+func TestMix(t *testing.T) {
+	img := sample()
+	r, w := img.Mix()
+	if r != 50 || w != 50 {
+		t.Fatalf("mix %v/%v", r, w)
+	}
+	empty := &Image{Benchmark: "e", Areas: []Area{{Name: "a", Size: 4096}}}
+	if r, w := empty.Mix(); r != 0 || w != 0 {
+		t.Fatal("empty mix nonzero")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	if got := sample().Footprint(); got != 12288 {
+		t.Fatalf("footprint %d", got)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	img := sample()
+	img.Records[0].Area = 99
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err == nil {
+		t.Fatal("invalid image encoded")
+	}
+}
+
+func TestEncodeLongNameRejected(t *testing.T) {
+	img := sample()
+	img.Areas[0].Name = string(make([]byte, 300))
+	// Area overrun check happens first in Validate? The name length check
+	// fires during encoding.
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err == nil {
+		t.Fatal("300-byte name encoded")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	img := sample()
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must fail cleanly, never panic.
+	for cut := 0; cut < len(full); cut += 3 {
+		if _, err := Decode(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncated image at %d bytes decoded", cut)
+		}
+	}
+}
+
+func TestDecodeWrongVersion(t *testing.T) {
+	img := sample()
+	var buf bytes.Buffer
+	Encode(&buf, img)
+	b := buf.Bytes()
+	b[4] = 99 // version field
+	if _, err := Decode(bytes.NewReader(b)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestValidateAreaOverrun(t *testing.T) {
+	img := sample()
+	img.Records[0] = Record{Period: 1, Offset: 8190, Size: 8, Area: 0}
+	if img.Validate() == nil {
+		t.Fatal("overrun accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(offs []uint16, writes []bool) bool {
+		img := &Image{Benchmark: "prop", Areas: []Area{{Name: "a", Size: 1 << 17, Write: true}}}
+		for i, off := range offs {
+			op := Read
+			if i < len(writes) && writes[i] {
+				op = Write
+			}
+			img.Records = append(img.Records, Record{
+				Period: uint64(i + 1),
+				Offset: uint64(off),
+				Op:     op,
+				Size:   4,
+				Area:   0,
+			})
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, img); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil || len(got.Records) != len(img.Records) {
+			return false
+		}
+		for i := range img.Records {
+			if got.Records[i] != img.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeImageCompression(t *testing.T) {
+	// Delta-encoded periods keep large sequential traces compact: under
+	// ~8 bytes per record for this access pattern.
+	img := &Image{Benchmark: "large", Areas: []Area{{Name: "a", Size: 1 << 20, Write: true}}}
+	for i := 0; i < 100000; i++ {
+		img.Records = append(img.Records, Record{
+			Period: uint64(i),
+			Offset: uint64(i*64) % (1 << 20),
+			Op:     Op(i % 2),
+			Size:   8,
+			Area:   0,
+		})
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	if perRec := buf.Len() / len(img.Records); perRec > 8 {
+		t.Fatalf("encoding too fat: %d bytes/record", perRec)
+	}
+	got, err := Decode(&buf)
+	if err != nil || len(got.Records) != 100000 {
+		t.Fatalf("large round trip: %v", err)
+	}
+}
+
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.n > 100 {
+		return 0, io.ErrClosedPipe
+	}
+	return len(p), nil
+}
+
+func TestEncodeWriterError(t *testing.T) {
+	img := sample()
+	for i := 0; i < 1000; i++ {
+		img.Records = append(img.Records, Record{Period: uint64(10 + i), Size: 8, Area: 0})
+	}
+	if err := Encode(&failingWriter{}, img); err == nil {
+		t.Fatal("writer failure swallowed")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	img := sample()
+	var buf bytes.Buffer
+	if err := EncodeText(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmark != img.Benchmark || len(got.Areas) != len(img.Areas) {
+		t.Fatal("headers lost")
+	}
+	for i := range img.Records {
+		if got.Records[i] != img.Records[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got.Records[i], img.Records[i])
+		}
+	}
+}
+
+func TestTextFormatTolerant(t *testing.T) {
+	in := `
+# a comment
+benchmark demo
+
+area heap 8192 1 1
+# records
+1 0 0 R 8
+2 0 64 W 16
+`
+	img, err := DecodeText(bytes.NewBufferString(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Benchmark != "demo" || len(img.Records) != 2 || img.Records[1].Op != Write {
+		t.Fatalf("parsed %+v", img)
+	}
+	if !img.Areas[0].NVM || !img.Areas[0].Write {
+		t.Fatal("area flags lost")
+	}
+}
+
+func TestTextFormatErrors(t *testing.T) {
+	bad := []string{
+		"benchmark a\narea h 4096 1 1\n1 0 0 X 8\n", // bad op
+		"benchmark a\narea h 4096 1 1\n1 0 0 R\n",   // short record
+		"benchmark a\narea h oops 1 1\n",            // bad size
+		"benchmark a b c\n",                         // bad benchmark line
+		"benchmark a\narea h 4096 1 1\n1 9 0 R 8\n", // bad area ref
+		"benchmark a\narea h 4096 1 1\nx 0 0 R 8\n", // bad period
+	}
+	for i, in := range bad {
+		if _, err := DecodeText(bytes.NewBufferString(in)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package workloads
+
+import (
+	"kindle/internal/sim"
+	"kindle/internal/trace"
+)
+
+// YCSBConfig sizes the Ycsb_mem workload: a zipfian-keyed in-memory
+// key-value store (workload-B flavoured mix).
+type YCSBConfig struct {
+	Records   int     // keys loaded into the store
+	Ops       int     // trace record budget
+	ReadRatio float64 // fraction of GET operations (rest are UPDATE)
+	Theta     float64 // zipfian skew
+	Seed      uint64
+}
+
+// DefaultYCSB returns the paper-scale configuration.
+func DefaultYCSB() YCSBConfig {
+	return YCSBConfig{Records: 1 << 17, Ops: PaperOps, ReadRatio: 0.70, Theta: 0.99, Seed: 99}
+}
+
+// SmallYCSB is a fast configuration for tests.
+func SmallYCSB() YCSBConfig {
+	return YCSBConfig{Records: 1 << 12, Ops: 200_000, ReadRatio: 0.70, Theta: 0.99, Seed: 99}
+}
+
+// Store layout constants: chained hash table with 128-byte entries
+// (8 B key, 8 B next pointer, 112 B value → two cache lines of value
+// traffic per full read/update).
+const (
+	ycsbEntrySize  = 128
+	ycsbValueLines = 2
+	// ycsbFrameSpills calibrates per-op stack traffic so the traced mix
+	// matches Table II's Ycsb_mem 71 % read / 29 % write.
+	ycsbFrameSpills = 3
+)
+
+// YCSB runs the key-value workload, recording every access: bucket-array
+// reads, chain probes, value line reads/writes and per-op stack frames.
+func YCSB(cfg YCSBConfig) (*trace.Image, error) {
+	rec := NewRecorder("Ycsb_mem", cfg.Ops)
+	nBuckets := uint64(cfg.Records) // load factor 1
+	buckets := rec.AddArea("heap.buckets", nBuckets*8, true, true)
+	entries := rec.AddArea("heap.entries", uint64(cfg.Records)*ycsbEntrySize, true, true)
+	stack := rec.AddArea("stack.main", 64*1024, false, true)
+
+	rng := sim.NewRNG(cfg.Seed)
+	zipf := sim.NewZipf(rng, uint64(cfg.Records), cfg.Theta)
+
+	// Host-side chain structure: bucket -> list of record ids, built like
+	// the loader phase of YCSB (not traced — the paper traces the
+	// transaction phase).
+	chains := make([][]uint32, nBuckets)
+	hash := func(key uint64) uint64 { return (key * 0x9E3779B97F4A7C15) % nBuckets }
+	for k := 0; k < cfg.Records; k++ {
+		b := hash(uint64(k))
+		chains[b] = append(chains[b], uint32(k))
+	}
+
+	for op := uint64(0); !rec.Full(); op++ {
+		key := zipf.Next()
+		isRead := rng.Float64() < cfg.ReadRatio
+		rec.Frame(stack, op, ycsbFrameSpills)
+		// Key marshalling reads the request's key buffer off the stack.
+		rec.Load(stack, (op*64)%(64*1024-16), 8)
+		rec.Load(stack, (op*64)%(64*1024-16)+8, 8)
+		b := hash(key)
+		rec.Load(buckets, b*8, 8)
+		// Probe the chain to the target record.
+		for _, id := range chains[b] {
+			rec.Load(entries, uint64(id)*ycsbEntrySize, 8) // key compare
+			if uint64(id) == key {
+				break
+			}
+			rec.Load(entries, uint64(id)*ycsbEntrySize+8, 8) // next pointer
+		}
+		// Value spans the rest of line 0 (48 B) plus line 1 (64 B).
+		valOff := key*ycsbEntrySize + 16
+		if isRead {
+			rec.Load(entries, valOff, 48)
+			rec.Load(entries, valOff+48, 64)
+		} else {
+			// UPDATE is read-modify-write: the old record is read, the
+			// changed fields merged, then both value lines written.
+			rec.Load(entries, valOff, 48)
+			rec.Load(entries, valOff+48, 64)
+			rec.Store(entries, valOff, 48)
+			rec.Store(entries, valOff+48, 64)
+		}
+	}
+	return rec.Image()
+}

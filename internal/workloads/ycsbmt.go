@@ -1,0 +1,103 @@
+package workloads
+
+import (
+	"fmt"
+
+	"kindle/internal/sim"
+	"kindle/internal/trace"
+)
+
+// YCSBMTConfig sizes the multi-threaded Ycsb_mem variant. The paper's
+// preparation component uses SniP to capture per-thread stack areas of
+// multi-threaded applications (the /proc maps file alone cannot attribute
+// them); this workload produces exactly that shape: one shared store, N
+// worker threads with private stacks, and a trace that interleaves the
+// workers' operations (the single-core interleaving a trace-based
+// framework can express — §V-C).
+type YCSBMTConfig struct {
+	YCSBConfig
+	Threads int
+}
+
+// DefaultYCSBMT returns a 4-thread paper-scale configuration.
+func DefaultYCSBMT() YCSBMTConfig {
+	return YCSBMTConfig{YCSBConfig: DefaultYCSB(), Threads: 4}
+}
+
+// SmallYCSBMT is a fast configuration for tests.
+func SmallYCSBMT() YCSBMTConfig {
+	return YCSBMTConfig{YCSBConfig: SmallYCSB(), Threads: 4}
+}
+
+// YCSBMT runs the multi-threaded key-value workload. Each worker has its
+// own zipfian stream and its own stack area ("stack.tid<N>", the SniP
+// capture); operations round-robin across workers in fixed bursts,
+// modelling a fair single-core schedule.
+func YCSBMT(cfg YCSBMTConfig) (*trace.Image, error) {
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("workloads: YCSBMT with %d threads", cfg.Threads)
+	}
+	rec := NewRecorder("Ycsb_mem_mt", cfg.Ops)
+	nBuckets := uint64(cfg.Records)
+	buckets := rec.AddArea("heap.buckets", nBuckets*8, true, true)
+	entries := rec.AddArea("heap.entries", uint64(cfg.Records)*ycsbEntrySize, true, true)
+
+	type worker struct {
+		stack int
+		rng   *sim.RNG
+		zipf  *sim.Zipf
+		op    uint64
+	}
+	workers := make([]*worker, cfg.Threads)
+	for i := range workers {
+		rng := sim.NewRNG(cfg.Seed + uint64(i)*7919)
+		workers[i] = &worker{
+			stack: rec.AddArea(fmt.Sprintf("stack.tid%d", i+1), 64*1024, false, true),
+			rng:   rng,
+			zipf:  sim.NewZipf(rng, uint64(cfg.Records), cfg.Theta),
+		}
+	}
+
+	chains := make([][]uint32, nBuckets)
+	hash := func(key uint64) uint64 { return (key * 0x9E3779B97F4A7C15) % nBuckets }
+	for k := 0; k < cfg.Records; k++ {
+		b := hash(uint64(k))
+		chains[b] = append(chains[b], uint32(k))
+	}
+
+	// Fixed burst per scheduling slot: each worker executes `burst` ops
+	// before the next worker runs, approximating quantum-sized slices.
+	const burst = 64
+	for !rec.Full() {
+		for _, w := range workers {
+			for b := 0; b < burst && !rec.Full(); b++ {
+				key := w.zipf.Next()
+				isRead := w.rng.Float64() < cfg.ReadRatio
+				rec.Frame(w.stack, w.op, ycsbFrameSpills)
+				rec.Load(w.stack, (w.op*64)%(64*1024-16), 8)
+				rec.Load(w.stack, (w.op*64)%(64*1024-16)+8, 8)
+				w.op++
+				bkt := hash(key)
+				rec.Load(buckets, bkt*8, 8)
+				for _, id := range chains[bkt] {
+					rec.Load(entries, uint64(id)*ycsbEntrySize, 8)
+					if uint64(id) == key {
+						break
+					}
+					rec.Load(entries, uint64(id)*ycsbEntrySize+8, 8)
+				}
+				valOff := key*ycsbEntrySize + 16
+				if isRead {
+					rec.Load(entries, valOff, 48)
+					rec.Load(entries, valOff+48, 64)
+				} else {
+					rec.Load(entries, valOff, 48)
+					rec.Load(entries, valOff+48, 64)
+					rec.Store(entries, valOff, 48)
+					rec.Store(entries, valOff+48, 64)
+				}
+			}
+		}
+	}
+	return rec.Image()
+}
