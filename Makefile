@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test check fmt vet race bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-commit gate: formatting, vet, and the full test suite
+# under the race detector.
+check: fmt vet race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run XXX ./internal/mem ./internal/obs ./internal/sim

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	kindle-bench [-scale 1.0] [-experiment all|tableI|tableII|fig4a|fig4b|tableIII|tableIV|fig5|hscc|extensions] [-check]
+//	kindle-bench [-scale 1.0] [-experiment all|tableI|tableII|fig4a|fig4b|tableIII|tableIV|fig5|intervals|hscc|extensions] [-check]
 //
 // -scale shrinks footprints, trace lengths and intervals proportionally
 // (0.0625 runs the whole suite in about a minute; 1.0 is paper scale).
@@ -11,12 +11,36 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
 	"kindle/internal/bench"
 )
+
+// writeFileSafe writes data through a buffered writer, propagating flush
+// and close errors (a full disk must not yield a silently truncated CSV)
+// and removing the partial file when the write fails.
+func writeFileSafe(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	_, werr := w.Write(data)
+	if werr == nil {
+		werr = w.Flush()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(path)
+		return werr
+	}
+	return nil
+}
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "experiment scale (1.0 = paper parameters)")
@@ -52,7 +76,7 @@ func main() {
 		}
 		fmt.Print(res.Render())
 		if *csvPath != "" {
-			if err := os.WriteFile(*csvPath, []byte(res.RenderCSV()), 0o644); err != nil {
+			if err := writeFileSafe(*csvPath, []byte(res.RenderCSV())); err != nil {
 				fmt.Fprintln(os.Stderr, "kindle-bench:", err)
 				os.Exit(1)
 			}
@@ -84,6 +108,9 @@ func main() {
 		run(r, err)
 	case "fig5":
 		r, err := bench.Fig5(opt)
+		run(r, err)
+	case "intervals":
+		r, err := bench.Intervals(opt)
 		run(r, err)
 	case "hscc":
 		tv, f6, t6, err := bench.HSCCAll(opt)

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,8 @@ import (
 
 	"kindle/internal/core"
 	"kindle/internal/hscc"
+	"kindle/internal/machine"
+	"kindle/internal/obs"
 	"kindle/internal/persist"
 	"kindle/internal/prep"
 	"kindle/internal/sim"
@@ -39,6 +42,9 @@ func main() {
 	hsccThreshold := flag.Uint("hscc", 0, "enable HSCC with this fetch threshold")
 	stats := flag.Bool("stats", false, "dump simulator statistics")
 	statsOut := flag.String("stats-out", "", "write gem5-format stats file here")
+	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON here (open in chrome://tracing)")
+	traceCats := flag.String("trace-categories", "all", "comma-separated trace categories: mem,cache,tlb,ptwalk,checkpoint,recovery,syscall or all")
+	statsInterval := flag.Duration("stats-interval", 0, "dump gem5 interval stat blocks every simulated duration (0 = off)")
 	flag.Parse()
 
 	img, err := loadImage(*image, *benchmark, *small)
@@ -46,7 +52,36 @@ func main() {
 		fatal(err)
 	}
 
-	f := core.NewDefault()
+	cfg := machine.DefaultConfig()
+	if *traceOut != "" {
+		mask, err := obs.ParseCategories(*traceCats)
+		if err != nil {
+			fatal(err)
+		}
+		if mask == 0 {
+			fatal(fmt.Errorf("-trace-out set but -trace-categories selects nothing"))
+		}
+		cfg.Trace = obs.Config{Categories: mask}
+	}
+	f := core.New(cfg)
+
+	// Interval stats: a recurring simulated-time event snapshots counter
+	// deltas à la `m5 dumpstats`. Crash drains the event queue, so the
+	// post-recovery path re-arms it below.
+	var intervalBuf bytes.Buffer
+	var armIntervalDump func()
+	if *statsInterval > 0 {
+		iv := sim.FromDuration(*statsInterval)
+		armIntervalDump = func() {
+			f.M.Events.Schedule(f.M.Clock.Now()+iv, "stats.interval", func(sim.Cycles) {
+				if err := f.M.Stats.DumpInterval(&intervalBuf); err != nil {
+					fatal(err)
+				}
+				armIntervalDump()
+			})
+		}
+		armIntervalDump()
+	}
 
 	var mgr *persist.Manager
 	switch *persistMode {
@@ -115,6 +150,9 @@ func main() {
 		if mgr = f.Manager(); mgr != nil {
 			mgr.Start()
 		}
+		if armIntervalDump != nil {
+			armIntervalDump()
+		}
 	}
 	if err := rep.Run(); err != nil && crashPoint == 0 {
 		fatal(err)
@@ -137,16 +175,46 @@ func main() {
 	if *stats {
 		fmt.Print(f.M.Stats.Dump(""))
 	}
+	// Close the last interval so the per-block deltas sum to the final
+	// totals, then emit: the totals block first (ParseStatsFile reads it),
+	// interval blocks after (ParseStatsBlocks reads them all).
+	if *statsInterval > 0 {
+		if err := f.M.Stats.DumpInterval(&intervalBuf); err != nil {
+			fatal(err)
+		}
+	}
 	if *statsOut != "" {
 		sf, err := os.Create(*statsOut)
 		if err != nil {
 			fatal(err)
 		}
-		defer sf.Close()
-		if err := f.M.Stats.WriteStatsFile(sf); err != nil {
+		werr := f.M.Stats.WriteStatsFile(sf)
+		if werr == nil && intervalBuf.Len() > 0 {
+			_, werr = sf.Write(intervalBuf.Bytes())
+		}
+		if cerr := sf.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatal(werr)
+		}
+		fmt.Printf("stats written to %s (%d interval blocks)\n", *statsOut, f.M.Stats.IntervalCount())
+	} else if intervalBuf.Len() > 0 {
+		fmt.Print(intervalBuf.String())
+	}
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Println("stats written to", *statsOut)
+		werr := f.M.Tracer.WriteChrome(tf)
+		if cerr := tf.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatal(werr)
+		}
+		fmt.Printf("trace written to %s (%d events, %d dropped)\n", *traceOut, f.M.Tracer.Len(), f.M.Tracer.Dropped())
 	}
 }
 

@@ -78,6 +78,13 @@ func (r *Results) RenderCSV() string {
 			}
 		}
 	}
+	if r.Intervals != nil {
+		for _, ir := range r.Intervals.Rows {
+			for _, name := range intervalCols {
+				row("intervals", name, fmt.Sprintf("%d", ir.Index), float64(ir.Deltas[name]))
+			}
+		}
+	}
 	return b.String()
 }
 

@@ -141,12 +141,16 @@ type Results struct {
 	TableV   *TableVResult
 	Fig6     *Fig6Result
 	TableVI  *TableVIResult
+
+	// Intervals is the observability addition: per-dump-window counter
+	// deltas over a checkpointed run (not a paper table).
+	Intervals *IntervalsResult
 }
 
 // All returns the experiments in paper order.
 func (r *Results) All() []Experiment {
 	return []Experiment{r.TableI, r.TableII, r.Fig4a, r.Fig4b, r.TableIII, r.TableIV,
-		r.Fig5, r.TableV, r.Fig6, r.TableVI}
+		r.Fig5, r.TableV, r.Fig6, r.TableVI, r.Intervals}
 }
 
 // Render prints everything.
@@ -212,5 +216,9 @@ func RunAll(opt Options, progress func(string)) (*Results, error) {
 		return nil, err
 	}
 	note("Table V / Figure 6 / Table VI done")
+	if res.Intervals, err = Intervals(opt); err != nil {
+		return nil, err
+	}
+	note("Interval stats done")
 	return res, nil
 }

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"kindle/internal/mem"
+	"kindle/internal/obs"
 	"kindle/internal/sim"
 )
 
@@ -35,22 +36,39 @@ type Hierarchy struct {
 
 	// onMiss, when non-nil, observes LLC misses.
 	onMiss MissObserver
+
+	tr *obs.Tracer // nil when tracing is off
+
+	// Hit-latency distributions per level (the recorded latency is the
+	// cumulative probe time down to the hitting level) and the full-miss
+	// latency including the memory access.
+	l1HitLat  *sim.Histogram
+	l2HitLat  *sim.Histogram
+	llcHitLat *sim.Histogram
+	missLat   *sim.Histogram
 }
 
 // NewHierarchy builds the cache stack over the memory controller.
 func NewHierarchy(cfg HierConfig, ctrl *mem.Controller, clock *sim.Clock, stats *sim.Stats) *Hierarchy {
 	return &Hierarchy{
-		l1:    NewLevel(cfg.L1, stats),
-		l2:    NewLevel(cfg.L2, stats),
-		llc:   NewLevel(cfg.LLC, stats),
-		ctrl:  ctrl,
-		clock: clock,
-		stats: stats,
+		l1:        NewLevel(cfg.L1, stats),
+		l2:        NewLevel(cfg.L2, stats),
+		llc:       NewLevel(cfg.LLC, stats),
+		ctrl:      ctrl,
+		clock:     clock,
+		stats:     stats,
+		l1HitLat:  stats.Hist("cache.l1.hit_lat"),
+		l2HitLat:  stats.Hist("cache.l2.hit_lat"),
+		llcHitLat: stats.Hist("cache.llc.hit_lat"),
+		missLat:   stats.Hist("cache.miss_lat"),
 	}
 }
 
 // SetMissObserver installs the LLC-miss hook (nil to remove).
 func (h *Hierarchy) SetMissObserver(fn MissObserver) { h.onMiss = fn }
+
+// SetTracer installs the event tracer (nil disables).
+func (h *Hierarchy) SetTracer(tr *obs.Tracer) { h.tr = tr }
 
 // Access performs a timed access to the line containing pa. It returns the
 // total latency, which the caller adds to the clock. Multi-line requests
@@ -65,12 +83,14 @@ func (h *Hierarchy) Access(pa mem.PhysAddr, write bool) sim.Cycles {
 	lat := h.l1.latency
 	if h.l1.access(addr, write) {
 		h.stats.Inc("cache.l1.hit")
+		h.l1HitLat.ObserveCycles(lat)
 		return lat
 	}
 	h.stats.Inc("cache.l1.miss")
 	lat += h.l2.latency
 	if h.l2.access(addr, write) {
 		h.stats.Inc("cache.l2.hit")
+		h.l2HitLat.ObserveCycles(lat)
 		h.fillInto(h.l1, addr, write)
 		return lat
 	}
@@ -78,6 +98,7 @@ func (h *Hierarchy) Access(pa mem.PhysAddr, write bool) sim.Cycles {
 	lat += h.llc.latency
 	if h.llc.access(addr, write) {
 		h.stats.Inc("cache.llc.hit")
+		h.llcHitLat.ObserveCycles(lat)
 		h.fillInto(h.l2, addr, false)
 		h.fillInto(h.l1, addr, write)
 		return lat
@@ -86,8 +107,13 @@ func (h *Hierarchy) Access(pa mem.PhysAddr, write bool) sim.Cycles {
 	if h.onMiss != nil {
 		h.onMiss(addr, write)
 	}
+	start := h.clock.Now()
 	// Memory access. Write-allocate: a store still fetches the line.
 	lat += h.ctrl.AccessLine(addr, false)
+	h.missLat.ObserveCycles(lat)
+	if h.tr.Enabled(obs.CatCache) {
+		h.tr.Span(obs.CatCache, "llc.miss", start, lat, "pa", uint64(addr))
+	}
 	h.fillInto(h.llc, addr, false)
 	h.fillInto(h.l2, addr, false)
 	h.fillInto(h.l1, addr, write)

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"kindle/internal/machine"
+	"kindle/internal/obs"
+	"kindle/internal/persist"
+	"kindle/internal/sim"
+)
+
+// TestObservabilityEndToEnd drives the full pipeline the CLI exposes:
+// trace a checkpointed crash-recovery run with all categories enabled and
+// periodic interval dumps, then verify (a) the Chrome export is valid JSON
+// containing checkpoint and recovery span events, and (b) the interval
+// blocks parse back with counter deltas summing to the end-of-run totals.
+func TestObservabilityEndToEnd(t *testing.T) {
+	cfg := machine.TestConfig()
+	cfg.Trace = obs.Config{Categories: obs.CatAll}
+	f := New(cfg)
+	if f.M.Tracer == nil {
+		t.Fatal("tracer not created from machine.Config")
+	}
+	mgr, err := f.EnablePersistence(persist.Rebuild, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := smallImage(t)
+	_, rep, err := f.LaunchInit(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Start()
+
+	// Dump well below the run's simulated length (~0.3 ms) so several
+	// periodic blocks land before and after the crash.
+	var intervals bytes.Buffer
+	iv := sim.FromDuration(50 * time.Microsecond)
+	var arm func()
+	arm = func() {
+		f.M.Events.Schedule(f.M.Clock.Now()+iv, "stats.interval", func(sim.Cycles) {
+			if err := f.M.Stats.DumpInterval(&intervals); err != nil {
+				t.Error(err)
+			}
+			arm()
+		})
+	}
+	arm()
+
+	half := rep.Remaining() / 2
+	if _, err := rep.Step(half); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Checkpoint()
+	f.Crash()
+	procs, err := f.Recover(2 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 1 {
+		t.Fatalf("recovered %d processes", len(procs))
+	}
+	f.Manager().Start()
+	arm() // the crash drained the event queue
+	if err := rep.Rebind(procs[0]); err != nil {
+		t.Fatal(err)
+	}
+	f.K.Switch(procs[0])
+	rep.Run() // post-crash replay may stop early; the trace is what matters
+	if err := f.M.Stats.DumpInterval(&intervals); err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) Chrome trace: valid JSON with checkpoint + recovery spans.
+	var out bytes.Buffer
+	if err := f.M.Tracer.WriteChrome(&out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	spans := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			spans[e.Name]++
+		}
+	}
+	for _, want := range []string{"checkpoint", "checkpoint.regs", "checkpoint.redo_drain", "recovery", "recovery.table", "page_fault"} {
+		if spans[want] == 0 {
+			t.Errorf("Chrome trace has no %q span (spans: %v)", want, spans)
+		}
+	}
+
+	// (b) interval blocks: >= 2, deltas sum to totals for every counter.
+	blocks, err := sim.ParseStatsBlocks(bytes.NewReader(intervals.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) < 2 {
+		t.Fatalf("interval blocks = %d, want >= 2", len(blocks))
+	}
+	sums := map[string]uint64{}
+	for _, b := range blocks {
+		for k, v := range b {
+			sums[k] += v
+		}
+	}
+	for name, sum := range sums {
+		if name == "interval.index" {
+			continue
+		}
+		if total := f.M.Stats.Get(name); sum != total {
+			t.Errorf("%s: interval deltas sum to %d, total %d", name, sum, total)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"kindle/internal/cache"
 	"kindle/internal/mem"
+	"kindle/internal/obs"
 	"kindle/internal/pt"
 	"kindle/internal/sim"
 	"kindle/internal/tlb"
@@ -102,17 +103,24 @@ type Core struct {
 	kernelDepth int
 
 	llcMissed bool // scratch flag set by the hierarchy miss observer
+
+	tr *obs.Tracer // nil when tracing is off
+
+	tlbLookupLat *sim.Histogram
+	ptwalkLat    *sim.Histogram
 }
 
 // New builds a core bound to the given translation and memory structures.
 func New(clock *sim.Clock, stats *sim.Stats, t *tlb.TLB, h *cache.Hierarchy, ctrl *mem.Controller) *Core {
 	c := &Core{
-		clock: clock,
-		stats: stats,
-		msrs:  make(map[uint32]uint64),
-		TLB:   t,
-		Hier:  h,
-		ctrl:  ctrl,
+		clock:        clock,
+		stats:        stats,
+		msrs:         make(map[uint32]uint64),
+		TLB:          t,
+		Hier:         h,
+		ctrl:         ctrl,
+		tlbLookupLat: stats.Hist("tlb.lookup_lat"),
+		ptwalkLat:    stats.Hist("cpu.ptwalk_lat"),
 	}
 	h.SetMissObserver(func(pa mem.PhysAddr, write bool) {
 		c.llcMissed = true
@@ -130,6 +138,9 @@ func New(clock *sim.Clock, stats *sim.Stats, t *tlb.TLB, h *cache.Hierarchy, ctr
 
 // SetFaultHandler installs the OS page-fault upcall.
 func (c *Core) SetFaultHandler(h FaultHandler) { c.fault = h }
+
+// SetTracer installs the event tracer (nil disables).
+func (c *Core) SetTracer(tr *obs.Tracer) { c.tr = tr }
 
 // SetHooks installs prototype observation hooks (nil clears).
 func (c *Core) SetHooks(h Hooks) { c.hooks = h }
@@ -184,14 +195,25 @@ func (c *Core) translate(va uint64, write bool) (*tlb.Entry, error) {
 	for attempt := 0; attempt < 3; attempt++ {
 		e, lat := c.TLB.Lookup(vpn)
 		c.charge(lat)
+		c.tlbLookupLat.ObserveCycles(lat)
 		if e != nil {
 			return e, nil
+		}
+		if c.tr.Enabled(obs.CatTLB) {
+			c.tr.Instant(obs.CatTLB, "tlb.miss", "va", va)
 		}
 		if c.table == nil {
 			return nil, &PageFaultError{VA: va, Write: write, Cause: "no address space"}
 		}
+		walkStart := c.clock.Now()
 		leaf, wlat, ok := c.table.Walk(va)
 		c.charge(wlat)
+		c.ptwalkLat.ObserveCycles(wlat)
+		if c.tr.Enabled(obs.CatPTWalk) {
+			// The walk itself advances the clock inside Walk (timed memory
+			// reads), so the span covers walkStart..Now rather than wlat.
+			c.tr.Span(obs.CatPTWalk, "ptwalk", walkStart, c.clock.Now()-walkStart, "va", va)
+		}
 		if ok {
 			c.TLB.Insert(tlb.Entry{
 				VPN:      vpn,

@@ -12,6 +12,7 @@ import (
 
 	"kindle/internal/machine"
 	"kindle/internal/mem"
+	"kindle/internal/obs"
 	"kindle/internal/pt"
 	"kindle/internal/sim"
 )
@@ -89,6 +90,8 @@ type Kernel struct {
 	// OnExit is invoked as a process is torn down (persistence layer
 	// releases its saved-state slot).
 	OnExit func(p *Process)
+
+	faultLat *sim.Histogram // demand-fault service time (incl. FaultCost)
 }
 
 // Boot initializes the kernel on m.
@@ -97,10 +100,11 @@ func Boot(m *machine.Machine) *Kernel {
 	reserved := reservedNVMBytes(layout)
 	bitmapBase := layout.NVMBase + mem.PhysAddr(allocBitmapOff)
 	k := &Kernel{
-		M:      m,
-		Alloc:  NewFrameAllocator(m, layout, reserved, bitmapBase),
-		procs:  make(map[int]*Process),
-		PTKind: mem.DRAM,
+		M:        m,
+		Alloc:    NewFrameAllocator(m, layout, reserved, bitmapBase),
+		procs:    make(map[int]*Process),
+		PTKind:   mem.DRAM,
+		faultLat: m.Stats.Hist("os.fault_lat"),
 	}
 	m.Core.SetFaultHandler(k)
 	return k
@@ -218,6 +222,16 @@ func (k *Kernel) HandlePageFault(va uint64, write bool) (sim.Cycles, error) {
 	}
 	k.M.Core.EnterKernel()
 	defer k.M.Core.ExitKernel()
+	start := k.M.Clock.Now()
+	defer func() {
+		// Handler memory work advanced the clock; FaultCost is charged by
+		// the core after return, so fold it into the recorded service time.
+		dur := k.M.Clock.Now() - start + FaultCost
+		k.faultLat.ObserveCycles(dur)
+		if k.M.Tracer.Enabled(obs.CatSyscall) {
+			k.M.Tracer.Span(obs.CatSyscall, "page_fault", start, dur, "va", va)
+		}
+	}()
 
 	v := p.AS.Find(va)
 	if v == nil {

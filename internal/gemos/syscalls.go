@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"kindle/internal/mem"
+	"kindle/internal/obs"
 	"kindle/internal/pt"
 )
 
@@ -18,6 +19,13 @@ func (k *Kernel) enterSyscall(name string) {
 	k.M.Clock.Advance(SyscallCost)
 	k.M.Stats.Add("cpu.kernel_cycles", uint64(SyscallCost))
 	k.M.Stats.Inc("os.syscall." + name)
+	if k.M.Tracer.Enabled(obs.CatSyscall) {
+		pid := uint64(0)
+		if k.current != nil {
+			pid = uint64(k.current.PID)
+		}
+		k.M.Tracer.Instant(obs.CatSyscall, "syscall."+name, "pid", pid)
+	}
 }
 
 // Mmap maps length bytes for p. addr==0 lets the kernel choose a range.

@@ -8,6 +8,7 @@ import (
 	"kindle/internal/cache"
 	"kindle/internal/cpu"
 	"kindle/internal/mem"
+	"kindle/internal/obs"
 	"kindle/internal/sim"
 	"kindle/internal/tlb"
 )
@@ -21,6 +22,11 @@ type Config struct {
 	TLB1   tlb.Config
 	TLB2   tlb.Config
 	Seed   uint64
+
+	// Trace enables the structured event tracer. Zero-value Categories
+	// leaves tracing off (Machine.Tracer stays nil; emission sites are
+	// nil-safe and allocation-free in that state).
+	Trace obs.Config
 }
 
 // DefaultConfig returns the paper's configuration (Table I): 3 GB DRAM +
@@ -58,6 +64,10 @@ type Machine struct {
 	TLB  *tlb.TLB
 	Core *cpu.Core
 
+	// Tracer is non-nil only when Cfg.Trace.Categories selects at least
+	// one category. OS-level components (gemos, persist) emit through it.
+	Tracer *obs.Tracer
+
 	booted int // reboot generation, incremented by Crash
 }
 
@@ -69,7 +79,7 @@ func New(cfg Config) *Machine {
 	hier := cache.NewHierarchy(cfg.Caches, ctrl, clock, stats)
 	t := tlb.New(cfg.TLB1, cfg.TLB2, stats)
 	core := cpu.New(clock, stats, t, hier, ctrl)
-	return &Machine{
+	m := &Machine{
 		Cfg:    cfg,
 		Clock:  clock,
 		Stats:  stats,
@@ -80,6 +90,17 @@ func New(cfg Config) *Machine {
 		TLB:    t,
 		Core:   core,
 	}
+	if cfg.Trace.Categories != 0 {
+		capacity := cfg.Trace.BufferCap
+		if capacity <= 0 {
+			capacity = obs.DefaultBufferCap
+		}
+		m.Tracer = obs.New(clock, capacity, cfg.Trace.Categories)
+		ctrl.SetTracer(m.Tracer)
+		hier.SetTracer(m.Tracer)
+		core.SetTracer(m.Tracer)
+	}
+	return m
 }
 
 // AccessTimed satisfies pt.Memory: a timed access through the cache

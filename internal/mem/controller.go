@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 
+	"kindle/internal/obs"
 	"kindle/internal/sim"
 )
 
@@ -17,30 +18,76 @@ type Controller struct {
 	nvm     *NVMSim
 	domain  *PersistDomain
 	backing *Backing
+
+	tr *obs.Tracer // nil when tracing is off
+
+	// Per-kind device-latency distributions plus NVM write-buffer
+	// occupancy, sampled on every timing access.
+	dramReadLat  *sim.Histogram
+	dramWriteLat *sim.Histogram
+	nvmReadLat   *sim.Histogram
+	nvmWriteLat  *sim.Histogram
+	nvmWbufOcc   *sim.Histogram
 }
 
 // NewController assembles the full memory system for layout.
 func NewController(layout Layout, dramT DRAMTiming, nvmT NVMTiming, clock *sim.Clock, stats *sim.Stats) *Controller {
 	backing := NewBacking()
 	return &Controller{
-		Layout:  layout,
-		clock:   clock,
-		stats:   stats,
-		dram:    NewDRAMSim(dramT, layout.DRAMBase, stats),
-		nvm:     NewNVMSim(nvmT, clock, stats),
-		domain:  NewPersistDomain(layout, backing, stats),
-		backing: backing,
+		Layout:       layout,
+		clock:        clock,
+		stats:        stats,
+		dram:         NewDRAMSim(dramT, layout.DRAMBase, stats),
+		nvm:          NewNVMSim(nvmT, clock, stats),
+		domain:       NewPersistDomain(layout, backing, stats),
+		backing:      backing,
+		dramReadLat:  stats.Hist("mem.dram.read_lat"),
+		dramWriteLat: stats.Hist("mem.dram.write_lat"),
+		nvmReadLat:   stats.Hist("mem.nvm.read_lat"),
+		nvmWriteLat:  stats.Hist("mem.nvm.write_lat"),
+		nvmWbufOcc:   stats.Hist("mem.nvm.wbuf_occupancy"),
 	}
 }
+
+// SetTracer installs the event tracer (nil disables).
+func (c *Controller) SetTracer(tr *obs.Tracer) { c.tr = tr }
 
 // AccessLine returns the device latency for one 64-byte line at pa. It is
 // the timing path used by the cache hierarchy on misses and write-backs.
 func (c *Controller) AccessLine(pa PhysAddr, write bool) sim.Cycles {
 	switch c.Layout.KindOf(pa) {
 	case DRAM:
-		return c.dram.Access(pa, write)
+		lat := c.dram.Access(pa, write)
+		if write {
+			c.dramWriteLat.ObserveCycles(lat)
+		} else {
+			c.dramReadLat.ObserveCycles(lat)
+		}
+		if c.tr.Enabled(obs.CatMem) {
+			name := "dram.read"
+			if write {
+				name = "dram.write"
+			}
+			c.tr.Span(obs.CatMem, name, c.clock.Now(), lat, "pa", uint64(pa))
+		}
+		return lat
 	case NVM:
-		return c.nvm.Access(pa, write)
+		lat := c.nvm.Access(pa, write)
+		if write {
+			c.nvmWriteLat.ObserveCycles(lat)
+		} else {
+			c.nvmReadLat.ObserveCycles(lat)
+		}
+		c.nvmWbufOcc.Observe(uint64(len(c.nvm.drainHead)))
+		if c.tr.Enabled(obs.CatMem) {
+			name := "nvm.read"
+			if write {
+				name = "nvm.write"
+			}
+			c.tr.Span(obs.CatMem, name, c.clock.Now(), lat, "pa", uint64(pa))
+			c.tr.Counter(obs.CatMem, "nvm.wbuf", uint64(len(c.nvm.drainHead)))
+		}
+		return lat
 	default:
 		panic(fmt.Sprintf("mem: access to unmapped physical address %#x", pa))
 	}

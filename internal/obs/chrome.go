@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"kindle/internal/sim"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Timestamps and durations are microseconds of simulated time.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Ph    string            `json:"ph"`
+	Ts    float64           `json:"ts"`
+	Dur   float64           `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]uint64 `json:"args,omitempty"`
+}
+
+// chromeMeta is a metadata event naming a process or thread lane.
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// chromeTrace is the top-level JSON object container.
+type chromeTrace struct {
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+}
+
+const chromePID = 1
+
+// tidFor maps a category to a stable thread id so each category renders
+// as its own lane in the viewer.
+func tidFor(c Category) int {
+	for i, cn := range categoryNames {
+		if c&cn.bit != 0 {
+			return i + 1
+		}
+	}
+	return len(categoryNames) + 1
+}
+
+func cyclesToMicros(c sim.Cycles) float64 { return c.Nanos() / 1e3 }
+
+// WriteChrome exports the recorded events as Chrome trace-event JSON.
+// The output opens directly in chrome://tracing and Perfetto.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	events := t.Events()
+	raw := make([]json.RawMessage, 0, len(events)+len(categoryNames)+1)
+
+	appendJSON := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		raw = append(raw, b)
+		return nil
+	}
+
+	// Metadata: one process for the machine, one named lane per category.
+	if err := appendJSON(chromeMeta{
+		Name: "process_name", Ph: "M", PID: chromePID, TID: 0,
+		Args: map[string]string{"name": "kindle"},
+	}); err != nil {
+		return err
+	}
+	for i, cn := range categoryNames {
+		if err := appendJSON(chromeMeta{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: i + 1,
+			Args: map[string]string{"name": cn.name},
+		}); err != nil {
+			return err
+		}
+	}
+
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Cat.name(),
+			Ts:   cyclesToMicros(e.Ts),
+			PID:  chromePID,
+			TID:  tidFor(e.Cat),
+		}
+		if e.Arg != "" {
+			ce.Args = map[string]uint64{e.Arg: e.Val}
+		}
+		switch e.Kind {
+		case KindSpan:
+			ce.Ph = "X"
+			ce.Dur = cyclesToMicros(e.Dur)
+			// chrome://tracing drops zero-duration complete events; clamp
+			// to a visible sliver (one cycle is below 1ns at 3 GHz).
+			if ce.Dur == 0 {
+				ce.Dur = 0.001
+			}
+		case KindCounter:
+			ce.Ph = "C"
+			ce.Args = map[string]uint64{"value": e.Val}
+		default:
+			ce.Ph = "i"
+			ce.Scope = "p" // process-scoped instant
+		}
+		if err := appendJSON(ce); err != nil {
+			return err
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: raw, DisplayTimeUnit: "ns"})
+}

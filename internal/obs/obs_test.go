@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"kindle/internal/sim"
+)
+
+func TestParseCategories(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Category
+		err  bool
+	}{
+		{"", 0, false},
+		{"all", CatAll, false},
+		{"mem", CatMem, false},
+		{"mem,checkpoint", CatMem | CatCheckpoint, false},
+		{" tlb , ptwalk ", CatTLB | CatPTWalk, false},
+		{"bogus", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseCategories(tc.in)
+		if (err != nil) != tc.err {
+			t.Fatalf("ParseCategories(%q) err = %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("ParseCategories(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCategoryStringRoundTrip(t *testing.T) {
+	for _, c := range []Category{CatMem, CatCache | CatRecovery, CatAll} {
+		back, err := ParseCategories(c.String())
+		if err != nil || back != c {
+			t.Fatalf("round trip %v via %q: got %v err %v", c, c.String(), back, err)
+		}
+	}
+	if Category(0).String() != "none" {
+		t.Fatalf("zero mask renders %q", Category(0).String())
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled(CatMem) {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Instant(CatMem, "x", "", 0)
+	tr.Span(CatMem, "x", 0, 1, "", 0)
+	tr.Counter(CatMem, "x", 1)
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil || tr.Mask() != 0 {
+		t.Fatal("nil tracer holds state")
+	}
+}
+
+func TestCategoryGating(t *testing.T) {
+	clock := sim.NewClock()
+	tr := New(clock, 16, CatCheckpoint)
+	tr.Instant(CatMem, "ignored", "", 0)
+	tr.Instant(CatCheckpoint, "kept", "", 0)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (category gating)", tr.Len())
+	}
+	if evs := tr.Events(); evs[0].Name != "kept" {
+		t.Fatalf("recorded %q", evs[0].Name)
+	}
+}
+
+func TestRingWrapKeepsMostRecent(t *testing.T) {
+	clock := sim.NewClock()
+	tr := New(clock, 4, CatAll)
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for i, n := range names {
+		clock.AdvanceTo(sim.Cycles(i))
+		tr.Instant(CatMem, n, "", 0)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", tr.Dropped())
+	}
+	evs := tr.Events()
+	want := []string{"c", "d", "e", "f"}
+	for i, w := range want {
+		if evs[i].Name != w {
+			t.Fatalf("Events[%d] = %q, want %q (order %v)", i, evs[i].Name, w, evs)
+		}
+	}
+}
+
+func TestSpanAndCounterFields(t *testing.T) {
+	clock := sim.NewClock()
+	tr := New(clock, 8, CatAll)
+	tr.Span(CatCheckpoint, "checkpoint", 100, 50, "slot", 3)
+	clock.Advance(10)
+	tr.Counter(CatMem, "wbuf", 42)
+	evs := tr.Events()
+	if evs[0].Kind != KindSpan || evs[0].Ts != 100 || evs[0].Dur != 50 || evs[0].Arg != "slot" || evs[0].Val != 3 {
+		t.Fatalf("span fields: %+v", evs[0])
+	}
+	if evs[1].Kind != KindCounter || evs[1].Ts != 10 || evs[1].Val != 42 {
+		t.Fatalf("counter fields: %+v", evs[1])
+	}
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	clock := sim.NewClock()
+	tr := New(clock, 64, CatAll)
+	tr.Span(CatCheckpoint, "checkpoint", 3000, 1500, "slot", 0)
+	tr.Span(CatRecovery, "recovery", 6000, 3000, "", 0)
+	tr.Instant(CatSyscall, "page_fault", "va", 0x4000)
+	tr.Counter(CatMem, "nvm.wbuf", 7)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	byName := map[string]map[string]any{}
+	for _, e := range doc.TraceEvents {
+		byName[e["name"].(string)] = e
+	}
+	ck, ok := byName["checkpoint"]
+	if !ok {
+		t.Fatalf("no checkpoint event in %v", byName)
+	}
+	if ck["ph"] != "X" {
+		t.Fatalf("checkpoint ph = %v, want X", ck["ph"])
+	}
+	// 3000 cycles at 3 GHz = 1000 ns = 1 µs.
+	if ck["ts"].(float64) != 1.0 {
+		t.Fatalf("checkpoint ts = %v µs, want 1", ck["ts"])
+	}
+	if ck["dur"].(float64) != 0.5 {
+		t.Fatalf("checkpoint dur = %v µs, want 0.5", ck["dur"])
+	}
+	if _, ok := byName["recovery"]; !ok {
+		t.Fatal("no recovery span")
+	}
+	if pf := byName["page_fault"]; pf["ph"] != "i" {
+		t.Fatalf("instant ph = %v", pf["ph"])
+	}
+	if c := byName["nvm.wbuf"]; c["ph"] != "C" {
+		t.Fatalf("counter ph = %v", c["ph"])
+	}
+	// Lane metadata present.
+	if _, ok := byName["process_name"]; !ok {
+		t.Fatal("missing process_name metadata")
+	}
+}
+
+func TestEmitDoesNotAllocate(t *testing.T) {
+	clock := sim.NewClock()
+	tr := New(clock, 1024, CatAll)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Span(CatMem, "dram.access", 10, 5, "pa", 0x1000)
+		tr.Instant(CatTLB, "miss", "", 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled emit allocates %v per run", allocs)
+	}
+	var nilTr *Tracer
+	allocs = testing.AllocsPerRun(1000, func() {
+		nilTr.Span(CatMem, "dram.access", 10, 5, "pa", 0x1000)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled emit allocates %v per run", allocs)
+	}
+}
+
+func BenchmarkTracerEnabled(b *testing.B) {
+	tr := New(sim.NewClock(), 1<<14, CatAll)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Span(CatMem, "dram.access", sim.Cycles(i), 5, "pa", uint64(i))
+	}
+}
+
+func BenchmarkTracerNil(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Span(CatMem, "dram.access", sim.Cycles(i), 5, "pa", uint64(i))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"kindle/internal/gemos"
 	"kindle/internal/machine"
 	"kindle/internal/mem"
+	"kindle/internal/obs"
 	"kindle/internal/pt"
 	"kindle/internal/sim"
 )
@@ -115,6 +116,9 @@ type Manager struct {
 	ptLogHead uint64
 	ckptEvent *sim.Event
 	started   bool
+
+	ckptLat     *sim.Histogram
+	recoveryLat *sim.Histogram
 }
 
 // Attach wires process persistence into k with the given page-table scheme
@@ -182,6 +186,8 @@ func Reattach(k *gemos.Kernel, interval sim.Cycles) (*Manager, error) {
 // configureKernel installs the scheme-specific hooks.
 func (mgr *Manager) configureKernel() {
 	k := mgr.K
+	mgr.ckptLat = mgr.M.Stats.Hist("persist.checkpoint_lat")
+	mgr.recoveryLat = mgr.M.Stats.Hist("persist.recovery_lat")
 	if mgr.Scheme == Persistent {
 		k.PTKind = mem.NVM
 		k.PTEHook = mgr.pteHook
@@ -430,6 +436,7 @@ func (mgr *Manager) Checkpoint() {
 	start := m.Clock.Now()
 	m.Core.EnterKernel()
 	defer m.Core.ExitKernel()
+	tracing := m.Tracer.Enabled(obs.CatCheckpoint)
 
 	for slot := range mgr.slots {
 		st := &mgr.slots[slot]
@@ -442,6 +449,7 @@ func (mgr *Manager) Checkpoint() {
 		}
 		target := 1 - st.which
 		sa := mgr.geo.slotAddr(slot)
+		phaseStart := m.Clock.Now()
 
 		// 1. Log the CPU state ("we first log the CPU state"), then write
 		// it into the working copy.
@@ -461,6 +469,7 @@ func (mgr *Manager) Checkpoint() {
 			cursorOff = hdrCursorB
 		}
 		m.StoreU64(sa+cursorOff, p.MmapCursor())
+		phaseStart = mgr.endPhase(tracing, "checkpoint.regs", "persist.ckpt.regs_cycles", phaseStart, slot)
 
 		// 2. Apply metadata changes: rewrite the VMA table of the working
 		// copy when the layout changed this interval.
@@ -476,10 +485,13 @@ func (mgr *Manager) Checkpoint() {
 			}
 		}
 
+		phaseStart = mgr.endPhase(tracing, "checkpoint.vma", "persist.ckpt.vma_cycles", phaseStart, slot)
+
 		// 3. Rebuild scheme: maintain the virtual→NVM-physical list.
 		if mgr.Scheme == Rebuild {
 			mgr.maintainV2P(slot, st, d, target)
 		}
+		phaseStart = mgr.endPhase(tracing, "checkpoint.v2p", "persist.ckpt.v2p_cycles", phaseStart, slot)
 
 		// 4. Commit the working copy functionally, then flip the
 		// consistent pointer (single-line write + clwb + fence = atomic).
@@ -494,6 +506,7 @@ func (mgr *Manager) Checkpoint() {
 		m.Core.Fence()
 		m.CommitRange(sa, slotHeaderSize)
 		st.which = target
+		mgr.endPhase(tracing, "checkpoint.flip", "persist.ckpt.flip_cycles", phaseStart, slot)
 
 		if d != nil {
 			d.vmaDirty = false
@@ -503,7 +516,9 @@ func (mgr *Manager) Checkpoint() {
 
 	// Apply (and retire) every redo-log entry accumulated this interval,
 	// including the just-logged CPU states.
+	drainStart := m.Clock.Now()
 	mgr.log.drain()
+	mgr.endPhase(tracing, "checkpoint.redo_drain", "persist.ckpt.redo_cycles", drainStart, -1)
 
 	// The paper assumes heap/stack data pages are kept consistent in NVM
 	// by existing memory-consistency techniques; emulate that assumption
@@ -515,8 +530,30 @@ func (mgr *Manager) Checkpoint() {
 	// take effect: no durable saved state references those frames now.
 	mgr.K.Alloc.FlushDeferredFrees()
 
+	total := m.Clock.Now() - start
+	mgr.ckptLat.ObserveCycles(total)
+	if tracing {
+		m.Tracer.Span(obs.CatCheckpoint, "checkpoint", start, total, "gen", uint64(m.BootGeneration()))
+	}
 	m.Stats.Inc("persist.checkpoints")
-	m.Stats.Add("persist.checkpoint_cycles", uint64(m.Clock.Now()-start))
+	m.Stats.Add("persist.checkpoint_cycles", uint64(total))
+}
+
+// endPhase closes one checkpoint/recovery phase that began at phaseStart:
+// the elapsed cycles are added to counter, a sub-span named name is emitted
+// when tracing, and the new phase start (now) is returned. slot < 0 means
+// the phase is not slot-scoped.
+func (mgr *Manager) endPhaseCat(tracing bool, cat obs.Category, name, counter string, phaseStart sim.Cycles, slot int) sim.Cycles {
+	now := mgr.M.Clock.Now()
+	mgr.M.Stats.Add(counter, uint64(now-phaseStart))
+	if tracing {
+		mgr.M.Tracer.Span(cat, name, phaseStart, now-phaseStart, "slot", uint64(slot))
+	}
+	return now
+}
+
+func (mgr *Manager) endPhase(tracing bool, name, counter string, phaseStart sim.Cycles, slot int) sim.Cycles {
+	return mgr.endPhaseCat(tracing, obs.CatCheckpoint, name, counter, phaseStart, slot)
 }
 
 // maintainV2P applies this interval's mapping changes to the slot's list

@@ -5,6 +5,7 @@ import (
 
 	"kindle/internal/gemos"
 	"kindle/internal/mem"
+	"kindle/internal/obs"
 	"kindle/internal/pt"
 )
 
@@ -25,8 +26,10 @@ func (mgr *Manager) Recover() ([]*gemos.Process, error) {
 	m.Core.EnterKernel()
 	defer m.Core.ExitKernel()
 	startCycles := m.Clock.Now()
+	tracing := m.Tracer.Enabled(obs.CatRecovery)
 
 	k.Alloc.RecoverFromBitmap()
+	phaseStart := mgr.endPhaseCat(tracing, obs.CatRecovery, "recovery.bitmap", "persist.rec.bitmap_cycles", startCycles, -1)
 
 	var recovered []*gemos.Process
 	for slot := 0; slot < SlotCount; slot++ {
@@ -35,6 +38,7 @@ func (mgr *Manager) Recover() ([]*gemos.Process, error) {
 		if m.LoadU64(sa+hdrMagic) != slotMagic || m.LoadU64(sa+hdrValid) != 1 {
 			continue
 		}
+		phaseStart = m.Clock.Now()
 		pid := int(m.LoadU64(sa + hdrPID))
 		which := int(m.LoadU64(sa + hdrWhich))
 		gen := m.LoadU64(sa + hdrGeneration)
@@ -61,19 +65,24 @@ func (mgr *Manager) Recover() ([]*gemos.Process, error) {
 			cursorOff = hdrCursorB
 		}
 		p.SetMmapCursor(m.LoadU64(sa + cursorOff))
+		phaseStart = mgr.endPhaseCat(tracing, obs.CatRecovery, "recovery.regs", "persist.rec.regs_cycles", phaseStart, slot)
 
 		if err := mgr.recoverVMAs(slot, which, p); err != nil {
 			return recovered, fmt.Errorf("persist: slot %d: %w", slot, err)
 		}
+		phaseStart = mgr.endPhaseCat(tracing, obs.CatRecovery, "recovery.vma", "persist.rec.vma_cycles", phaseStart, slot)
 		if err := mgr.recoverTable(slot, which, p); err != nil {
 			return recovered, fmt.Errorf("persist: slot %d: %w", slot, err)
 		}
+		mgr.endPhaseCat(tracing, obs.CatRecovery, "recovery.table", "persist.rec.table_cycles", phaseStart, slot)
 
 		mgr.slots[slot] = slotState{used: true, pid: pid, which: which, gen: gen, mirror: mgr.mirrorFromNVM(slot, which)}
 		k.Adopt(p)
 		recovered = append(recovered, p)
 		m.Stats.Inc("persist.recovered")
 	}
+
+	reconcileStart := m.Clock.Now()
 
 	// Reconciliation: under the persistent scheme the page table is
 	// durable instantly while the VMA layout is checkpoint-consistent, so
@@ -105,8 +114,14 @@ func (mgr *Manager) Recover() ([]*gemos.Process, error) {
 	if n := k.Alloc.ReclaimUnreferenced(referenced); n > 0 {
 		m.Stats.Add("persist.gc_reclaimed", uint64(n))
 	}
+	mgr.endPhaseCat(tracing, obs.CatRecovery, "recovery.reconcile", "persist.rec.reconcile_cycles", reconcileStart, -1)
 
-	m.Stats.Add("persist.recovery_cycles", uint64(m.Clock.Now()-startCycles))
+	total := m.Clock.Now() - startCycles
+	mgr.recoveryLat.ObserveCycles(total)
+	if tracing {
+		m.Tracer.Span(obs.CatRecovery, "recovery", startCycles, total, "procs", uint64(len(recovered)))
+	}
+	m.Stats.Add("persist.recovery_cycles", uint64(total))
 	return recovered, nil
 }
 

@@ -1,0 +1,6 @@
+package sim
+
+import "flag"
+
+// updateGolden rewrites testdata golden files instead of comparing.
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")

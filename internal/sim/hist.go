@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Histogram is a log2-bucketed distribution of uint64 samples (latencies
+// in cycles, queue occupancies, ...). Bucket i holds values whose bit
+// length is i, i.e. [2^(i-1), 2^i); bucket 0 holds the value 0. Observe is
+// allocation-free — components sit it directly on hot paths.
+type Histogram struct {
+	name    string
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+	buckets [65]uint64
+}
+
+// Name returns the registered stat name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(v)]++
+}
+
+// ObserveCycles records a latency sample.
+func (h *Histogram) ObserveCycles(c Cycles) { h.Observe(uint64(c)) }
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Reset zeroes the histogram but keeps the registration.
+func (h *Histogram) Reset() {
+	*h = Histogram{name: h.name}
+}
+
+// Bucket is one non-empty histogram bucket: the closed value range
+// [Lo, Hi] and its sample count.
+type Bucket struct {
+	Lo, Hi uint64
+	Count  uint64
+}
+
+// Buckets returns the non-empty buckets in ascending value order.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		var lo, hi uint64
+		if i > 0 {
+			lo = 1 << (i - 1)
+			hi = 1<<i - 1
+		}
+		out = append(out, Bucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return out
+}
+
+// ForEachStat visits the histogram's gem5-style stat lines in render
+// order: scalar summary fields (::samples, ::mean, ::min_value,
+// ::max_value) followed by one line per non-empty bucket (::lo-hi).
+// Integer fields survive a ParseStatsFile round trip; ::mean is a float
+// and is skipped by the parser, exactly as gem5's float stats are.
+func (h *Histogram) ForEachStat(fn func(name string, v uint64, fv float64, isFloat bool)) {
+	fn(h.name+"::samples", h.count, 0, false)
+	fn(h.name+"::mean", 0, h.Mean(), true)
+	fn(h.name+"::min_value", h.Min(), 0, false)
+	fn(h.name+"::max_value", h.Max(), 0, false)
+	for _, bk := range h.Buckets() {
+		fn(fmt.Sprintf("%s::%d-%d", h.name, bk.Lo, bk.Hi), bk.Count, 0, false)
+	}
+}

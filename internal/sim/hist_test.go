@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	s := NewStats()
+	h := s.Hist("mem.dram.read_lat")
+	if s.Hist("mem.dram.read_lat") != h {
+		t.Fatal("Hist did not return the registered histogram")
+	}
+	for _, v := range []uint64{0, 1, 5, 5, 9, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1020 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 1000 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+	if h.Mean() != 170 {
+		t.Fatalf("mean=%v", h.Mean())
+	}
+	// Buckets: 0 → bucket [0,0]; 1 → [1,1]; 5,5 → [4,7]; 9 → [8,15];
+	// 1000 → [512,1023].
+	bks := h.Buckets()
+	want := []Bucket{
+		{0, 0, 1}, {1, 1, 1}, {4, 7, 2}, {8, 15, 1}, {512, 1023, 1},
+	}
+	if len(bks) != len(want) {
+		t.Fatalf("buckets = %v", bks)
+	}
+	for i, b := range bks {
+		if b != want[i] {
+			t.Fatalf("bucket[%d] = %v, want %v", i, b, want[i])
+		}
+	}
+}
+
+func TestHistogramEmptyAndReset(t *testing.T) {
+	s := NewStats()
+	h := s.Hist("x")
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	h.Observe(42)
+	s.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("Stats.Reset did not reset histograms")
+	}
+	if h.Name() != "x" {
+		t.Fatal("Reset lost the name")
+	}
+}
+
+func TestHistogramObserveNoAlloc(t *testing.T) {
+	s := NewStats()
+	h := s.Hist("lat")
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(123) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per run", allocs)
+	}
+}
+
+func TestDumpIncludesHistograms(t *testing.T) {
+	s := NewStats()
+	s.Set("cache.l1.hit", 3)
+	s.Hist("cache.hit_lat").Observe(4)
+	out := s.Dump("cache.")
+	for _, want := range []string{"cache.l1.hit", "cache.hit_lat::samples", "cache.hit_lat::mean", "cache.hit_lat::4-7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStatsFileWidthRoundTrip pins the WriteStatsFile↔ParseStatsFile
+// symmetry, including a counter name wider than the pad column.
+func TestStatsFileWidthRoundTrip(t *testing.T) {
+	s := NewStats()
+	wide := "persist.checkpoint.v2p_verification_pass_cycles_total" // > NameColWidth chars
+	if len(wide) <= NameColWidth {
+		t.Fatalf("test name no longer wider than pad (%d <= %d)", len(wide), NameColWidth)
+	}
+	s.Set(wide, 987654321)
+	s.Set("a", 1)
+	var buf bytes.Buffer
+	if err := s.WriteStatsFile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Both Dump and WriteStatsFile must pad to the same column.
+	dump := s.Dump("a")
+	if idx := strings.Index(dump, "1"); idx < NameColWidth {
+		t.Fatalf("Dump pads to %d, want >= %d", idx, NameColWidth)
+	}
+	fileLine := strings.SplitN(buf.String(), "\n", 3)[1]
+	if !strings.HasPrefix(fileLine, "a ") {
+		t.Fatalf("unexpected first stat line %q", fileLine)
+	}
+	if len(fileLine) < NameColWidth {
+		t.Fatalf("stats-file line shorter than pad: %q", fileLine)
+	}
+	got, err := ParseStatsFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[wide] != 987654321 || got["a"] != 1 {
+		t.Fatalf("round trip lost values: %v", got)
+	}
+}
+
+func TestHistogramStatsFileRoundTrip(t *testing.T) {
+	s := NewStats()
+	s.Set("nvm.write", 7)
+	h := s.Hist("mem.nvm.read_lat")
+	for _, v := range []uint64{450, 460, 470, 9000} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteStatsFile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseStatsFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["mem.nvm.read_lat::samples"] != 4 {
+		t.Fatalf("samples = %d", got["mem.nvm.read_lat::samples"])
+	}
+	if got["mem.nvm.read_lat::min_value"] != 450 || got["mem.nvm.read_lat::max_value"] != 9000 {
+		t.Fatalf("min/max lost: %v", got)
+	}
+	if got["mem.nvm.read_lat::256-511"] != 3 || got["mem.nvm.read_lat::8192-16383"] != 1 {
+		t.Fatalf("buckets lost: %v", got)
+	}
+	if _, ok := got["mem.nvm.read_lat::mean"]; ok {
+		t.Fatal("float mean parsed as integer counter")
+	}
+	if got["nvm.write"] != 7 {
+		t.Fatal("plain counter lost")
+	}
+}
+
+// TestStatsFileGolden pins the exact gem5 rendering (counters + histogram
+// lines) against a checked-in golden file so paper-artifact parser
+// compatibility cannot drift silently. Regenerate with:
+//
+//	go test ./internal/sim -run TestStatsFileGolden -update-golden
+func TestStatsFileGolden(t *testing.T) {
+	s := NewStats()
+	s.Set("cache.l1.hit", 1048576)
+	s.Set("cache.l1.miss", 2048)
+	s.Set("machine.crashes", 1)
+	s.Set("persist.checkpoints", 12)
+	s.Set("persist.checkpoint.v2p_verification_pass_cycles_total", 98765432109)
+	h := s.Hist("mem.nvm.write_lat")
+	for _, v := range []uint64{0, 10, 10, 11, 1500, 1500, 1501, 40000} {
+		h.Observe(v)
+	}
+	o := s.Hist("nvm.wbuf_occupancy")
+	for _, v := range []uint64{0, 1, 2, 3, 47, 48} {
+		o.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteStatsFile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "stats_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("stats file drifted from golden %s:\n--- got ---\n%s--- want ---\n%s", golden, buf.String(), want)
+	}
+}
+
+func TestDumpIntervalDeltasSumToTotals(t *testing.T) {
+	s := NewStats()
+	var out bytes.Buffer
+
+	s.Add("nvm.write", 10)
+	s.Add("cache.l1.hit", 100)
+	if err := s.DumpInterval(&out); err != nil {
+		t.Fatal(err)
+	}
+	s.Add("nvm.write", 5)
+	if err := s.DumpInterval(&out); err != nil {
+		t.Fatal(err)
+	}
+	s.Add("nvm.write", 7)
+	s.Add("dram.read", 3) // counter born in the last interval
+	if err := s.DumpInterval(&out); err != nil {
+		t.Fatal(err)
+	}
+
+	blocks, err := ParseStatsBlocks(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(blocks))
+	}
+	for i, b := range blocks {
+		if b["interval.index"] != uint64(i+1) {
+			t.Fatalf("block %d index = %d", i, b["interval.index"])
+		}
+	}
+	// Zero deltas are present so the table is rectangular.
+	if v, ok := blocks[1]["cache.l1.hit"]; !ok || v != 0 {
+		t.Fatalf("block 1 cache.l1.hit = %d, present=%v", v, ok)
+	}
+	sums := map[string]uint64{}
+	for _, b := range blocks {
+		for k, v := range b {
+			sums[k] += v
+		}
+	}
+	for _, name := range []string{"nvm.write", "cache.l1.hit", "dram.read"} {
+		if sums[name] != s.Get(name) {
+			t.Fatalf("%s: interval deltas sum to %d, total %d", name, sums[name], s.Get(name))
+		}
+	}
+	if s.IntervalCount() != 3 {
+		t.Fatalf("IntervalCount = %d", s.IntervalCount())
+	}
+}
+
+func TestParseStatsBlocksSingleBlockMatchesParseStatsFile(t *testing.T) {
+	s := NewStats()
+	s.Set("a.b", 4)
+	var buf bytes.Buffer
+	if err := s.WriteStatsFile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := ParseStatsBlocks(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 || blocks[0]["a.b"] != 4 {
+		t.Fatalf("blocks = %v", blocks)
+	}
+}

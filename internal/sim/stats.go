@@ -6,16 +6,31 @@ import (
 	"strings"
 )
 
-// Stats is a flat registry of named counters, mirroring gem5's stats files.
-// Components register counters under dotted names ("cache.l1d.miss",
-// "nvm.write.drained"). Counters are plain uint64s; Kindle simulations are
-// single-goroutine so no synchronization is needed.
+// Stats is a flat registry of named counters and histograms, mirroring
+// gem5's stats files. Components register counters under dotted names
+// ("cache.l1d.miss", "nvm.write.drained"). Counters are plain uint64s;
+// Kindle simulations are single-goroutine so no synchronization is needed.
+//
+// Histograms (log2-bucketed distributions) live alongside the counters:
+// components fetch one with Hist once at construction and Observe samples
+// on hot paths without further map lookups.
 type Stats struct {
 	counters map[string]uint64
+	hists    map[string]*Histogram
+
+	// intervalSnap is the counter baseline of the current interval
+	// (DumpInterval); nil until the first interval dump.
+	intervalSnap map[string]uint64
+	intervals    int
 }
 
 // NewStats returns an empty registry.
-func NewStats() *Stats { return &Stats{counters: make(map[string]uint64)} }
+func NewStats() *Stats {
+	return &Stats{
+		counters: make(map[string]uint64),
+		hists:    make(map[string]*Histogram),
+	}
+}
 
 // Add increments counter name by delta.
 func (s *Stats) Add(name string, delta uint64) { s.counters[name] += delta }
@@ -29,11 +44,42 @@ func (s *Stats) Set(name string, v uint64) { s.counters[name] = v }
 // Get returns counter name (zero when never touched).
 func (s *Stats) Get(name string) uint64 { return s.counters[name] }
 
-// Reset zeroes every counter but keeps registrations.
+// Hist returns the histogram registered under name, creating it on first
+// use. Callers cache the pointer; Observe on it never touches the map.
+func (s *Stats) Hist(name string) *Histogram {
+	h := s.hists[name]
+	if h == nil {
+		h = &Histogram{name: name}
+		s.hists[name] = h
+	}
+	return h
+}
+
+// Histograms returns all registered histograms sorted by name.
+func (s *Stats) Histograms() []*Histogram {
+	names := make([]string, 0, len(s.hists))
+	for k := range s.hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]*Histogram, len(names))
+	for i, n := range names {
+		out[i] = s.hists[n]
+	}
+	return out
+}
+
+// Reset zeroes every counter and histogram but keeps registrations. The
+// interval baseline is cleared too.
 func (s *Stats) Reset() {
 	for k := range s.counters {
 		s.counters[k] = 0
 	}
+	for _, h := range s.hists {
+		h.Reset()
+	}
+	s.intervalSnap = nil
+	s.intervals = 0
 }
 
 // Names returns all counter names in sorted order.
@@ -66,16 +112,47 @@ func (s *Stats) DiffFrom(snap map[string]uint64) map[string]uint64 {
 	return out
 }
 
-// Dump renders all counters with a given name prefix, gem5-stats style.
+// Dump renders all counters and histograms with a given name prefix,
+// gem5-stats style.
 func (s *Stats) Dump(prefix string) string {
 	var b strings.Builder
-	for _, name := range s.Names() {
+	s.forEachStat(func(name string, v uint64, fv float64, isFloat bool) {
 		if !strings.HasPrefix(name, prefix) {
+			return
+		}
+		if isFloat {
+			fmt.Fprintf(&b, "%-*s %12.6f\n", NameColWidth, name, fv)
+		} else {
+			fmt.Fprintf(&b, "%-*s %12d\n", NameColWidth, name, v)
+		}
+	})
+	return b.String()
+}
+
+// forEachStat visits every stat line (counters and expanded histograms)
+// in one sorted sequence: a histogram's lines appear at the position of
+// its base name.
+func (s *Stats) forEachStat(fn func(name string, v uint64, fv float64, isFloat bool)) {
+	names := make([]string, 0, len(s.counters)+len(s.hists))
+	for k := range s.counters {
+		names = append(names, k)
+	}
+	for k := range s.hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	prev := ""
+	for i, name := range names {
+		if i > 0 && name == prev {
+			continue // name registered as both counter and histogram
+		}
+		prev = name
+		if h, ok := s.hists[name]; ok {
+			h.ForEachStat(fn)
 			continue
 		}
-		fmt.Fprintf(&b, "%-48s %12d\n", name, s.counters[name])
+		fn(name, s.counters[name], 0, false)
 	}
-	return b.String()
 }
 
 // Ratio returns num/den as a float, or 0 when den is 0.

@@ -8,20 +8,43 @@ import (
 	"strings"
 )
 
+// NameColWidth is the column the stat value starts at in every rendered
+// layout (Dump, WriteStatsFile, DumpInterval). Names longer than the pad
+// simply push the value right, exactly as gem5 does; parsers split on
+// whitespace so nothing breaks.
+const NameColWidth = 48
+
+const (
+	beginMarker = "---------- Begin Simulation Statistics ----------"
+	endMarker   = "---------- End Simulation Statistics   ----------"
+)
+
 // WriteStatsFile renders the registry in gem5's stats.txt format — the
 // paper's artifact ships Python scripts that parse exactly this layout, so
 // Kindle emits it for drop-in compatibility with existing tooling.
+// Histograms render as gem5 distribution stats: name::samples, a float
+// name::mean, name::min_value / ::max_value and one line per non-empty
+// log2 bucket (name::lo-hi).
 func (s *Stats) WriteStatsFile(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "---------- Begin Simulation Statistics ----------"); err != nil {
+	if _, err := fmt.Fprintln(bw, beginMarker); err != nil {
 		return err
 	}
-	for _, name := range s.Names() {
-		if _, err := fmt.Fprintf(bw, "%-44s %20d                       # (Unspecified)\n", name, s.counters[name]); err != nil {
-			return err
+	var werr error
+	s.forEachStat(func(name string, v uint64, fv float64, isFloat bool) {
+		if werr != nil {
+			return
 		}
+		if isFloat {
+			_, werr = fmt.Fprintf(bw, "%-*s %20.6f                       # (Unspecified)\n", NameColWidth, name, fv)
+		} else {
+			_, werr = fmt.Fprintf(bw, "%-*s %20d                       # (Unspecified)\n", NameColWidth, name, v)
+		}
+	})
+	if werr != nil {
+		return werr
 	}
-	if _, err := fmt.Fprintln(bw, "---------- End Simulation Statistics   ----------"); err != nil {
+	if _, err := fmt.Fprintln(bw, endMarker); err != nil {
 		return err
 	}
 	return bw.Flush()
