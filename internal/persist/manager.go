@@ -547,7 +547,11 @@ func (mgr *Manager) endPhaseCat(tracing bool, cat obs.Category, name, counter st
 	now := mgr.M.Clock.Now()
 	mgr.M.Stats.Add(counter, uint64(now-phaseStart))
 	if tracing {
-		mgr.M.Tracer.Span(cat, name, phaseStart, now-phaseStart, "slot", uint64(slot))
+		if slot < 0 {
+			mgr.M.Tracer.Span(cat, name, phaseStart, now-phaseStart, "", 0)
+		} else {
+			mgr.M.Tracer.Span(cat, name, phaseStart, now-phaseStart, "slot", uint64(slot))
+		}
 	}
 	return now
 }

@@ -22,12 +22,11 @@ import (
 // WriteStatsFile for their end-of-run rendering.
 func (s *Stats) DumpInterval(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	s.intervals++
 	if _, err := fmt.Fprintln(bw, beginMarker); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(bw, "%-*s %20d                       # (Unspecified)\n",
-		NameColWidth, "interval.index", s.intervals); err != nil {
+		NameColWidth, "interval.index", s.intervals+1); err != nil {
 		return err
 	}
 	for _, name := range s.Names() {
@@ -43,8 +42,15 @@ func (s *Stats) DumpInterval(w io.Writer) error {
 	if _, err := fmt.Fprintln(bw, endMarker); err != nil {
 		return err
 	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Advance the interval state only once the block is fully written, so
+	// a failed dump can be retried without skipping an index or losing
+	// the deltas it would have covered.
+	s.intervals++
 	s.intervalSnap = s.Snapshot()
-	return bw.Flush()
+	return nil
 }
 
 // IntervalCount reports how many interval blocks have been dumped.

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -364,6 +365,107 @@ host_mem_usage                                 673824                       # Nu
 	if _, ok := got["sim_seconds"]; ok {
 		t.Fatal("non-integer stat not skipped")
 	}
+}
+
+// TestParseStatsFileReadsTotalsNotIntervals pins the cmd/kindle stats-out
+// layout: end-of-run totals block first, interval delta blocks appended
+// after. ParseStatsFile must return the totals, not the last interval's
+// near-zero deltas.
+func TestParseStatsFileReadsTotalsNotIntervals(t *testing.T) {
+	s := NewStats()
+	s.Set("nvm.write", 95)
+	var intervals bytes.Buffer
+	if err := s.DumpInterval(&intervals); err != nil { // interval 1: delta 95
+		t.Fatal(err)
+	}
+	s.Add("nvm.write", 5)
+	var file bytes.Buffer
+	if err := s.WriteStatsFile(&file); err != nil { // totals: 100
+		t.Fatal(err)
+	}
+	if err := s.DumpInterval(&intervals); err != nil { // interval 2: delta 5
+		t.Fatal(err)
+	}
+	intervals.WriteTo(&file) // the -stats-out layout: totals, then intervals
+	got, err := ParseStatsFile(bytes.NewReader(file.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["nvm.write"] != 100 {
+		t.Fatalf("nvm.write = %d, want end-of-run total 100", got["nvm.write"])
+	}
+	blocks, err := ParseStatsBlocks(bytes.NewReader(file.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 3 || blocks[0]["nvm.write"] != 100 ||
+		blocks[1]["nvm.write"] != 95 || blocks[2]["nvm.write"] != 5 {
+		t.Fatalf("ParseStatsBlocks = %v, want totals block then delta blocks 95, 5", blocks)
+	}
+}
+
+// failAfterWriter fails every write once budget bytes have been accepted.
+type failAfterWriter struct {
+	budget int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if len(p) > w.budget {
+		n := w.budget
+		w.budget = 0
+		return n, errFull
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+var errFull = fmt.Errorf("writer full")
+
+func TestDumpIntervalFailedWriteLeavesStateConsistent(t *testing.T) {
+	s := NewStats()
+	s.Set("x", 7)
+	if err := s.DumpInterval(&failAfterWriter{budget: 10}); err == nil {
+		t.Fatal("DumpInterval to a failing writer did not error")
+	}
+	if s.IntervalCount() != 0 {
+		t.Fatalf("failed dump advanced IntervalCount to %d", s.IntervalCount())
+	}
+	var buf bytes.Buffer
+	if err := s.DumpInterval(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := ParseStatsBlocks(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 || blocks[0]["interval.index"] != 1 || blocks[0]["x"] != 7 {
+		t.Fatalf("retry after failed dump produced %v, want index 1 with full delta 7", blocks)
+	}
+}
+
+func TestHistCounterNameCollisionPanics(t *testing.T) {
+	s := NewStats()
+	s.Inc("dual")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Hist on an existing counter name did not panic")
+			}
+		}()
+		s.Hist("dual")
+	}()
+
+	// Reverse order — counter created after the histogram — must be caught
+	// at render time instead of silently dropping one of the stats.
+	s2 := NewStats()
+	s2.Hist("dual").Observe(1)
+	s2.Inc("dual")
+	defer func() {
+		if recover() == nil {
+			t.Error("rendering a counter/histogram name collision did not panic")
+		}
+	}()
+	_ = s2.Dump("")
 }
 
 func TestParseStatsFileIgnoresOutsideBlock(t *testing.T) {

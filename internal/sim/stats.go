@@ -49,6 +49,9 @@ func (s *Stats) Get(name string) uint64 { return s.counters[name] }
 func (s *Stats) Hist(name string) *Histogram {
 	h := s.hists[name]
 	if h == nil {
+		if _, clash := s.counters[name]; clash {
+			panic(fmt.Sprintf("sim: stat %q already registered as a counter", name))
+		}
 		h = &Histogram{name: name}
 		s.hists[name] = h
 	}
@@ -144,7 +147,11 @@ func (s *Stats) forEachStat(fn func(name string, v uint64, fv float64, isFloat b
 	prev := ""
 	for i, name := range names {
 		if i > 0 && name == prev {
-			continue // name registered as both counter and histogram
+			// Hist rejects names with an existing counter, but a counter
+			// can still be created under a histogram's name afterwards;
+			// rendering would then drop one of them and break the
+			// interval-deltas-sum-to-totals invariant, so fail loudly.
+			panic(fmt.Sprintf("sim: stat %q registered as both counter and histogram", name))
 		}
 		prev = name
 		if h, ok := s.hists[name]; ok {

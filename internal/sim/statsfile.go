@@ -51,7 +51,11 @@ func (s *Stats) WriteStatsFile(w io.Writer) error {
 }
 
 // ParseStatsFile reads a stats file written by WriteStatsFile (or by gem5,
-// for integer scalar stats) back into a counter map.
+// for integer scalar stats) back into a counter map. Only the first
+// Begin/End block is read: cmd/kindle appends interval blocks (deltas,
+// not totals) after the end-of-run totals block, and later gem5 dumps
+// are likewise deltas since the previous dump. Use ParseStatsBlocks to
+// read every block of a multi-block file.
 func ParseStatsFile(r io.Reader) (map[string]uint64, error) {
 	out := make(map[string]uint64)
 	sc := bufio.NewScanner(r)
@@ -68,8 +72,7 @@ func ParseStatsFile(r io.Reader) (map[string]uint64, error) {
 			inBlock = true
 			continue
 		case strings.HasPrefix(line, "---------- End"):
-			inBlock = false
-			continue
+			return out, nil
 		}
 		if !inBlock {
 			continue
