@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench
+.PHONY: all build test check fmt vet race bench benchsmoke
 
 all: build test
 
@@ -10,9 +10,10 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-commit gate: formatting, vet, and the full test suite
-# under the race detector.
-check: fmt vet race
+# check is the pre-commit gate: formatting, vet, the full test suite under
+# the race detector, and a one-iteration pass over every benchmark so the
+# perf harness can't silently rot.
+check: fmt vet race benchsmoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -24,5 +25,12 @@ vet:
 race:
 	$(GO) test -race ./...
 
+benchsmoke:
+	$(GO) test -bench . -benchtime 1x -run XXX ./...
+
+# bench runs the microbenchmarks, then records the headline numbers
+# (replay records/sec, suite wall-clock, GOMAXPROCS) in BENCH_replay.json
+# for cross-PR comparison.
 bench:
 	$(GO) test -bench . -benchmem -run XXX ./internal/mem ./internal/obs ./internal/sim
+	$(GO) test -run TestWriteBenchReport -bench-report BENCH_replay.json .

@@ -1,0 +1,58 @@
+package kindle_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"kindle/internal/bench"
+)
+
+// benchReportPath enables TestWriteBenchReport: `make bench` passes
+// -bench-report BENCH_replay.json to record the machine-readable
+// performance snapshot compared across PRs.
+var benchReportPath = flag.String("bench-report", "", "write the replay/suite benchmark report JSON to this path")
+
+// benchReport is the schema of BENCH_replay.json.
+type benchReport struct {
+	// RecordsPerSec is BenchmarkReplayThroughput's custom metric: trace
+	// records simulated per host second through the full access path.
+	RecordsPerSec float64 `json:"records_per_sec"`
+	// SuiteWallClockSec is the wall-clock time of one full RunAll at
+	// SuiteScale with the default worker pool.
+	SuiteWallClockSec float64 `json:"suite_wall_clock_sec"`
+	SuiteScale        float64 `json:"suite_scale"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+}
+
+// TestWriteBenchReport measures replay throughput and suite wall-clock and
+// writes them as JSON. Skipped unless -bench-report is set, so regular
+// `go test` runs don't pay the measurement.
+func TestWriteBenchReport(t *testing.T) {
+	if *benchReportPath == "" {
+		t.Skip("enabled by -bench-report <path> (see `make bench`)")
+	}
+	rep := benchReport{SuiteScale: 1.0 / 16, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	br := testing.Benchmark(BenchmarkReplayThroughput)
+	rep.RecordsPerSec = br.Extra["records/sec"]
+
+	start := time.Now()
+	if _, err := bench.RunAll(bench.Options{Scale: rep.SuiteScale}, nil); err != nil {
+		t.Fatal(err)
+	}
+	rep.SuiteWallClockSec = time.Since(start).Seconds()
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchReportPath, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %.0f records/sec, suite %.1fs at scale %g on %d procs",
+		*benchReportPath, rep.RecordsPerSec, rep.SuiteWallClockSec, rep.SuiteScale, rep.GOMAXPROCS)
+}

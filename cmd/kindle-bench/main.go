@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	kindle-bench [-scale 1.0] [-experiment all|tableI|tableII|fig4a|fig4b|tableIII|tableIV|fig5|intervals|hscc|extensions] [-check]
+//	kindle-bench [-scale 1.0] [-parallel N] [-experiment all|tableI|tableII|fig4a|fig4b|tableIII|tableIV|fig5|intervals|hscc|extensions] [-check]
 //
 // -scale shrinks footprints, trace lengths and intervals proportionally
 // (0.0625 runs the whole suite in about a minute; 1.0 is paper scale).
+// -parallel bounds the worker pool independent simulation runs fan out
+// over (default: one worker per CPU). Each run owns its machine — clock,
+// stats, RNG — so parallel execution produces byte-identical output.
 // -check validates the published shapes after running.
 package main
 
@@ -15,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"kindle/internal/bench"
 )
@@ -44,12 +48,13 @@ func writeFileSafe(path string, data []byte) error {
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "experiment scale (1.0 = paper parameters)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent simulation runs (1 = sequential)")
 	experiment := flag.String("experiment", "all", "which experiment to run")
 	check := flag.Bool("check", false, "verify the published shapes")
 	csvPath := flag.String("csv", "", "also write all data points as CSV (with -experiment all)")
 	flag.Parse()
 
-	opt := bench.Options{Scale: *scale}
+	opt := bench.Options{Scale: *scale, Parallel: *parallel}
 	progress := func(s string) { fmt.Fprintln(os.Stderr, "[kindle-bench] "+s) }
 
 	run := func(e bench.Experiment, err error) {

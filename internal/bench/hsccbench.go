@@ -77,30 +77,52 @@ type hsccStudy struct {
 	hwOnly     map[string]map[uint32]hsccRun
 }
 
+// runHSCCStudy runs the benchmark x threshold x {OS-charged, HW-only}
+// grid over the worker pool. Each of the 18 runs owns its machine; the
+// trace image of a benchmark is shared read-only across its six runs.
 func runHSCCStudy(opt Options) (*hsccStudy, error) {
 	st := &hsccStudy{
 		benchmarks: []string{core.BenchPageRank, core.BenchSSSP, core.BenchYCSB},
 		withOS:     map[string]map[uint32]hsccRun{},
 		hwOnly:     map[string]map[uint32]hsccRun{},
 	}
-	for _, b := range st.benchmarks {
-		img, err := workloadImage(b, opt)
+	imgs := make([]*trace.Image, len(st.benchmarks))
+	if err := forEachIndexed(opt.workers(), len(st.benchmarks), func(i int) error {
+		var err error
+		imgs[i], err = workloadImage(st.benchmarks[i], opt)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Even index = OS time charged, odd = hardware-only baseline.
+	runs := make([]hsccRun, len(st.benchmarks)*len(hsccThresholds)*2)
+	err := forEachIndexed(opt.workers(), len(runs), func(idx int) error {
+		cell, chargeOS := idx/2, idx%2 == 0
+		bi, ti := cell/len(hsccThresholds), cell%len(hsccThresholds)
+		r, err := runHSCC(imgs[bi], hsccThresholds[ti], chargeOS, opt)
 		if err != nil {
-			return nil, err
+			suffix := ""
+			if !chargeOS {
+				suffix = " hw-only"
+			}
+			return fmt.Errorf("bench: hscc %s th-%d%s: %w",
+				st.benchmarks[bi], hsccThresholds[ti], suffix, err)
 		}
+		runs[idx] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for bi, b := range st.benchmarks {
 		st.withOS[b] = map[uint32]hsccRun{}
 		st.hwOnly[b] = map[uint32]hsccRun{}
-		for _, th := range hsccThresholds {
-			on, err := runHSCC(img, th, true, opt)
-			if err != nil {
-				return nil, fmt.Errorf("bench: hscc %s th-%d: %w", b, th, err)
-			}
-			off, err := runHSCC(img, th, false, opt)
-			if err != nil {
-				return nil, fmt.Errorf("bench: hscc %s th-%d hw-only: %w", b, th, err)
-			}
-			st.withOS[b][th] = on
-			st.hwOnly[b][th] = off
+		for ti, th := range hsccThresholds {
+			cell := bi*len(hsccThresholds) + ti
+			st.withOS[b][th] = runs[cell*2]
+			st.hwOnly[b][th] = runs[cell*2+1]
 		}
 	}
 	return st, nil

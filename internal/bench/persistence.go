@@ -14,6 +14,13 @@ import (
 // (minimum sizes keep the mechanisms exercised) for quick runs and tests.
 type Options struct {
 	Scale float64
+
+	// Parallel bounds the worker pool that independent simulation runs
+	// fan out over (RunAll's experiments and each experiment's internal
+	// grid). Zero or negative means GOMAXPROCS. Each run owns its whole
+	// machine (clock, stats, RNG), so parallelism cannot perturb
+	// simulated timing: results are byte-identical to a sequential run.
+	Parallel int
 }
 
 func (o Options) scale() float64 {
@@ -62,29 +69,38 @@ type Fig4aResult struct {
 	Rows []Fig4aRow
 }
 
-// Fig4a regenerates Figure 4a (sizes 64–512 MB, interval 10 ms).
+// persistSchemes orders the two page-table consistency schemes for the
+// grid fan-outs below (even cell index = persistent, odd = rebuild).
+var persistSchemes = [2]persist.Scheme{persist.Persistent, persist.Rebuild}
+
+// Fig4a regenerates Figure 4a (sizes 64–512 MB, interval 10 ms). The
+// size x scheme grid fans out over the worker pool; each cell owns a whole
+// machine, so results match a sequential run exactly.
 func Fig4a(opt Options) (*Fig4aResult, error) {
-	res := &Fig4aResult{}
-	for _, sizeMB := range []int{64, 128, 256, 512} {
+	sizes := []int{64, 128, 256, 512}
+	ms := make([]float64, len(sizes)*2)
+	err := forEachIndexed(opt.workers(), len(ms), func(idx int) error {
+		sizeMB, scheme := sizes[idx/2], persistSchemes[idx%2]
 		size := opt.scaleBytes(uint64(sizeMB) << 20)
-		row := Fig4aRow{SizeMB: sizeMB}
-		for _, scheme := range []persist.Scheme{persist.Persistent, persist.Rebuild} {
-			f, p, err := newPersistenceRun(scheme, opt.scaleInterval(ckptInterval))
-			if err != nil {
-				return nil, err
-			}
-			start := f.M.Clock.Now()
-			if err := seqAllocAccess(f, p, size); err != nil {
-				return nil, fmt.Errorf("bench: fig4a %dMB %v: %w", sizeMB, scheme, err)
-			}
-			ms := (f.M.Clock.Now() - start).Millis()
-			if scheme == persist.Persistent {
-				row.PersistentMs = ms
-			} else {
-				row.RebuildMs = ms
-			}
+		f, p, err := newPersistenceRun(scheme, opt.scaleInterval(ckptInterval))
+		if err != nil {
+			return err
 		}
-		res.Rows = append(res.Rows, row)
+		start := f.M.Clock.Now()
+		if err := seqAllocAccess(f, p, size); err != nil {
+			return fmt.Errorf("bench: fig4a %dMB %v: %w", sizeMB, scheme, err)
+		}
+		ms[idx] = (f.M.Clock.Now() - start).Millis()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4aResult{}
+	for i, sizeMB := range sizes {
+		res.Rows = append(res.Rows, Fig4aRow{
+			SizeMB: sizeMB, PersistentMs: ms[i*2], RebuildMs: ms[i*2+1],
+		})
 	}
 	return res, nil
 }
@@ -163,24 +179,26 @@ func Fig4b(opt Options) (*Fig4bResult, error) {
 	// 10 ms checkpoint period): calibrate cycles-per-round on a plain
 	// machine, then fix the same round count for both schemes.
 	rounds := calibrateStrideRounds(pages, interval)
-	res := &Fig4bResult{}
-	for _, row := range strides {
-		for _, scheme := range []persist.Scheme{persist.Persistent, persist.Rebuild} {
-			f, p, err := newPersistenceRun(scheme, opt.scaleInterval(ckptInterval))
-			if err != nil {
-				return nil, err
-			}
-			start := f.M.Clock.Now()
-			if err := strideAccess(f, p, row.Gap, pages, rounds); err != nil {
-				return nil, fmt.Errorf("bench: fig4b %s %v: %w", row.Stride, scheme, err)
-			}
-			ms := (f.M.Clock.Now() - start).Millis()
-			if scheme == persist.Persistent {
-				row.PersistentMs = ms
-			} else {
-				row.RebuildMs = ms
-			}
+	ms := make([]float64, len(strides)*2)
+	err := forEachIndexed(opt.workers(), len(ms), func(idx int) error {
+		row, scheme := strides[idx/2], persistSchemes[idx%2]
+		f, p, err := newPersistenceRun(scheme, opt.scaleInterval(ckptInterval))
+		if err != nil {
+			return err
 		}
+		start := f.M.Clock.Now()
+		if err := strideAccess(f, p, row.Gap, pages, rounds); err != nil {
+			return fmt.Errorf("bench: fig4b %s %v: %w", row.Stride, scheme, err)
+		}
+		ms[idx] = (f.M.Clock.Now() - start).Millis()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4bResult{}
+	for i, row := range strides {
+		row.PersistentMs, row.RebuildMs = ms[i*2], ms[i*2+1]
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
@@ -239,30 +257,33 @@ type TableIIIResult struct {
 // TableIII regenerates Table III.
 func TableIII(opt Options) (*TableIIIResult, error) {
 	total := opt.scaleBytes(512 << 20)
-	res := &TableIIIResult{TotalMB: int(total >> 20)}
-	for _, sizeMB := range []int{64, 128, 256} {
+	sizes := []int{64, 128, 256}
+	ms := make([]float64, len(sizes)*2)
+	err := forEachIndexed(opt.workers(), len(ms), func(idx int) error {
+		sizeMB, scheme := sizes[idx/2], persistSchemes[idx%2]
 		chunk := opt.scaleBytes(uint64(sizeMB) << 20)
 		if chunk > total/2 {
 			chunk = total / 2
 		}
-		row := TableIIIRow{SizeMB: sizeMB}
-		for _, scheme := range []persist.Scheme{persist.Persistent, persist.Rebuild} {
-			f, p, err := newPersistenceRun(scheme, opt.scaleInterval(ckptInterval))
-			if err != nil {
-				return nil, err
-			}
-			start := f.M.Clock.Now()
-			if err := churn(f, p, total, chunk); err != nil {
-				return nil, fmt.Errorf("bench: tableIII %dMB %v: %w", sizeMB, scheme, err)
-			}
-			ms := (f.M.Clock.Now() - start).Millis()
-			if scheme == persist.Persistent {
-				row.PersistentMs = ms
-			} else {
-				row.RebuildMs = ms
-			}
+		f, p, err := newPersistenceRun(scheme, opt.scaleInterval(ckptInterval))
+		if err != nil {
+			return err
 		}
-		res.Rows = append(res.Rows, row)
+		start := f.M.Clock.Now()
+		if err := churn(f, p, total, chunk); err != nil {
+			return fmt.Errorf("bench: tableIII %dMB %v: %w", sizeMB, scheme, err)
+		}
+		ms[idx] = (f.M.Clock.Now() - start).Millis()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &TableIIIResult{TotalMB: int(total >> 20)}
+	for i, sizeMB := range sizes {
+		res.Rows = append(res.Rows, TableIIIRow{
+			SizeMB: sizeMB, PersistentMs: ms[i*2], RebuildMs: ms[i*2+1],
+		})
 	}
 	return res, nil
 }
@@ -318,31 +339,38 @@ func TableIV(opt Options) (*TableIVResult, error) {
 	total := opt.scaleBytes(512 << 20)
 	const rounds = 4
 	intervals := []time.Duration{10 * time.Millisecond, 100 * time.Millisecond, time.Second}
-	res := &TableIVResult{}
-	for _, sizeMB := range []int{64, 128, 256} {
+	sizes := []int{64, 128, 256}
+	ms := make([]float64, len(sizes)*len(intervals)*2)
+	err := forEachIndexed(opt.workers(), len(ms), func(idx int) error {
+		cell := idx / 2
+		sizeMB, iv := sizes[cell/len(intervals)], intervals[cell%len(intervals)]
+		scheme := persistSchemes[idx%2]
 		chunk := opt.scaleBytes(uint64(sizeMB) << 20)
 		if chunk > total/2 {
 			chunk = total / 2
 		}
-		for _, iv := range intervals {
-			row := TableIVRow{SizeMB: sizeMB, Interval: iv}
-			for _, scheme := range []persist.Scheme{persist.Persistent, persist.Rebuild} {
-				f, p, err := newPersistenceRun(scheme, opt.scaleInterval(iv))
-				if err != nil {
-					return nil, err
-				}
-				start := f.M.Clock.Now()
-				if err := churnAccess(f, p, total, chunk, rounds); err != nil {
-					return nil, fmt.Errorf("bench: tableIV %dMB %v %v: %w", sizeMB, iv, scheme, err)
-				}
-				ms := (f.M.Clock.Now() - start).Millis()
-				if scheme == persist.Persistent {
-					row.PersistentMs = ms
-				} else {
-					row.RebuildMs = ms
-				}
-			}
-			res.Rows = append(res.Rows, row)
+		f, p, err := newPersistenceRun(scheme, opt.scaleInterval(iv))
+		if err != nil {
+			return err
+		}
+		start := f.M.Clock.Now()
+		if err := churnAccess(f, p, total, chunk, rounds); err != nil {
+			return fmt.Errorf("bench: tableIV %dMB %v %v: %w", sizeMB, iv, scheme, err)
+		}
+		ms[idx] = (f.M.Clock.Now() - start).Millis()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &TableIVResult{}
+	for si, sizeMB := range sizes {
+		for ii, iv := range intervals {
+			cell := si*len(intervals) + ii
+			res.Rows = append(res.Rows, TableIVRow{
+				SizeMB: sizeMB, Interval: iv,
+				PersistentMs: ms[cell*2], RebuildMs: ms[cell*2+1],
+			})
 		}
 	}
 	return res, nil

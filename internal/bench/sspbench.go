@@ -54,30 +54,52 @@ type Fig5Result struct {
 }
 
 // Fig5 regenerates Figure 5 (intervals 1, 5, 10 ms; consolidation thread
-// fixed at 1 ms).
+// fixed at 1 ms). The benchmark x interval grid (plus one baseline column
+// per benchmark) fans out over the worker pool; the replayer only reads
+// the trace image, so all runs of a benchmark share it.
 func Fig5(opt Options) (*Fig5Result, error) {
 	intervals := []time.Duration{time.Millisecond, 5 * time.Millisecond, 10 * time.Millisecond}
+	benchmarks := []string{core.BenchPageRank, core.BenchSSSP, core.BenchYCSB}
 	res := &Fig5Result{Intervals: intervals}
-	for _, benchName := range []string{core.BenchPageRank, core.BenchSSSP, core.BenchYCSB} {
-		img, err := workloadImage(benchName, opt)
-		if err != nil {
-			return nil, err
-		}
-		row := Fig5Row{Benchmark: benchName, Norm: map[time.Duration]float64{}}
 
-		// Baseline: no memory consistency.
-		base, err := runSSP(img, 0, 0, opt)
-		if err != nil {
-			return nil, fmt.Errorf("bench: fig5 %s baseline: %w", benchName, err)
-		}
-		row.BaselineMs = base
+	imgs := make([]*trace.Image, len(benchmarks))
+	if err := forEachIndexed(opt.workers(), len(benchmarks), func(i int) error {
+		var err error
+		imgs[i], err = workloadImage(benchmarks[i], opt)
+		return err
+	}); err != nil {
+		return nil, err
+	}
 
-		for _, iv := range intervals {
-			t, err := runSSP(img, iv, time.Millisecond, opt)
+	// Column 0 of each benchmark is the no-consistency baseline.
+	cols := len(intervals) + 1
+	times := make([]float64, len(benchmarks)*cols)
+	err := forEachIndexed(opt.workers(), len(times), func(idx int) error {
+		bi, ci := idx/cols, idx%cols
+		if ci == 0 {
+			t, err := runSSP(imgs[bi], 0, 0, opt)
 			if err != nil {
-				return nil, fmt.Errorf("bench: fig5 %s %v: %w", benchName, iv, err)
+				return fmt.Errorf("bench: fig5 %s baseline: %w", benchmarks[bi], err)
 			}
-			row.Norm[iv] = t / base
+			times[idx] = t
+			return nil
+		}
+		t, err := runSSP(imgs[bi], intervals[ci-1], time.Millisecond, opt)
+		if err != nil {
+			return fmt.Errorf("bench: fig5 %s %v: %w", benchmarks[bi], intervals[ci-1], err)
+		}
+		times[idx] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for bi, benchName := range benchmarks {
+		row := Fig5Row{Benchmark: benchName, Norm: map[time.Duration]float64{}}
+		row.BaselineMs = times[bi*cols]
+		for ci, iv := range intervals {
+			row.Norm[iv] = times[bi*cols+ci+1] / row.BaselineMs
 		}
 		res.Rows = append(res.Rows, row)
 	}

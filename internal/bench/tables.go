@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"kindle/internal/core"
 	"kindle/internal/machine"
@@ -73,21 +74,27 @@ type TableIIResult struct {
 }
 
 // TableII regenerates the benchmark-details table by tracing each
-// application at the requested scale.
+// application at the requested scale. The three traces are independent, so
+// they run across the worker pool.
 func TableII(opt Options) (*TableIIResult, error) {
-	res := &TableIIResult{}
-	for _, b := range []string{core.BenchPageRank, core.BenchSSSP, core.BenchYCSB} {
-		img, err := workloadImage(b, opt)
+	benchmarks := []string{core.BenchPageRank, core.BenchSSSP, core.BenchYCSB}
+	res := &TableIIResult{Rows: make([]TableIIRow, len(benchmarks))}
+	err := forEachIndexed(opt.workers(), len(benchmarks), func(i int) error {
+		img, err := workloadImage(benchmarks[i], opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r, w := img.Mix()
-		res.Rows = append(res.Rows, TableIIRow{
-			Benchmark: b,
+		res.Rows[i] = TableIIRow{
+			Benchmark: benchmarks[i],
 			TotalOps:  len(img.Records),
 			ReadPct:   r,
 			WritePct:  w,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -178,47 +185,47 @@ func (r *Results) CheckShapes() error {
 }
 
 // RunAll reproduces the complete evaluation. progress (optional) receives a
-// line per completed experiment.
+// line per completed experiment; with parallel workers the completion order
+// varies, but the assembled Results are identical to a sequential run
+// (every experiment writes its own slot, and each simulation owns its
+// machine).
 func RunAll(opt Options, progress func(string)) (*Results, error) {
+	var mu sync.Mutex
 	note := func(s string) {
-		if progress != nil {
-			progress(s)
+		if progress == nil {
+			return
 		}
+		mu.Lock()
+		progress(s)
+		mu.Unlock()
 	}
-	res := &Results{TableI: TableI()}
-	note("Table I done")
-	var err error
-	if res.TableII, err = TableII(opt); err != nil {
+	res := &Results{}
+	tasks := []struct {
+		name string
+		run  func() error
+	}{
+		{"Table I", func() error { res.TableI = TableI(); return nil }},
+		{"Table II", func() (err error) { res.TableII, err = TableII(opt); return }},
+		{"Figure 4a", func() (err error) { res.Fig4a, err = Fig4a(opt); return }},
+		{"Figure 4b", func() (err error) { res.Fig4b, err = Fig4b(opt); return }},
+		{"Table III", func() (err error) { res.TableIII, err = TableIII(opt); return }},
+		{"Table IV", func() (err error) { res.TableIV, err = TableIV(opt); return }},
+		{"Figure 5", func() (err error) { res.Fig5, err = Fig5(opt); return }},
+		{"Table V / Figure 6 / Table VI", func() (err error) {
+			res.TableV, res.Fig6, res.TableVI, err = HSCCAll(opt)
+			return
+		}},
+		{"Interval stats", func() (err error) { res.Intervals, err = Intervals(opt); return }},
+	}
+	err := forEachIndexed(opt.workers(), len(tasks), func(i int) error {
+		if err := tasks[i].run(); err != nil {
+			return err
+		}
+		note(tasks[i].name + " done")
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	note("Table II done")
-	if res.Fig4a, err = Fig4a(opt); err != nil {
-		return nil, err
-	}
-	note("Figure 4a done")
-	if res.Fig4b, err = Fig4b(opt); err != nil {
-		return nil, err
-	}
-	note("Figure 4b done")
-	if res.TableIII, err = TableIII(opt); err != nil {
-		return nil, err
-	}
-	note("Table III done")
-	if res.TableIV, err = TableIV(opt); err != nil {
-		return nil, err
-	}
-	note("Table IV done")
-	if res.Fig5, err = Fig5(opt); err != nil {
-		return nil, err
-	}
-	note("Figure 5 done")
-	if res.TableV, res.Fig6, res.TableVI, err = HSCCAll(opt); err != nil {
-		return nil, err
-	}
-	note("Table V / Figure 6 / Table VI done")
-	if res.Intervals, err = Intervals(opt); err != nil {
-		return nil, err
-	}
-	note("Interval stats done")
 	return res, nil
 }

@@ -28,8 +28,12 @@ type Level struct {
 	stats   *sim.Stats
 
 	// tags[set] is an LRU-ordered slice (front = MRU) of resident lines.
+	// Set slices are allocated with ways capacity on first touch so
+	// steady-state fills never reallocate.
 	tags  [][]line
 	clock uint64 // LRU timestamp source
+
+	evicts *sim.Counter // "cache.<name>.evict", resolved once
 }
 
 type line struct {
@@ -61,6 +65,7 @@ func NewLevel(cfg Config, stats *sim.Stats) *Level {
 		latency: cfg.Latency,
 		stats:   stats,
 		tags:    make([][]line, sets),
+		evicts:  stats.Counter("cache." + cfg.Name + ".evict"),
 	}
 	return l
 }
@@ -110,6 +115,9 @@ func (l *Level) fill(addr mem.PhysAddr, dirty bool) (victim mem.PhysAddr, victim
 	set := l.tags[si]
 	l.clock++
 	if len(set) < l.ways {
+		if set == nil {
+			set = make([]line, 0, l.ways)
+		}
 		l.tags[si] = append(set, line{addr: addr, dirty: dirty, lru: l.clock})
 		return 0, false, false
 	}

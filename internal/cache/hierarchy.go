@@ -46,6 +46,16 @@ type Hierarchy struct {
 	l2HitLat  *sim.Histogram
 	llcHitLat *sim.Histogram
 	missLat   *sim.Histogram
+
+	// Per-level hit/miss and write-back counters, resolved once.
+	l1Hit, l1Miss   *sim.Counter
+	l2Hit, l2Miss   *sim.Counter
+	llcHit, llcMiss *sim.Counter
+	writebacks      *sim.Counter
+	writebacksNVM   *sim.Counter
+	clwbClean       *sim.Counter
+	clwbDirty       *sim.Counter
+	clflushes       *sim.Counter
 }
 
 // NewHierarchy builds the cache stack over the memory controller.
@@ -61,6 +71,15 @@ func NewHierarchy(cfg HierConfig, ctrl *mem.Controller, clock *sim.Clock, stats 
 		l2HitLat:  stats.Hist("cache.l2.hit_lat"),
 		llcHitLat: stats.Hist("cache.llc.hit_lat"),
 		missLat:   stats.Hist("cache.miss_lat"),
+
+		l1Hit: stats.Counter("cache.l1.hit"), l1Miss: stats.Counter("cache.l1.miss"),
+		l2Hit: stats.Counter("cache.l2.hit"), l2Miss: stats.Counter("cache.l2.miss"),
+		llcHit: stats.Counter("cache.llc.hit"), llcMiss: stats.Counter("cache.llc.miss"),
+		writebacks:    stats.Counter("cache.writeback"),
+		writebacksNVM: stats.Counter("cache.writeback_nvm"),
+		clwbClean:     stats.Counter("cache.clwb_clean"),
+		clwbDirty:     stats.Counter("cache.clwb_dirty"),
+		clflushes:     stats.Counter("cache.clflush"),
 	}
 }
 
@@ -82,28 +101,28 @@ func (h *Hierarchy) Access(pa mem.PhysAddr, write bool) sim.Cycles {
 	addr := mem.LineBase(pa)
 	lat := h.l1.latency
 	if h.l1.access(addr, write) {
-		h.stats.Inc("cache.l1.hit")
+		h.l1Hit.Inc()
 		h.l1HitLat.ObserveCycles(lat)
 		return lat
 	}
-	h.stats.Inc("cache.l1.miss")
+	h.l1Miss.Inc()
 	lat += h.l2.latency
 	if h.l2.access(addr, write) {
-		h.stats.Inc("cache.l2.hit")
+		h.l2Hit.Inc()
 		h.l2HitLat.ObserveCycles(lat)
 		h.fillInto(h.l1, addr, write)
 		return lat
 	}
-	h.stats.Inc("cache.l2.miss")
+	h.l2Miss.Inc()
 	lat += h.llc.latency
 	if h.llc.access(addr, write) {
-		h.stats.Inc("cache.llc.hit")
+		h.llcHit.Inc()
 		h.llcHitLat.ObserveCycles(lat)
 		h.fillInto(h.l2, addr, false)
 		h.fillInto(h.l1, addr, write)
 		return lat
 	}
-	h.stats.Inc("cache.llc.miss")
+	h.llcMiss.Inc()
 	if h.onMiss != nil {
 		h.onMiss(addr, write)
 	}
@@ -126,7 +145,7 @@ func (h *Hierarchy) fillInto(l *Level, addr mem.PhysAddr, dirty bool) {
 	if !evicted {
 		return
 	}
-	h.stats.Inc("cache." + l.name + ".evict")
+	l.evicts.Inc()
 	if !victimDirty {
 		return
 	}
@@ -169,11 +188,11 @@ func (l *Level) cleanToDirty(addr mem.PhysAddr) (present, prev bool) {
 // asynchronous from the core's perspective (no latency charged to the
 // requester), but it occupies the device and, for NVM, commits durability.
 func (h *Hierarchy) writebackToMemory(addr mem.PhysAddr) {
-	h.stats.Inc("cache.writeback")
+	h.writebacks.Inc()
 	h.ctrl.AccessLine(addr, true)
 	if h.ctrl.Layout.KindOf(addr) == mem.NVM {
 		h.ctrl.Domain().CommitLine(addr)
-		h.stats.Inc("cache.writeback_nvm")
+		h.writebacksNVM.Inc()
 	}
 }
 
@@ -194,10 +213,10 @@ func (h *Hierarchy) Clwb(pa mem.PhysAddr) sim.Cycles {
 		dirty = true
 	}
 	if !dirty {
-		h.stats.Inc("cache.clwb_clean")
+		h.clwbClean.Inc()
 		return issue
 	}
-	h.stats.Inc("cache.clwb_dirty")
+	h.clwbDirty.Inc()
 	return issue + h.writebackTimed(addr)
 }
 
@@ -215,7 +234,7 @@ func (h *Hierarchy) Flush(pa mem.PhysAddr) sim.Cycles {
 	if _, d := h.llc.invalidate(addr); d {
 		dirty = true
 	}
-	h.stats.Inc("cache.clflush")
+	h.clflushes.Inc()
 	if !dirty {
 		return issue
 	}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"kindle/internal/trace"
+)
+
+// replayDump runs one full framework over img and returns the complete
+// stats dump plus the final simulated time.
+func replayDump(img *trace.Image) (string, uint64, error) {
+	f := NewDefault()
+	_, rep, err := f.LaunchInit(img)
+	if err != nil {
+		return "", 0, err
+	}
+	if err := rep.Run(); err != nil {
+		return "", 0, err
+	}
+	return f.M.Stats.Dump(""), uint64(f.M.Clock.Now()), nil
+}
+
+// TestConcurrentFrameworksIsolated replays the same image on several
+// frameworks at once (run under -race in make check) and requires every
+// run to match a solo run bit-for-bit: concurrent machines must share no
+// clock, stats, RNG or backing state. This pins the property the parallel
+// experiment runner relies on.
+func TestConcurrentFrameworksIsolated(t *testing.T) {
+	img := smallImage(t)
+
+	soloDump, soloEnd, err := replayDump(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soloDump == "" {
+		t.Fatal("solo run produced an empty stats dump")
+	}
+
+	const n = 4
+	dumps := make([]string, n)
+	ends := make([]uint64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dumps[i], ends[i], errs[i] = replayDump(img)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent run %d: %v", i, errs[i])
+		}
+		if ends[i] != soloEnd {
+			t.Errorf("concurrent run %d ended at cycle %d, solo at %d", i, ends[i], soloEnd)
+		}
+		if dumps[i] != soloDump {
+			t.Errorf("concurrent run %d stats diverged from the solo run", i)
+		}
+	}
+}

@@ -104,10 +104,28 @@ type Core struct {
 
 	llcMissed bool // scratch flag set by the hierarchy miss observer
 
+	// Last-translation cache: the entry returned by the previous
+	// successful translate, valid while the TLB's structural generation is
+	// unchanged. Consecutive accesses to the same page (the common replay
+	// pattern) skip the TLB set scan entirely; FastHit keeps LRU state,
+	// stats and timing identical to the full lookup it replaces.
+	lastVPN   uint64
+	lastEntry *tlb.Entry
+	lastGen   uint64
+
 	tr *obs.Tracer // nil when tracing is off
 
 	tlbLookupLat *sim.Histogram
 	ptwalkLat    *sim.Histogram
+
+	kernelCycles  *sim.Counter
+	userCycles    *sim.Counter
+	loads         *sim.Counter
+	stores        *sim.Counter
+	fences        *sim.Counter
+	ptbrWrites    *sim.Counter
+	llcMissKernel *sim.Counter
+	llcMissUser   *sim.Counter
 }
 
 // New builds a core bound to the given translation and memory structures.
@@ -121,6 +139,15 @@ func New(clock *sim.Clock, stats *sim.Stats, t *tlb.TLB, h *cache.Hierarchy, ctr
 		ctrl:         ctrl,
 		tlbLookupLat: stats.Hist("tlb.lookup_lat"),
 		ptwalkLat:    stats.Hist("cpu.ptwalk_lat"),
+
+		kernelCycles:  stats.Counter("cpu.kernel_cycles"),
+		userCycles:    stats.Counter("cpu.user_cycles"),
+		loads:         stats.Counter("cpu.load"),
+		stores:        stats.Counter("cpu.store"),
+		fences:        stats.Counter("cpu.fence"),
+		ptbrWrites:    stats.Counter("cpu.ptbr_write"),
+		llcMissKernel: stats.Counter("cache.llc_miss_kernel"),
+		llcMissUser:   stats.Counter("cache.llc_miss_user"),
 	}
 	h.SetMissObserver(func(pa mem.PhysAddr, write bool) {
 		c.llcMissed = true
@@ -128,9 +155,9 @@ func New(clock *sim.Clock, stats *sim.Stats, t *tlb.TLB, h *cache.Hierarchy, ctr
 		// quantify cache pollution caused by OS activities (migrations,
 		// checkpoints) separately from application misses.
 		if c.kernelDepth > 0 {
-			stats.Inc("cache.llc_miss_kernel")
+			c.llcMissKernel.Inc()
 		} else {
-			stats.Inc("cache.llc_miss_user")
+			c.llcMissUser.Inc()
 		}
 	})
 	return c
@@ -154,7 +181,7 @@ func (c *Core) SetAddressSpace(t *pt.Table) {
 	}
 	c.table = t
 	c.TLB.InvalidateAll()
-	c.stats.Inc("cpu.ptbr_write")
+	c.ptbrWrites.Inc()
 }
 
 // AddressSpace returns the current table (nil before the first switch).
@@ -182,9 +209,9 @@ func (c *Core) WriteMSR(n uint32, v uint64) { c.msrs[n] = v }
 func (c *Core) charge(lat sim.Cycles) {
 	c.clock.Advance(lat)
 	if c.kernelDepth > 0 {
-		c.stats.Add("cpu.kernel_cycles", uint64(lat))
+		c.kernelCycles.Add(uint64(lat))
 	} else {
-		c.stats.Add("cpu.user_cycles", uint64(lat))
+		c.userCycles.Add(uint64(lat))
 	}
 }
 
@@ -192,11 +219,23 @@ func (c *Core) charge(lat sim.Cycles) {
 // needed. The returned entry is live TLB state.
 func (c *Core) translate(va uint64, write bool) (*tlb.Entry, error) {
 	vpn := va / mem.PageSize
+	if c.lastEntry != nil && c.lastVPN == vpn && c.lastGen == c.TLB.Gen() {
+		// Same page as the previous translation and the TLB has not been
+		// structurally touched since: the entry is still resident in L1.
+		// FastHit charges and counts exactly what the full lookup would.
+		lat := c.TLB.FastHit(c.lastEntry)
+		c.charge(lat)
+		c.tlbLookupLat.ObserveCycles(lat)
+		return c.lastEntry, nil
+	}
 	for attempt := 0; attempt < 3; attempt++ {
 		e, lat := c.TLB.Lookup(vpn)
 		c.charge(lat)
 		c.tlbLookupLat.ObserveCycles(lat)
 		if e != nil {
+			c.lastVPN = vpn
+			c.lastEntry = e
+			c.lastGen = c.TLB.Gen()
 			return e, nil
 		}
 		if c.tr.Enabled(obs.CatTLB) {
@@ -229,7 +268,7 @@ func (c *Core) translate(va uint64, write bool) (*tlb.Entry, error) {
 		flat, err := c.fault.HandlePageFault(va, write)
 		// Fault handler runs in kernel mode; its own memory operations
 		// already advanced the clock. flat covers fixed entry/exit cost.
-		c.stats.Add("cpu.kernel_cycles", uint64(flat))
+		c.kernelCycles.Add(uint64(flat))
 		c.clock.Advance(flat)
 		if err != nil {
 			return nil, err
@@ -276,9 +315,9 @@ func (c *Core) Access(va uint64, write bool, size int) (sim.Cycles, error) {
 		cur = chunkEnd
 	}
 	if write {
-		c.stats.Inc("cpu.store")
+		c.stores.Inc()
 	} else {
-		c.stats.Inc("cpu.load")
+		c.loads.Inc()
 	}
 	return c.clock.Now() - start, nil
 }
@@ -304,7 +343,7 @@ func (c *Core) Clwb(pa mem.PhysAddr) sim.Cycles {
 func (c *Core) Fence() sim.Cycles {
 	lat := c.ctrl.NVM().DrainLatency()
 	c.charge(lat)
-	c.stats.Inc("cpu.fence")
+	c.fences.Inc()
 	return lat
 }
 
@@ -324,6 +363,7 @@ func (c *Core) VirtToPhys(va uint64) (mem.PhysAddr, bool) {
 // Reset models the core losing volatile state at power failure.
 func (c *Core) Reset() {
 	c.Regs = Registers{}
+	c.lastEntry = nil
 	c.msrs = make(map[uint32]uint64)
 	c.TLB.Reset()
 	c.table = nil

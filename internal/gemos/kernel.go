@@ -92,6 +92,12 @@ type Kernel struct {
 	OnExit func(p *Process)
 
 	faultLat *sim.Histogram // demand-fault service time (incl. FaultCost)
+
+	// Per-event counters on the fault/switch/tick paths, resolved once.
+	faultDemand     *sim.Counter
+	contextSwitches *sim.Counter
+	schedTicks      *sim.Counter
+	kernelCycles    *sim.Counter
 }
 
 // Boot initializes the kernel on m.
@@ -105,6 +111,11 @@ func Boot(m *machine.Machine) *Kernel {
 		procs:    make(map[int]*Process),
 		PTKind:   mem.DRAM,
 		faultLat: m.Stats.Hist("os.fault_lat"),
+
+		faultDemand:     m.Stats.Counter("os.fault_demand"),
+		contextSwitches: m.Stats.Counter("os.context_switch"),
+		schedTicks:      m.Stats.Counter("os.sched_tick"),
+		kernelCycles:    m.Stats.Counter("cpu.kernel_cycles"),
 	}
 	m.Core.SetFaultHandler(k)
 	return k
@@ -208,8 +219,8 @@ func (k *Kernel) Switch(p *Process) {
 	p.State = ProcRunning
 	k.current = p
 	k.M.Clock.Advance(SwitchCost)
-	k.M.Stats.Inc("os.context_switch")
-	k.M.Stats.Add("cpu.kernel_cycles", uint64(SwitchCost))
+	k.contextSwitches.Inc()
+	k.kernelCycles.Add(uint64(SwitchCost))
 }
 
 // HandlePageFault implements cpu.FaultHandler: demand paging. The faulting
@@ -261,7 +272,7 @@ func (k *Kernel) HandlePageFault(va uint64, write bool) (sim.Cycles, error) {
 	if k.Meta != nil && v.Kind == mem.NVM {
 		k.Meta.LogMapping(p, pageVA/mem.PageSize, pfn, true)
 	}
-	k.M.Stats.Inc("os.fault_demand")
+	k.faultDemand.Inc()
 	return FaultCost, nil
 }
 

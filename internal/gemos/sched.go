@@ -72,7 +72,7 @@ func (s *Scheduler) arm() {
 			return
 		}
 		s.expired = true
-		s.k.M.Stats.Inc("os.sched_tick")
+		s.k.schedTicks.Inc()
 		s.arm()
 	})
 }

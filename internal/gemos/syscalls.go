@@ -17,7 +17,7 @@ func pageAlignUp(n uint64) uint64 {
 func (k *Kernel) enterSyscall(name string) {
 	k.M.Core.EnterKernel()
 	k.M.Clock.Advance(SyscallCost)
-	k.M.Stats.Add("cpu.kernel_cycles", uint64(SyscallCost))
+	k.kernelCycles.Add(uint64(SyscallCost))
 	k.M.Stats.Inc("os.syscall." + name)
 	if k.M.Tracer.Enabled(obs.CatSyscall) {
 		pid := uint64(0)

@@ -88,6 +88,8 @@ type Controller struct {
 	proc *gemos.Process
 	ev   *sim.Event
 	on   bool
+
+	countSpills *sim.Counter // "hscc.count_spill", fires per TLB evict/harvest
 }
 
 // Attach builds the prototype over k for process p, allocating the DRAM
@@ -109,6 +111,8 @@ func Attach(k *gemos.Kernel, p *gemos.Process, cfg Config) (*Controller, error) 
 		byDst:     make(map[uint64]*pageState),
 		counts:    make(map[uint64]uint32),
 		proc:      p,
+
+		countSpills: k.M.Stats.Counter("hscc.count_spill"),
 	}
 	for i := 0; i < cfg.PoolPages; i++ {
 		pfn, err := k.Alloc.AllocFrame(mem.DRAM)
@@ -194,7 +198,7 @@ func (c *Controller) spillCount(vpn uint64, count uint32) {
 	}
 	ea := c.tableBase + mem.PhysAddr((vpn%4096)*16)
 	c.m.AccessTimed(ea, true)
-	c.m.Stats.Inc("hscc.count_spill")
+	c.countSpills.Inc()
 }
 
 // MigrationActivity is the per-interval OS work: refresh the pool lists,

@@ -1,36 +1,114 @@
 package mem
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	// slabFrameBits sizes the leaf of the frame directory: 2^9 = 512
+	// frames (2 MiB of simulated memory) per slab, so a slab's pointer
+	// array is exactly one host page.
+	slabFrameBits = 9
+	slabFrames    = 1 << slabFrameBits
+
+	// maxDenseSlabs bounds the flat directory: slabs below this index
+	// (64 GiB of physical address space) are reached with two array
+	// indexations; anything above falls back to a map, so arbitrary
+	// addresses still work without a huge allocation.
+	maxDenseSlabs = 1 << 15
+)
+
+// zeroFrame is the shared source for reads of untouched memory.
+var zeroFrame [PageSize]byte
+
+// frameSlab is one directory leaf: lazily allocated frames for a 2 MiB
+// aligned run of physical memory.
+type frameSlab struct {
+	frames [slabFrames]*[PageSize]byte
+}
 
 // Backing is the functional content store for physical memory. Frames are
 // allocated lazily so a 5 GB machine does not cost 5 GB of host memory;
 // only frames actually written exist. Reads of untouched memory return
 // zeroes, matching real hardware after the memory controller scrubs.
+//
+// Frames live behind a two-level directory (dense slab array -> frame
+// pointers) indexed by PFN, so the per-access cost is two array loads
+// instead of a map probe.
 type Backing struct {
-	frames map[uint64]*[PageSize]byte
+	dense     []*frameSlab          // slabs below maxDenseSlabs, grown on demand
+	sparse    map[uint64]*frameSlab // slabs at/above the dense window (rare)
+	populated int                   // frames currently holding data
 }
 
 // NewBacking returns an empty content store.
 func NewBacking() *Backing {
-	return &Backing{frames: make(map[uint64]*[PageSize]byte)}
+	return &Backing{}
+}
+
+// frame returns the frame for pfn, or nil if untouched.
+func (b *Backing) frame(pfn uint64) *[PageSize]byte {
+	si := pfn >> slabFrameBits
+	var s *frameSlab
+	if si < uint64(len(b.dense)) {
+		s = b.dense[si]
+	} else if si >= maxDenseSlabs {
+		s = b.sparse[si]
+	}
+	if s == nil {
+		return nil
+	}
+	return s.frames[pfn&(slabFrames-1)]
+}
+
+// ensureFrame returns the frame for pfn, allocating it (and its slab) if
+// needed.
+func (b *Backing) ensureFrame(pfn uint64) *[PageSize]byte {
+	si := pfn >> slabFrameBits
+	var s *frameSlab
+	if si < maxDenseSlabs {
+		for uint64(len(b.dense)) <= si {
+			b.dense = append(b.dense, nil)
+		}
+		s = b.dense[si]
+		if s == nil {
+			s = &frameSlab{}
+			b.dense[si] = s
+		}
+	} else {
+		s = b.sparse[si]
+		if s == nil {
+			if b.sparse == nil {
+				b.sparse = make(map[uint64]*frameSlab)
+			}
+			s = &frameSlab{}
+			b.sparse[si] = s
+		}
+	}
+	fi := pfn & (slabFrames - 1)
+	f := s.frames[fi]
+	if f == nil {
+		f = new([PageSize]byte)
+		s.frames[fi] = f
+		b.populated++
+	}
+	return f
 }
 
 // Read copies len(dst) bytes at pa into dst. Crossing frame boundaries is
 // supported.
 func (b *Backing) Read(pa PhysAddr, dst []byte) {
 	for len(dst) > 0 {
-		pfn := FrameNumber(pa)
 		off := uint64(pa) % PageSize
 		n := PageSize - off
 		if uint64(len(dst)) < n {
 			n = uint64(len(dst))
 		}
-		if f := b.frames[pfn]; f != nil {
+		if f := b.frame(FrameNumber(pa)); f != nil {
 			copy(dst[:n], f[off:off+n])
 		} else {
-			for i := uint64(0); i < n; i++ {
-				dst[i] = 0
-			}
+			copy(dst[:n], zeroFrame[off:off+n])
 		}
 		dst = dst[n:]
 		pa += PhysAddr(n)
@@ -40,17 +118,12 @@ func (b *Backing) Read(pa PhysAddr, dst []byte) {
 // Write copies src into memory at pa.
 func (b *Backing) Write(pa PhysAddr, src []byte) {
 	for len(src) > 0 {
-		pfn := FrameNumber(pa)
 		off := uint64(pa) % PageSize
 		n := PageSize - off
 		if uint64(len(src)) < n {
 			n = uint64(len(src))
 		}
-		f := b.frames[pfn]
-		if f == nil {
-			f = new([PageSize]byte)
-			b.frames[pfn] = f
-		}
+		f := b.ensureFrame(FrameNumber(pa))
 		copy(f[off:off+n], src[:n])
 		src = src[n:]
 		pa += PhysAddr(n)
@@ -59,54 +132,97 @@ func (b *Backing) Write(pa PhysAddr, src []byte) {
 
 // ReadU64 reads a little-endian uint64 at pa.
 func (b *Backing) ReadU64(pa PhysAddr) uint64 {
+	if off := uint64(pa) % PageSize; off <= PageSize-8 {
+		f := b.frame(FrameNumber(pa))
+		if f == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(f[off:])
+	}
 	var buf [8]byte
 	b.Read(pa, buf[:])
-	return uint64(buf[0]) | uint64(buf[1])<<8 | uint64(buf[2])<<16 | uint64(buf[3])<<24 |
-		uint64(buf[4])<<32 | uint64(buf[5])<<40 | uint64(buf[6])<<48 | uint64(buf[7])<<56
+	return binary.LittleEndian.Uint64(buf[:])
 }
 
 // WriteU64 writes a little-endian uint64 at pa.
 func (b *Backing) WriteU64(pa PhysAddr, v uint64) {
-	var buf [8]byte
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(v >> (8 * i))
+	if off := uint64(pa) % PageSize; off <= PageSize-8 {
+		f := b.ensureFrame(FrameNumber(pa))
+		binary.LittleEndian.PutUint64(f[off:], v)
+		return
 	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
 	b.Write(pa, buf[:])
 }
 
 // ZeroFrame clears an entire 4 KiB frame (releasing backing storage).
-func (b *Backing) ZeroFrame(pfn uint64) { delete(b.frames, pfn) }
+func (b *Backing) ZeroFrame(pfn uint64) {
+	si := pfn >> slabFrameBits
+	var s *frameSlab
+	if si < uint64(len(b.dense)) {
+		s = b.dense[si]
+	} else if si >= maxDenseSlabs {
+		s = b.sparse[si]
+	}
+	if s == nil {
+		return
+	}
+	fi := pfn & (slabFrames - 1)
+	if s.frames[fi] != nil {
+		s.frames[fi] = nil
+		b.populated--
+	}
+}
 
 // CopyFrame copies a whole frame from src to dst frame numbers.
 func (b *Backing) CopyFrame(dstPFN, srcPFN uint64) {
-	src := b.frames[srcPFN]
+	src := b.frame(srcPFN)
 	if src == nil {
-		delete(b.frames, dstPFN)
+		b.ZeroFrame(dstPFN)
 		return
 	}
-	dst := b.frames[dstPFN]
-	if dst == nil {
-		dst = new([PageSize]byte)
-		b.frames[dstPFN] = dst
-	}
+	dst := b.ensureFrame(dstPFN)
 	*dst = *src
 }
 
 // DropRange forgets contents of every frame that overlaps [base, base+size).
 // Machine crash uses this to lose DRAM.
 func (b *Backing) DropRange(base PhysAddr, size uint64) {
+	if size == 0 {
+		return
+	}
 	first := FrameNumber(base)
 	last := FrameNumber(base + PhysAddr(size) - 1)
-	for pfn := range b.frames {
-		if pfn >= first && pfn <= last {
-			delete(b.frames, pfn)
+	for si := first >> slabFrameBits; si <= last>>slabFrameBits && si < uint64(len(b.dense)); si++ {
+		b.dropFromSlab(b.dense[si], si, first, last)
+	}
+	for si, s := range b.sparse {
+		if si >= first>>slabFrameBits && si <= last>>slabFrameBits {
+			b.dropFromSlab(s, si, first, last)
+		}
+	}
+}
+
+// dropFromSlab clears every populated frame of s whose PFN is in
+// [first, last].
+func (b *Backing) dropFromSlab(s *frameSlab, si, first, last uint64) {
+	if s == nil {
+		return
+	}
+	slabBase := si << slabFrameBits
+	for fi := range s.frames {
+		pfn := slabBase + uint64(fi)
+		if pfn >= first && pfn <= last && s.frames[fi] != nil {
+			s.frames[fi] = nil
+			b.populated--
 		}
 	}
 }
 
 // PopulatedFrames reports how many frames hold data (test/diagnostic aid).
-func (b *Backing) PopulatedFrames() int { return len(b.frames) }
+func (b *Backing) PopulatedFrames() int { return b.populated }
 
 func (b *Backing) String() string {
-	return fmt.Sprintf("mem.Backing{frames: %d}", len(b.frames))
+	return fmt.Sprintf("mem.Backing{frames: %d}", b.populated)
 }

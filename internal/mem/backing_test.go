@@ -1,0 +1,129 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestBackingSparseAddresses exercises the map fallback above the dense
+// slab window (PFN >= maxDenseSlabs*slabFrames): read/write must behave
+// exactly like the dense path.
+func TestBackingSparseAddresses(t *testing.T) {
+	b := NewBacking()
+	highPFN := uint64(maxDenseSlabs*slabFrames) + 12345
+	pa := FrameBase(highPFN) + 100
+
+	var zero [16]byte
+	got := make([]byte, 16)
+	b.Read(pa, got)
+	if !bytes.Equal(got, zero[:]) {
+		t.Fatalf("untouched sparse read = %v, want zeroes", got)
+	}
+
+	b.Write(pa, []byte("sparse-slab-data"))
+	b.Read(pa, got)
+	if string(got) != "sparse-slab-data" {
+		t.Fatalf("sparse round trip = %q", got)
+	}
+	if n := b.PopulatedFrames(); n != 1 {
+		t.Fatalf("PopulatedFrames = %d, want 1", n)
+	}
+
+	b.ZeroFrame(highPFN)
+	b.Read(pa, got)
+	if !bytes.Equal(got, zero[:]) {
+		t.Fatalf("sparse frame survived ZeroFrame: %v", got)
+	}
+	if n := b.PopulatedFrames(); n != 0 {
+		t.Fatalf("PopulatedFrames after ZeroFrame = %d, want 0", n)
+	}
+}
+
+// TestBackingCrossSlabWrite writes a run spanning a slab boundary and
+// checks both halves plus the populated-frame accounting.
+func TestBackingCrossSlabWrite(t *testing.T) {
+	b := NewBacking()
+	// Last frame of slab 0 and first frame of slab 1.
+	pa := FrameBase(slabFrames) - 8
+	src := []byte("0123456789abcdef")
+	b.Write(pa, src)
+	got := make([]byte, len(src))
+	b.Read(pa, got)
+	if !bytes.Equal(got, src) {
+		t.Fatalf("cross-slab round trip = %q, want %q", got, src)
+	}
+	if n := b.PopulatedFrames(); n != 2 {
+		t.Fatalf("PopulatedFrames = %d, want 2", n)
+	}
+}
+
+// TestBackingDropRangeAcrossSlabs populates frames in several slabs (dense
+// and sparse) and drops a window covering a subset.
+func TestBackingDropRangeAcrossSlabs(t *testing.T) {
+	b := NewBacking()
+	highPFN := uint64(maxDenseSlabs * slabFrames) // first sparse slab
+	pfns := []uint64{0, 1, slabFrames - 1, slabFrames, 3 * slabFrames, highPFN}
+	for _, pfn := range pfns {
+		b.WriteU64(FrameBase(pfn), pfn+1)
+	}
+	if n := b.PopulatedFrames(); n != len(pfns) {
+		t.Fatalf("PopulatedFrames = %d, want %d", n, len(pfns))
+	}
+
+	// Drop [frame 1, frame slabFrames] inclusive: kills 1, slabFrames-1,
+	// slabFrames; keeps 0, 3*slabFrames and the sparse frame.
+	b.DropRange(FrameBase(1), uint64(slabFrames)*PageSize)
+	if n := b.PopulatedFrames(); n != 3 {
+		t.Fatalf("PopulatedFrames after drop = %d, want 3", n)
+	}
+	for _, pfn := range []uint64{1, slabFrames - 1, slabFrames} {
+		if v := b.ReadU64(FrameBase(pfn)); v != 0 {
+			t.Errorf("frame %d survived DropRange: %#x", pfn, v)
+		}
+	}
+	for _, pfn := range []uint64{0, 3 * slabFrames, highPFN} {
+		if v := b.ReadU64(FrameBase(pfn)); v != pfn+1 {
+			t.Errorf("frame %d = %#x, want %#x", pfn, v, pfn+1)
+		}
+	}
+
+	// A drop window covering the sparse slab reaches the map fallback too.
+	b.DropRange(FrameBase(highPFN), PageSize)
+	if v := b.ReadU64(FrameBase(highPFN)); v != 0 {
+		t.Errorf("sparse frame survived DropRange: %#x", v)
+	}
+	if n := b.PopulatedFrames(); n != 2 {
+		t.Fatalf("PopulatedFrames after sparse drop = %d, want 2", n)
+	}
+}
+
+// TestBackingUnalignedU64 checks the slow path of ReadU64/WriteU64 where
+// the word straddles a frame boundary.
+func TestBackingUnalignedU64(t *testing.T) {
+	b := NewBacking()
+	pa := FrameBase(7) - 3 // 3 bytes in frame 6, 5 bytes in frame 7
+	const v = uint64(0x1122334455667788)
+	b.WriteU64(pa, v)
+	if got := b.ReadU64(pa); got != v {
+		t.Fatalf("straddling ReadU64 = %#x, want %#x", got, v)
+	}
+	if n := b.PopulatedFrames(); n != 2 {
+		t.Fatalf("PopulatedFrames = %d, want 2", n)
+	}
+}
+
+// TestBackingCopyFrameSparse copies between dense and sparse regions.
+func TestBackingCopyFrameSparse(t *testing.T) {
+	b := NewBacking()
+	highPFN := uint64(maxDenseSlabs*slabFrames) + 7
+	b.WriteU64(FrameBase(5)+8, 0xdead)
+	b.CopyFrame(highPFN, 5)
+	if v := b.ReadU64(FrameBase(highPFN) + 8); v != 0xdead {
+		t.Fatalf("copied sparse frame = %#x, want 0xdead", v)
+	}
+	// Copying from an untouched source zeroes the destination.
+	b.CopyFrame(highPFN, 99)
+	if v := b.ReadU64(FrameBase(highPFN) + 8); v != 0 {
+		t.Fatalf("copy-from-untouched left %#x", v)
+	}
+}

@@ -41,6 +41,11 @@ type DRAMSim struct {
 	rowHitCycles  sim.Cycles
 	rowMissCycles sim.Cycles
 	burstCycles   sim.Cycles
+
+	rowHits   *sim.Counter
+	rowMisses *sim.Counter
+	writes    *sim.Counter
+	reads     *sim.Counter
 }
 
 // NewDRAMSim builds the device model for the region starting at base.
@@ -50,6 +55,11 @@ func NewDRAMSim(t DRAMTiming, base PhysAddr, stats *sim.Stats) *DRAMSim {
 		base:    base,
 		openRow: make([]int64, t.Banks),
 		stats:   stats,
+
+		rowHits:   stats.Counter("dram.row_hit"),
+		rowMisses: stats.Counter("dram.row_miss"),
+		writes:    stats.Counter("dram.write"),
+		reads:     stats.Counter("dram.read"),
 	}
 	for i := range d.openRow {
 		d.openRow[i] = -1
@@ -75,7 +85,7 @@ func (d *DRAMSim) Access(pa PhysAddr, write bool) sim.Cycles {
 	lat := d.burstCycles
 	if d.openRow[bank] == row {
 		lat += d.rowHitCycles
-		d.stats.Inc("dram.row_hit")
+		d.rowHits.Inc()
 	} else {
 		if d.openRow[bank] == -1 {
 			lat += sim.FromNanos(d.timing.TRCD + d.timing.TCAS)
@@ -83,12 +93,12 @@ func (d *DRAMSim) Access(pa PhysAddr, write bool) sim.Cycles {
 			lat += d.rowMissCycles
 		}
 		d.openRow[bank] = row
-		d.stats.Inc("dram.row_miss")
+		d.rowMisses.Inc()
 	}
 	if write {
-		d.stats.Inc("dram.write")
+		d.writes.Inc()
 	} else {
-		d.stats.Inc("dram.read")
+		d.reads.Inc()
 	}
 	return lat
 }

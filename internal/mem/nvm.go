@@ -39,6 +39,12 @@ type NVMSim struct {
 	clock  *sim.Clock
 	stats  *sim.Stats
 
+	writes          *sim.Counter
+	writeStalls     *sim.Counter
+	writeStallCycle *sim.Counter
+	reads           *sim.Counter
+	readWbufHits    *sim.Counter
+
 	readCycles  sim.Cycles
 	writeCycles sim.Cycles
 	burstCycles sim.Cycles
@@ -65,6 +71,12 @@ func NewNVMSim(t NVMTiming, clock *sim.Clock, stats *sim.Stats) *NVMSim {
 		writeCycles: sim.FromNanos(t.WriteNanos),
 		burstCycles: sim.FromNanos(t.Burst),
 		wbuf:        make(map[PhysAddr]sim.Cycles),
+
+		writes:          stats.Counter("nvm.write"),
+		writeStalls:     stats.Counter("nvm.write_stall"),
+		writeStallCycle: stats.Counter("nvm.write_stall_cycles"),
+		reads:           stats.Counter("nvm.read"),
+		readWbufHits:    stats.Counter("nvm.read_wbuf_hit"),
 	}
 }
 
@@ -91,7 +103,7 @@ func (n *NVMSim) Access(pa PhysAddr, write bool) sim.Cycles {
 	now := n.clock.Now()
 	n.expire(now)
 	if write {
-		n.stats.Inc("nvm.write")
+		n.writes.Inc()
 		lat := n.burstCycles
 		// If the buffer is full, stall until the oldest entry drains.
 		if len(n.drainHead) >= n.timing.WriteBuf {
@@ -100,8 +112,8 @@ func (n *NVMSim) Access(pa PhysAddr, write bool) sim.Cycles {
 				stall := oldest.done - now
 				lat += stall
 				now = oldest.done
-				n.stats.Add("nvm.write_stall_cycles", uint64(stall))
-				n.stats.Inc("nvm.write_stall")
+				n.writeStallCycle.Add(uint64(stall))
+				n.writeStalls.Inc()
 			}
 			n.expire(now)
 		}
@@ -117,10 +129,10 @@ func (n *NVMSim) Access(pa PhysAddr, write bool) sim.Cycles {
 		n.drainHead = append(n.drainHead, wbufEntry{line: line, done: done})
 		return lat
 	}
-	n.stats.Inc("nvm.read")
+	n.reads.Inc()
 	// Read hit in the write buffer: served at interface speed.
 	if _, ok := n.wbuf[line]; ok {
-		n.stats.Inc("nvm.read_wbuf_hit")
+		n.readWbufHits.Inc()
 		return n.burstCycles
 	}
 	return n.readCycles + n.burstCycles

@@ -23,6 +23,8 @@ type PersistDomain struct {
 	// contents of the full 64-byte line. The backing store continues to
 	// hold the committed image until commit time.
 	pending map[PhysAddr]*[LineSize]byte
+
+	commits *sim.Counter
 }
 
 // NewPersistDomain wraps backing with crash semantics for the NVM region of
@@ -33,6 +35,7 @@ func NewPersistDomain(layout Layout, backing *Backing, stats *sim.Stats) *Persis
 		backing: backing,
 		stats:   stats,
 		pending: make(map[PhysAddr]*[LineSize]byte),
+		commits: stats.Counter("persist.commit"),
 	}
 }
 
@@ -98,7 +101,7 @@ func (p *PersistDomain) CommitLine(pa PhysAddr) {
 	}
 	p.backing.Write(line, buf[:])
 	delete(p.pending, line)
-	p.stats.Inc("persist.commit")
+	p.commits.Inc()
 }
 
 // CommitRange commits every pending line overlapping [pa, pa+size).

@@ -27,10 +27,17 @@ type redoLog struct {
 	size  uint64
 	head  uint64 // next append offset (bytes)
 	count uint64
+
+	appends *sim.Counter // "persist.redo_append", one per metadata change
+	wraps   *sim.Counter // "persist.redo_wrap"
 }
 
 func newRedoLog(m *machine.Machine, base mem.PhysAddr, size uint64) *redoLog {
-	return &redoLog{m: m, base: base, size: size}
+	return &redoLog{
+		m: m, base: base, size: size,
+		appends: m.Stats.Counter("persist.redo_append"),
+		wraps:   m.Stats.Counter("persist.redo_wrap"),
+	}
 }
 
 // append writes one entry: {type, pid, a, b} packed into a line.
@@ -40,7 +47,7 @@ func (l *redoLog) append(typ uint64, pid int, a, b uint64) sim.Cycles {
 		// sizes the log for an interval; we fall back to overwriting from
 		// the start after accounting. Entries already applied are gone.
 		l.head = 0
-		l.m.Stats.Inc("persist.redo_wrap")
+		l.wraps.Inc()
 	}
 	ea := l.base + mem.PhysAddr(l.head)
 	l.m.StoreU64(ea, typ)
@@ -51,7 +58,7 @@ func (l *redoLog) append(typ uint64, pid int, a, b uint64) sim.Cycles {
 	lat += l.m.Core.Clwb(ea)
 	l.head += logEntrySize
 	l.count++
-	l.m.Stats.Inc("persist.redo_append")
+	l.appends.Inc()
 	return lat
 }
 

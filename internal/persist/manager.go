@@ -119,6 +119,13 @@ type Manager struct {
 
 	ckptLat     *sim.Histogram
 	recoveryLat *sim.Histogram
+
+	// Hot-path counters: PTE wrapping fires on every page-table store of a
+	// persistent process; the v2p pair on every checkpointed mapping.
+	pteWraps     *sim.Counter
+	v2pUpdates   *sim.Counter
+	v2pChecked   *sim.Counter
+	kernelCycles *sim.Counter
 }
 
 // Attach wires process persistence into k with the given page-table scheme
@@ -140,6 +147,11 @@ func Attach(k *gemos.Kernel, scheme Scheme, interval sim.Cycles) (*Manager, erro
 		geo:      geo,
 		log:      newRedoLog(k.M, geo.redoBase, redoLogSize),
 		dirty:    make(map[int]*procDirty),
+
+		pteWraps:     k.M.Stats.Counter("persist.pte_wrap"),
+		v2pUpdates:   k.M.Stats.Counter("persist.v2p_update"),
+		v2pChecked:   k.M.Stats.Counter("persist.v2p_checked"),
+		kernelCycles: k.M.Stats.Counter("cpu.kernel_cycles"),
 	}
 	mgr.configureKernel()
 
@@ -178,6 +190,11 @@ func Reattach(k *gemos.Kernel, interval sim.Cycles) (*Manager, error) {
 		geo:      geo,
 		log:      newRedoLog(k.M, geo.redoBase, redoLogSize),
 		dirty:    make(map[int]*procDirty),
+
+		pteWraps:     k.M.Stats.Counter("persist.pte_wrap"),
+		v2pUpdates:   k.M.Stats.Counter("persist.v2p_update"),
+		v2pChecked:   k.M.Stats.Counter("persist.v2p_checked"),
+		kernelCycles: k.M.Stats.Counter("cpu.kernel_cycles"),
 	}
 	mgr.configureKernel()
 	return mgr, nil
@@ -226,7 +243,7 @@ func (mgr *Manager) pteHook(p *gemos.Process) pt.WriteHook {
 		lat += m.AccessTimed(pa, true)
 		lat += m.Core.Clwb(pa)
 		lat += m.Core.Fence()
-		m.Stats.Inc("persist.pte_wrap")
+		mgr.pteWraps.Inc()
 		return lat
 	}
 }
@@ -591,7 +608,7 @@ func (mgr *Manager) maintainV2P(slot int, st *slotState, d *procDirty, target in
 			m.AccessTimed(ea, true)
 			m.Core.Clwb(ea)
 			m.Core.Fence()
-			m.Stats.Inc("persist.v2p_update")
+			mgr.v2pUpdates.Inc()
 		}
 	}
 
@@ -602,12 +619,12 @@ func (mgr *Manager) maintainV2P(slot int, st *slotState, d *procDirty, target in
 		tp := uint64(p.Table.TablePageCount())
 		scan := sim.Cycles(tp) * mgr.Costs.TableScanPerPage
 		m.Clock.Advance(scan)
-		m.Stats.Add("cpu.kernel_cycles", uint64(scan))
+		mgr.kernelCycles.Add(uint64(scan))
 	}
 	if n > 0 {
 		m.Clock.Advance(sim.Cycles(n) * mgr.Costs.CheckPerPage)
-		m.Stats.Add("cpu.kernel_cycles", n*uint64(mgr.Costs.CheckPerPage))
-		m.Stats.Add("persist.v2p_checked", n)
+		mgr.kernelCycles.Add(n * uint64(mgr.Costs.CheckPerPage))
+		mgr.v2pChecked.Add(n)
 	}
 
 	// Serialize the mirror into the target copy (functional) and record

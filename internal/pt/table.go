@@ -46,6 +46,11 @@ type Table struct {
 
 	tablePages map[uint64]bool // pfns of all table pages incl. root
 	mapped     int             // count of present leaf PTEs
+
+	// Walk/update counters, resolved once (hot path on every access).
+	walks, walkFaults         *sim.Counter
+	installs, removes         *sim.Counter
+	protects, tablePageAllocs *sim.Counter
 }
 
 // New allocates a root table page of the given kind and returns the table.
@@ -62,6 +67,7 @@ func New(m Memory, alloc FrameAllocator, kind mem.Kind, stats *sim.Stats) (*Tabl
 		stats:      stats,
 		tablePages: map[uint64]bool{rootPFN: true},
 	}
+	t.resolveCounters()
 	t.write = t.defaultWrite
 	return t, nil
 }
@@ -78,9 +84,21 @@ func Attach(m Memory, alloc FrameAllocator, kind mem.Kind, root mem.PhysAddr, st
 		stats:      stats,
 		tablePages: map[uint64]bool{mem.FrameNumber(root): true},
 	}
+	t.resolveCounters()
 	t.write = t.defaultWrite
 	t.rescan()
 	return t
+}
+
+// resolveCounters binds the per-operation counters once so walks and PTE
+// updates never pay the name lookup.
+func (t *Table) resolveCounters() {
+	t.walks = t.stats.Counter("pt.walk")
+	t.walkFaults = t.stats.Counter("pt.walk_fault")
+	t.installs = t.stats.Counter("pt.install")
+	t.removes = t.stats.Counter("pt.remove")
+	t.protects = t.stats.Counter("pt.protect")
+	t.tablePageAllocs = t.stats.Counter("pt.table_page_alloc")
 }
 
 // rescan rebuilds bookkeeping (table pages, mapped count) from the tree.
@@ -179,7 +197,7 @@ func (t *Table) Install(va uint64, pfn uint64, flags uint64) (lat sim.Cycles, ne
 			newTablePages = append(newTablePages, tp)
 			e = Make(tp, FlagPresent|FlagWritable|FlagUser)
 			lat += t.write(ea, e)
-			t.stats.Inc("pt.table_page_alloc")
+			t.tablePageAllocs.Inc()
 		}
 		base = mem.FrameBase(e.PFN())
 	}
@@ -191,7 +209,7 @@ func (t *Table) Install(va uint64, pfn uint64, flags uint64) (lat sim.Cycles, ne
 	if !old.Present() {
 		t.mapped++
 	}
-	t.stats.Inc("pt.install")
+	t.installs.Inc()
 	return lat, newTablePages, nil
 }
 
@@ -241,7 +259,7 @@ func (t *Table) Remove(va uint64) (old PTE, lat sim.Cycles, present bool) {
 	}
 	lat += t.write(ea, 0)
 	t.mapped--
-	t.stats.Inc("pt.remove")
+	t.removes.Inc()
 	return e, lat, true
 }
 
@@ -265,7 +283,7 @@ func (t *Table) Protect(va uint64, flags uint64) (lat sim.Cycles, ok bool) {
 		return lat, false
 	}
 	lat += t.write(ea, Make(e.PFN(), flags|FlagPresent))
-	t.stats.Inc("pt.protect")
+	t.protects.Inc()
 	return lat, true
 }
 
@@ -297,7 +315,7 @@ func (t *Table) Walk(va uint64) (PTE, sim.Cycles, bool) {
 		e, l := t.readTimed(entryAddr(base, va, level))
 		lat += l
 		if !e.Present() {
-			t.stats.Inc("pt.walk_fault")
+			t.walkFaults.Inc()
 			return 0, lat, false
 		}
 		base = mem.FrameBase(e.PFN())
@@ -305,10 +323,10 @@ func (t *Table) Walk(va uint64) (PTE, sim.Cycles, bool) {
 	e, l := t.readTimed(entryAddr(base, va, 1))
 	lat += l
 	if !e.Present() {
-		t.stats.Inc("pt.walk_fault")
+		t.walkFaults.Inc()
 		return 0, lat, false
 	}
-	t.stats.Inc("pt.walk")
+	t.walks.Inc()
 	return e, lat, true
 }
 

@@ -1,0 +1,27 @@
+package sim
+
+// Counter is a handle to one named counter in a Stats registry, resolved
+// once at component construction — the counter analogue of Stats.Hist.
+// Inc/Add on the handle are plain field increments with no map lookup, so
+// components sit them directly on hot paths; the name-based Stats
+// methods (Inc/Add/Get/...) remain available for cold paths and always
+// observe the same value (both views alias the same cell).
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Name returns the registered stat name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.v += delta }
+
+// Set overwrites the counter.
+func (c *Counter) Set(v uint64) { c.v = v }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }

@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+// BenchmarkStatsIncByName measures the string-keyed counter path every
+// uncached call site pays (map hash + lookup per event).
+func BenchmarkStatsIncByName(b *testing.B) {
+	s := NewStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Inc("cache.l1.hit")
+	}
+}
+
+// BenchmarkStatsAddByName is the Add variant (cycle attribution counters).
+func BenchmarkStatsAddByName(b *testing.B) {
+	s := NewStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add("cpu.user_cycles", 42)
+	}
+}
+
+// BenchmarkCounterHandleInc measures the cached-handle path the hot call
+// sites use after resolving the counter once at construction.
+func BenchmarkCounterHandleInc(b *testing.B) {
+	s := NewStats()
+	c := s.Counter("cache.l1.hit")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterHandleAdd is the Add variant on a cached handle.
+func BenchmarkCounterHandleAdd(b *testing.B) {
+	s := NewStats()
+	c := s.Counter("cpu.user_cycles")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(42)
+	}
+}

@@ -30,7 +30,7 @@ func (s *Stats) DumpInterval(w io.Writer) error {
 		return err
 	}
 	for _, name := range s.Names() {
-		delta := s.counters[name]
+		delta := s.counters[name].v
 		if s.intervalSnap != nil {
 			delta -= s.intervalSnap[name]
 		}

@@ -8,14 +8,15 @@ import (
 
 // Stats is a flat registry of named counters and histograms, mirroring
 // gem5's stats files. Components register counters under dotted names
-// ("cache.l1d.miss", "nvm.write.drained"). Counters are plain uint64s;
+// ("cache.l1d.miss", "nvm.write.drained"). Counters are plain uint64 cells;
 // Kindle simulations are single-goroutine so no synchronization is needed.
 //
-// Histograms (log2-bucketed distributions) live alongside the counters:
-// components fetch one with Hist once at construction and Observe samples
-// on hot paths without further map lookups.
+// Hot paths resolve a *Counter handle once at construction (Counter) and
+// bump it without further map lookups; the name-based Inc/Add/Set/Get
+// remain for cold paths. Histograms (log2-bucketed distributions) live
+// alongside the counters with the same handle pattern (Hist).
 type Stats struct {
-	counters map[string]uint64
+	counters map[string]*Counter
 	hists    map[string]*Histogram
 
 	// intervalSnap is the counter baseline of the current interval
@@ -27,22 +28,42 @@ type Stats struct {
 // NewStats returns an empty registry.
 func NewStats() *Stats {
 	return &Stats{
-		counters: make(map[string]uint64),
+		counters: make(map[string]*Counter),
 		hists:    make(map[string]*Histogram),
 	}
 }
 
+// Counter returns the handle registered under name, creating it on first
+// use. Callers cache the handle; Inc/Add on it never touch the map. The
+// handle and the name-based methods alias the same cell.
+func (s *Stats) Counter(name string) *Counter {
+	c := s.counters[name]
+	if c == nil {
+		if _, clash := s.hists[name]; clash {
+			panic(fmt.Sprintf("sim: stat %q already registered as a histogram", name))
+		}
+		c = &Counter{name: name}
+		s.counters[name] = c
+	}
+	return c
+}
+
 // Add increments counter name by delta.
-func (s *Stats) Add(name string, delta uint64) { s.counters[name] += delta }
+func (s *Stats) Add(name string, delta uint64) { s.Counter(name).v += delta }
 
 // Inc increments counter name by one.
-func (s *Stats) Inc(name string) { s.counters[name]++ }
+func (s *Stats) Inc(name string) { s.Counter(name).v++ }
 
 // Set overwrites counter name.
-func (s *Stats) Set(name string, v uint64) { s.counters[name] = v }
+func (s *Stats) Set(name string, v uint64) { s.Counter(name).v = v }
 
-// Get returns counter name (zero when never touched).
-func (s *Stats) Get(name string) uint64 { return s.counters[name] }
+// Get returns counter name (zero when never touched; never registers).
+func (s *Stats) Get(name string) uint64 {
+	if c := s.counters[name]; c != nil {
+		return c.v
+	}
+	return 0
+}
 
 // Hist returns the histogram registered under name, creating it on first
 // use. Callers cache the pointer; Observe on it never touches the map.
@@ -72,11 +93,11 @@ func (s *Stats) Histograms() []*Histogram {
 	return out
 }
 
-// Reset zeroes every counter and histogram but keeps registrations. The
-// interval baseline is cleared too.
+// Reset zeroes every counter and histogram but keeps registrations (handles
+// stay valid). The interval baseline is cleared too.
 func (s *Stats) Reset() {
-	for k := range s.counters {
-		s.counters[k] = 0
+	for _, c := range s.counters {
+		c.v = 0
 	}
 	for _, h := range s.hists {
 		h.Reset()
@@ -98,8 +119,8 @@ func (s *Stats) Names() []string {
 // Snapshot returns a copy of every counter, for diffing across a phase.
 func (s *Stats) Snapshot() map[string]uint64 {
 	out := make(map[string]uint64, len(s.counters))
-	for k, v := range s.counters {
-		out[k] = v
+	for k, c := range s.counters {
+		out[k] = c.v
 	}
 	return out
 }
@@ -107,8 +128,8 @@ func (s *Stats) Snapshot() map[string]uint64 {
 // DiffFrom returns per-counter deltas since a snapshot taken earlier.
 func (s *Stats) DiffFrom(snap map[string]uint64) map[string]uint64 {
 	out := make(map[string]uint64)
-	for k, v := range s.counters {
-		if d := v - snap[k]; d != 0 {
+	for k, c := range s.counters {
+		if d := c.v - snap[k]; d != 0 {
 			out[k] = d
 		}
 	}
@@ -147,10 +168,11 @@ func (s *Stats) forEachStat(fn func(name string, v uint64, fv float64, isFloat b
 	prev := ""
 	for i, name := range names {
 		if i > 0 && name == prev {
-			// Hist rejects names with an existing counter, but a counter
-			// can still be created under a histogram's name afterwards;
-			// rendering would then drop one of them and break the
-			// interval-deltas-sum-to-totals invariant, so fail loudly.
+			// Counter and Hist both reject each other's names at
+			// registration, so this is unreachable unless the maps were
+			// mutated out of band; rendering a duplicate would drop a stat
+			// and break the interval-deltas-sum-to-totals invariant, so
+			// fail loudly anyway.
 			panic(fmt.Sprintf("sim: stat %q registered as both counter and histogram", name))
 		}
 		prev = name
@@ -158,15 +180,15 @@ func (s *Stats) forEachStat(fn func(name string, v uint64, fv float64, isFloat b
 			h.ForEachStat(fn)
 			continue
 		}
-		fn(name, s.counters[name], 0, false)
+		fn(name, s.counters[name].v, 0, false)
 	}
 }
 
 // Ratio returns num/den as a float, or 0 when den is 0.
 func (s *Stats) Ratio(num, den string) float64 {
-	d := s.counters[den]
+	d := s.Get(den)
 	if d == 0 {
 		return 0
 	}
-	return float64(s.counters[num]) / float64(d)
+	return float64(s.Get(num)) / float64(d)
 }

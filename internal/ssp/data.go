@@ -74,7 +74,7 @@ func (c *Controller) WriteData(p *gemos.Process, va uint64, data []byte) error {
 			dest := mt.latestCopy(bit)
 			off := mem.PhysAddr(va % mem.PageSize)
 			c.m.Ctrl.Write(mem.FrameBase(dest)+off, data[:n])
-			c.m.Stats.Inc("ssp.data_routed_write")
+			c.routedWrites.Inc()
 		}
 		data = data[n:]
 		va += uint64(n)

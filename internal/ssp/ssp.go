@@ -82,6 +82,14 @@ type Controller struct {
 	rangeEnd   uint64
 	intervalEv *sim.Event
 	consolEv   *sim.Event
+
+	// Per-access counters (TLB fill, store routing, metadata write-back),
+	// resolved once at attach.
+	tlbFills     *sim.Counter
+	linesDirtied *sim.Counter
+	metaWrites   *sim.Counter
+	evictWBs     *sim.Counter
+	routedWrites *sim.Counter
 }
 
 // Attach builds the prototype over k. It reuses the kernel's reserved NVM
@@ -99,6 +107,12 @@ func Attach(k *gemos.Kernel, cfg Config) (*Controller, error) {
 		cacheBase: base,
 		cacheCap:  int(size / metaEntrySize),
 		entries:   make(map[uint64]*meta),
+
+		tlbFills:     k.M.Stats.Counter("ssp.tlb_fill"),
+		linesDirtied: k.M.Stats.Counter("ssp.line_dirtied"),
+		metaWrites:   k.M.Stats.Counter("ssp.meta_write"),
+		evictWBs:     k.M.Stats.Counter("ssp.tlb_evict_writeback"),
+		routedWrites: k.M.Stats.Counter("ssp.data_routed_write"),
 	}
 	k.Meta = c
 	k.M.Core.SetHooks(c)
@@ -151,7 +165,7 @@ func (c *Controller) writeMeta(mt *meta) {
 	c.m.StoreU64(ea+32, flags)
 	c.m.AccessTimed(ea, true)
 	c.m.Core.Clwb(ea)
-	c.m.Stats.Inc("ssp.meta_write")
+	c.metaWrites.Inc()
 }
 
 // Enable turns the custom hardware on for the given NVM virtual range —
@@ -232,13 +246,13 @@ func (c *Controller) OnTranslate(e *tlb.Entry, va uint64, write bool) {
 		e.SSPUpdated = 0
 		e.SSPValid = true
 		mt.evicted = false
-		c.m.Stats.Inc("ssp.tlb_fill")
+		c.tlbFills.Inc()
 	}
 	if write {
 		bit := tlb.PageOffsetLineBit(va)
 		if e.SSPUpdated&(1<<bit) == 0 {
 			e.SSPUpdated |= 1 << bit
-			c.m.Stats.Inc("ssp.line_dirtied")
+			c.linesDirtied.Inc()
 		}
 		// First write to the line since its last commit creates the new
 		// version on the opposite copy: the remapping the SSP cache
@@ -266,7 +280,7 @@ func (c *Controller) onTLBEvict(e *tlb.Entry) {
 	}
 	mt.evicted = true
 	c.writeMeta(mt)
-	c.m.Stats.Inc("ssp.tlb_evict_writeback")
+	c.evictWBs.Inc()
 }
 
 // IntervalEnd performs the checkpoint_end activities for one consistency

@@ -62,6 +62,8 @@ type level struct {
 	tags    [][]Entry
 	clock   uint64
 	stats   *sim.Stats
+
+	evicts *sim.Counter // "tlb.<name>.evict", resolved once
 }
 
 func newLevel(cfg Config, stats *sim.Stats) *level {
@@ -75,6 +77,7 @@ func newLevel(cfg Config, stats *sim.Stats) *level {
 		latency: cfg.Latency,
 		tags:    make([][]Entry, cfg.Entries/cfg.Ways),
 		stats:   stats,
+		evicts:  stats.Counter("tlb." + cfg.Name + ".evict"),
 	}
 }
 
@@ -105,6 +108,9 @@ func (l *level) insert(e Entry, onEvict EvictFn) {
 		}
 	}
 	if len(set) < l.ways {
+		if set == nil {
+			set = make([]Entry, 0, l.ways)
+		}
 		l.tags[si] = append(set, e)
 		return
 	}
@@ -116,7 +122,7 @@ func (l *level) insert(e Entry, onEvict EvictFn) {
 	}
 	victim := set[lruIdx]
 	set[lruIdx] = e
-	l.stats.Inc("tlb." + l.name + ".evict")
+	l.evicts.Inc()
 	if onEvict != nil {
 		onEvict(&victim)
 	}
@@ -157,6 +163,17 @@ type TLB struct {
 	l1, l2  *level
 	stats   *sim.Stats
 	onEvict EvictFn
+
+	// gen counts structural changes (inserts, promotions, invalidations,
+	// resets). A cached *Entry obtained from Lookup stays valid exactly
+	// while gen is unchanged — the core's last-translation cache keys on
+	// it.
+	gen uint64
+
+	l1Hit, l1Miss *sim.Counter
+	l2Hit, l2Miss *sim.Counter
+	invalidates   *sim.Counter
+	flushes       *sim.Counter
 }
 
 // DefaultConfigL1 is a 64-entry 4-way L1 dTLB with 1-cycle lookup.
@@ -167,7 +184,13 @@ func DefaultConfigL2() Config { return Config{Name: "l2", Entries: 1536, Ways: 1
 
 // New builds the two-level TLB.
 func New(l1, l2 Config, stats *sim.Stats) *TLB {
-	return &TLB{l1: newLevel(l1, stats), l2: newLevel(l2, stats), stats: stats}
+	return &TLB{
+		l1: newLevel(l1, stats), l2: newLevel(l2, stats), stats: stats,
+		l1Hit: stats.Counter("tlb.l1.hit"), l1Miss: stats.Counter("tlb.l1.miss"),
+		l2Hit: stats.Counter("tlb.l2.hit"), l2Miss: stats.Counter("tlb.l2.miss"),
+		invalidates: stats.Counter("tlb.invalidate"),
+		flushes:     stats.Counter("tlb.flush_all"),
+	}
 }
 
 // NewDefault builds the TLB with default geometry.
@@ -186,13 +209,15 @@ func (t *TLB) SetEvictHook(fn EvictFn) { t.onEvict = fn }
 // page table and calls Insert.
 func (t *TLB) Lookup(vpn uint64) (*Entry, sim.Cycles) {
 	if e := t.l1.lookup(vpn); e != nil {
-		t.stats.Inc("tlb.l1.hit")
+		t.l1Hit.Inc()
 		return e, t.l1.latency
 	}
-	t.stats.Inc("tlb.l1.miss")
+	t.l1Miss.Inc()
 	if e := t.l2.lookup(vpn); e != nil {
-		t.stats.Inc("tlb.l2.hit")
-		// Promote to L1; the L1 victim falls back into L2.
+		t.l2Hit.Inc()
+		// Promote to L1; the L1 victim falls back into L2. Entries move,
+		// so previously returned pointers go stale.
+		t.gen++
 		promoted := *e
 		t.l2.invalidate(vpn)
 		t.l1.insert(promoted, func(v *Entry) { t.l2.insert(*v, t.onEvict) })
@@ -201,12 +226,30 @@ func (t *TLB) Lookup(vpn uint64) (*Entry, sim.Cycles) {
 		}
 		panic("tlb: promoted entry vanished")
 	}
-	t.stats.Inc("tlb.l2.miss")
+	t.l2Miss.Inc()
 	return nil, t.l1.latency + t.l2.latency
+}
+
+// Gen returns the structural generation. It advances whenever entries may
+// have moved (Insert, L2→L1 promotion, invalidation, reset); an *Entry
+// returned by Lookup is safe to retain only while Gen is unchanged.
+func (t *TLB) Gen() uint64 { return t.gen }
+
+// FastHit re-touches an entry known (by an unchanged Gen) to still sit in
+// L1: it refreshes the entry's LRU stamp, counts an L1 hit and returns the
+// L1 latency — state-for-state what a full Lookup hit on the entry would
+// do, without the set scan. The core's last-translation cache is the only
+// intended caller.
+func (t *TLB) FastHit(e *Entry) sim.Cycles {
+	t.l1.clock++
+	e.lru = t.l1.clock
+	t.l1Hit.Inc()
+	return t.l1.latency
 }
 
 // Insert installs a fresh translation (after a page-table walk) into L1.
 func (t *TLB) Insert(e Entry) {
+	t.gen++
 	t.l1.insert(e, func(v *Entry) { t.l2.insert(*v, t.onEvict) })
 }
 
@@ -215,6 +258,7 @@ func (t *TLB) Insert(e Entry) {
 // metadata must be saved first, as in the paper's SSP design where
 // TLB-evicted entries are marked in the SSP cache).
 func (t *TLB) Invalidate(vpn uint64) bool {
+	t.gen++
 	found := false
 	if v, ok := t.l1.invalidate(vpn); ok {
 		found = true
@@ -229,7 +273,7 @@ func (t *TLB) Invalidate(vpn uint64) bool {
 		}
 	}
 	if found {
-		t.stats.Inc("tlb.invalidate")
+		t.invalidates.Inc()
 	}
 	return found
 }
@@ -237,13 +281,14 @@ func (t *TLB) Invalidate(vpn uint64) bool {
 // InvalidateAll flushes the whole TLB (context switch / global shootdown),
 // firing the evict hook per entry.
 func (t *TLB) InvalidateAll() {
+	t.gen++
 	if t.onEvict != nil {
 		t.l1.forEach(func(e *Entry) { t.onEvict(e) })
 		t.l2.forEach(func(e *Entry) { t.onEvict(e) })
 	}
 	t.l1.reset()
 	t.l2.reset()
-	t.stats.Inc("tlb.flush_all")
+	t.flushes.Inc()
 }
 
 // ForEach visits every live entry in both levels (prototypes scan the TLB
@@ -255,6 +300,7 @@ func (t *TLB) ForEach(fn func(e *Entry)) {
 
 // Reset empties the TLB without firing hooks (power loss).
 func (t *TLB) Reset() {
+	t.gen++
 	t.l1.reset()
 	t.l2.reset()
 }

@@ -1,0 +1,35 @@
+package kindle_test
+
+import (
+	"testing"
+
+	"kindle/internal/core"
+	"kindle/internal/workloads"
+)
+
+// BenchmarkReplayThroughput is the headline simulator-speed benchmark: how
+// many trace records per second the full access path (TLB → page table →
+// caches → memory, with the gemOS kernel ticking) replays on the host. The
+// custom records/sec metric is the number to compare across PRs; see
+// `make bench`.
+func BenchmarkReplayThroughput(b *testing.B) {
+	cfg := workloads.DefaultYCSB()
+	cfg.Ops = 100_000
+	img, err := workloads.YCSB(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	records := len(img.Records)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := core.NewDefault()
+		_, rep, err := f.LaunchInit(img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+}
