@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench benchsmoke
+.PHONY: all build test check fmt vet race bench benchsmoke crashsweep
 
 all: build test
 
@@ -11,9 +11,9 @@ test:
 	$(GO) test ./...
 
 # check is the pre-commit gate: formatting, vet, the full test suite under
-# the race detector, and a one-iteration pass over every benchmark so the
-# perf harness can't silently rot.
-check: fmt vet race benchsmoke
+# the race detector, a one-iteration pass over every benchmark so the perf
+# harness can't silently rot, and a bounded commit-point crash sweep.
+check: fmt vet race benchsmoke crashsweep
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -27,6 +27,12 @@ race:
 
 benchsmoke:
 	$(GO) test -bench . -benchtime 1x -run XXX ./...
+
+# crashsweep replays the workload with a power failure injected at NVM
+# commit-point granularity (bounded scale; see EXPERIMENTS.md). -check fails
+# the build if any injection point violates the recovery invariants.
+crashsweep:
+	$(GO) run ./cmd/kindle-bench -experiment crash-sweep -scale 0.0625 -check
 
 # bench runs the microbenchmarks, then records the headline numbers
 # (replay records/sec, suite wall-clock, GOMAXPROCS) in BENCH_replay.json

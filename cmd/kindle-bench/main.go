@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	kindle-bench [-scale 1.0] [-parallel N] [-experiment all|tableI|tableII|fig4a|fig4b|tableIII|tableIV|fig5|intervals|hscc|extensions] [-check]
+//	kindle-bench [-scale 1.0] [-parallel N] [-experiment all|tableI|tableII|fig4a|fig4b|tableIII|tableIV|fig5|intervals|hscc|crash-sweep|extensions] [-check]
 //
 // -scale shrinks footprints, trace lengths and intervals proportionally
 // (0.0625 runs the whole suite in about a minute; 1.0 is paper scale).
@@ -126,6 +126,9 @@ func main() {
 		for _, e := range []bench.Experiment{tv, f6, t6} {
 			run(e, nil)
 		}
+	case "crash-sweep", "crashsweep":
+		r, err := bench.CrashSweep(opt)
+		run(r, err)
 	case "extensions":
 		// Studies beyond the paper's evaluation that it points at:
 		// consolidation frequency, NVM technologies, write-buffer depth,

@@ -215,6 +215,20 @@ func TestExtCheckCostShape(t *testing.T) {
 	}
 }
 
+func TestCrashSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := CrashSweep(smokeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if err := res.CheckShape(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestExtRecoveryShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

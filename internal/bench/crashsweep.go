@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"kindle/internal/fault"
+	"kindle/internal/persist"
+)
+
+// CrashSweepRow summarizes one page-table scheme's commit-point sweep.
+type CrashSweepRow struct {
+	Scheme      string
+	Events      uint64 // total durability events in the reference run
+	Checkpoints uint64 // checkpoints started during it
+	Points      int    // crash-before injection points replayed
+	TornPoints  int    // torn-line injection points replayed
+	Failures    int    // points whose recovery violated an invariant
+}
+
+// CrashSweepResult is the -experiment crash-sweep output: for each scheme,
+// how many commit-point crash replays ran and how many recovered to an
+// invariant-violating state (the published claim is zero — full process
+// persistence means a power failure at *any* NVM durability event must
+// recover to a consistent context).
+type CrashSweepResult struct {
+	Rows []CrashSweepRow
+	// FailureSamples holds the first few failure messages (deterministic:
+	// ordered by scheme, then injection index) for diagnosis.
+	FailureSamples []string
+}
+
+// crashSweepJob is one injection point of the sweep.
+type crashSweepJob struct {
+	k     uint64
+	torn  bool
+	words int
+}
+
+// CrashSweep runs the commit-point crash-injection sweep for both schemes.
+// The workload runs once per scheme under a counting-only injector to learn
+// the total durability-event count E, then replays — exhaustively for small
+// E, strided above the scale-derived point budget — with a power failure
+// injected before the k-th commit (and, at a quarter of the points, a torn
+// line with a varying 8-byte-word prefix). Replays are independent
+// simulations and fan out over the worker pool.
+func CrashSweep(opt Options) (*CrashSweepResult, error) {
+	ops := int(256 * opt.scale())
+	if ops < 16 {
+		ops = 16
+	}
+	maxPoints := int(768 * opt.scale())
+	if maxPoints < 48 {
+		maxPoints = 48
+	}
+
+	res := &CrashSweepResult{}
+	for _, scheme := range []persist.Scheme{persist.Rebuild, persist.Persistent} {
+		cfg := persist.SweepConfig{Scheme: scheme, Ops: ops, Seed: 1}
+		plan, err := persist.PlanSweep(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: crash-sweep plan (%v): %w", scheme, err)
+		}
+
+		stride := uint64(1)
+		if plan.Events > uint64(maxPoints) {
+			stride = (plan.Events + uint64(maxPoints) - 1) / uint64(maxPoints)
+		}
+		var jobs []crashSweepJob
+		for k := uint64(1); k <= plan.Events; k += stride {
+			jobs = append(jobs, crashSweepJob{k: k})
+		}
+		if jobs[len(jobs)-1].k != plan.Events {
+			// Always include the final commit of the run.
+			jobs = append(jobs, crashSweepJob{k: plan.Events})
+		}
+		points := len(jobs)
+		for i := 0; i < points; i += 4 {
+			k := jobs[i].k
+			jobs = append(jobs, crashSweepJob{k: k, torn: true, words: int(k%7) + 1})
+		}
+
+		// Each replay owns a whole machine; failures land in by-index
+		// slots so the report is independent of goroutine scheduling.
+		failures := make([]string, len(jobs))
+		if err := forEachIndexed(opt.workers(), len(jobs), func(i int) error {
+			j := jobs[i]
+			var inj *fault.Injector
+			mode := "crash-before"
+			if j.torn {
+				inj = fault.NewTorn(j.k, j.words)
+				mode = fmt.Sprintf("torn/%dw", j.words)
+			} else {
+				inj = fault.NewCrashBefore(j.k)
+			}
+			if err := persist.RunCrashPoint(cfg, plan, inj); err != nil {
+				failures[i] = fmt.Sprintf("%v %s k=%d: %v", scheme, mode, j.k, err)
+			}
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("bench: crash-sweep (%v): %w", scheme, err)
+		}
+
+		row := CrashSweepRow{
+			Scheme:      scheme.String(),
+			Events:      plan.Events,
+			Checkpoints: plan.Checkpoints,
+			Points:      points,
+			TornPoints:  len(jobs) - points,
+		}
+		for _, f := range failures {
+			if f == "" {
+				continue
+			}
+			row.Failures++
+			if len(res.FailureSamples) < 8 {
+				res.FailureSamples = append(res.FailureSamples, f)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the sweep summary.
+func (r *CrashSweepResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Crash-injection sweep at NVM commit-point granularity\n")
+	b.WriteString("Scheme      Events  Ckpts  CrashPts  TornPts  Failures\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s  %6d  %5d  %8d  %7d  %8d\n",
+			row.Scheme, row.Events, row.Checkpoints, row.Points, row.TornPoints, row.Failures)
+	}
+	for _, f := range r.FailureSamples {
+		fmt.Fprintf(&b, "  FAIL %s\n", f)
+	}
+	return b.String()
+}
+
+// CheckShape: every scheme's sweep must have replayed real injection points
+// across multiple checkpoints, and every point must have recovered cleanly.
+func (r *CrashSweepResult) CheckShape() error {
+	if len(r.Rows) != 2 {
+		return fmt.Errorf("crashSweep: %d rows, want 2 schemes", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Points <= 0 || row.TornPoints <= 0 {
+			return fmt.Errorf("crashSweep: %s replayed no injection points", row.Scheme)
+		}
+		if row.Checkpoints < 2 {
+			return fmt.Errorf("crashSweep: %s spanned only %d checkpoints", row.Scheme, row.Checkpoints)
+		}
+		if row.Failures > 0 {
+			msg := ""
+			if len(r.FailureSamples) > 0 {
+				msg = ": " + r.FailureSamples[0]
+			}
+			return fmt.Errorf("crashSweep: %s: %d of %d injection points violated recovery invariants%s",
+				row.Scheme, row.Failures, row.Points+row.TornPoints, msg)
+		}
+	}
+	return nil
+}

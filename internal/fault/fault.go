@@ -1,0 +1,110 @@
+// Package fault injects power failures at NVM commit-point granularity.
+//
+// The simulated machine's durability events — clwb/clflush completions,
+// dirty NVM write-backs from the cache hierarchy, and each line of a commit
+// barrier — form a deterministic stream (the persist domain commits barrier
+// lines in address order for exactly this reason). An Injector installed
+// via Machine.SetCommitHook counts those events and, in the crashing modes,
+// cuts the run at the k-th one:
+//
+//   - CrashBefore(k): the k-th commit does not land; everything volatile at
+//     that instant is lost. This explores persist-ordering windows that
+//     op-granularity crash tests (crashing *between* workload operations)
+//     can never reach.
+//   - Torn(k, words): only the first `words` 8-byte words of the k-th line
+//     become durable, modeling a power failure mid-line on a device with an
+//     8-byte atomic write unit (PCM).
+//
+// A crashing injector aborts the run by letting the domain panic with
+// mem.CommitCrash; Crashed wraps the run and recovers exactly that panic,
+// after which the harness applies machine.Crash, reboots and checks the
+// recovery invariants.
+package fault
+
+import "kindle/internal/mem"
+
+// Mode selects the injector's behavior at the target event.
+type Mode int
+
+const (
+	// Observe counts (and optionally records) events without interfering.
+	Observe Mode = iota
+	// CrashBefore suppresses the target commit and crashes the machine.
+	CrashBefore
+	// Torn commits a prefix of the target line and crashes the machine.
+	Torn
+)
+
+// Injector implements mem.CommitHook. It is not safe for concurrent use;
+// every simulated machine gets its own.
+type Injector struct {
+	mode   Mode
+	target uint64 // 1-based index of the durability event to intercept
+	words  int    // torn-prefix length for Torn
+
+	events uint64
+	fired  bool
+	record bool
+	trace  []mem.PhysAddr
+}
+
+// NewObserver returns a counting-only injector (the reference "plan" run of
+// a sweep uses it to learn the total event count E).
+func NewObserver() *Injector { return &Injector{mode: Observe} }
+
+// NewRecorder is NewObserver plus a full trace of committed line addresses,
+// for tests that assert durability *ordering* directly.
+func NewRecorder() *Injector { return &Injector{mode: Observe, record: true} }
+
+// NewCrashBefore returns an injector that crashes the machine at the k-th
+// durability event (1-based); that event does not land.
+func NewCrashBefore(k uint64) *Injector { return &Injector{mode: CrashBefore, target: k} }
+
+// NewTorn returns an injector that makes only the first words 8-byte words
+// of the k-th committed line durable, then crashes the machine.
+func NewTorn(k uint64, words int) *Injector {
+	return &Injector{mode: Torn, target: k, words: words}
+}
+
+// OnCommit implements mem.CommitHook.
+func (i *Injector) OnCommit(line mem.PhysAddr) mem.CommitDecision {
+	i.events++
+	if i.record {
+		i.trace = append(i.trace, line)
+	}
+	if i.mode == Observe || i.fired || i.events != i.target {
+		return mem.CommitDecision{}
+	}
+	i.fired = true
+	if i.mode == Torn {
+		return mem.CommitDecision{Outcome: mem.CommitTorn, Words: i.words, Crash: true}
+	}
+	return mem.CommitDecision{Outcome: mem.CommitNone, Crash: true}
+}
+
+// Events reports how many durability events the injector has seen
+// (including the intercepted one).
+func (i *Injector) Events() uint64 { return i.events }
+
+// Fired reports whether the crash point was reached.
+func (i *Injector) Fired() bool { return i.fired }
+
+// Trace returns the recorded line addresses (NewRecorder only), in commit
+// order.
+func (i *Injector) Trace() []mem.PhysAddr { return i.trace }
+
+// Crashed runs fn and reports whether it was cut short by an injected
+// machine crash (a mem.CommitCrash panic). Any other panic propagates.
+func Crashed(fn func()) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(mem.CommitCrash); ok {
+				crashed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return false
+}

@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"testing"
+
+	"kindle/internal/mem"
+)
+
+func TestCrashBeforeFiresOnce(t *testing.T) {
+	inj := NewCrashBefore(2)
+	if d := inj.OnCommit(0x1000); d.Outcome != mem.CommitFull || d.Crash {
+		t.Fatalf("event 1 intercepted: %+v", d)
+	}
+	d := inj.OnCommit(0x1040)
+	if d.Outcome != mem.CommitNone || !d.Crash {
+		t.Fatalf("event 2 not intercepted: %+v", d)
+	}
+	// The harness normally crashes here; if the simulation were to continue
+	// the injector must not fire again.
+	if d := inj.OnCommit(0x1080); d.Outcome != mem.CommitFull || d.Crash {
+		t.Fatalf("post-fire event intercepted: %+v", d)
+	}
+	if !inj.Fired() || inj.Events() != 3 {
+		t.Fatalf("fired=%v events=%d", inj.Fired(), inj.Events())
+	}
+}
+
+func TestTornDecision(t *testing.T) {
+	inj := NewTorn(1, 5)
+	d := inj.OnCommit(0x2000)
+	if d.Outcome != mem.CommitTorn || d.Words != 5 || !d.Crash {
+		t.Fatalf("torn decision: %+v", d)
+	}
+}
+
+func TestObserverAndRecorder(t *testing.T) {
+	obs := NewObserver()
+	for i := 0; i < 5; i++ {
+		if d := obs.OnCommit(mem.PhysAddr(i * 64)); d != (mem.CommitDecision{}) {
+			t.Fatalf("observer interfered: %+v", d)
+		}
+	}
+	if obs.Events() != 5 || obs.Fired() || obs.Trace() != nil {
+		t.Fatalf("observer state: events=%d fired=%v trace=%v", obs.Events(), obs.Fired(), obs.Trace())
+	}
+
+	rec := NewRecorder()
+	rec.OnCommit(0x40)
+	rec.OnCommit(0x80)
+	tr := rec.Trace()
+	if len(tr) != 2 || tr[0] != 0x40 || tr[1] != 0x80 {
+		t.Fatalf("trace = %v", tr)
+	}
+}
+
+func TestCrashedRecoversInjectedCrash(t *testing.T) {
+	if !Crashed(func() { panic(mem.CommitCrash{Line: 0x40}) }) {
+		t.Fatal("Crashed did not report an injected crash")
+	}
+	if Crashed(func() {}) {
+		t.Fatal("Crashed reported a crash for a clean run")
+	}
+}
+
+func TestCrashedPropagatesOtherPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want the original panic", r)
+		}
+	}()
+	Crashed(func() { panic("boom") })
+	t.Fatal("unrelated panic swallowed")
+}

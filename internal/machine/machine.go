@@ -122,6 +122,11 @@ func (m *Machine) CommitRange(pa mem.PhysAddr, size uint64) {
 	m.Ctrl.Domain().CommitRange(pa, size)
 }
 
+// SetCommitHook installs (nil removes) an interceptor for NVM durability
+// events on the persist domain. Fault-injection harnesses use it to crash
+// the machine at commit-point granularity (see internal/fault).
+func (m *Machine) SetCommitHook(h mem.CommitHook) { m.Ctrl.Domain().SetCommitHook(h) }
+
 // Tick fires every event due at the current time. The OS run loop calls it
 // between instructions/operations.
 func (m *Machine) Tick() { m.Events.RunDue(m.Clock.Now()) }

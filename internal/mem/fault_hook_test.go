@@ -1,0 +1,138 @@
+package mem
+
+import (
+	"testing"
+
+	"kindle/internal/sim"
+)
+
+// hookFunc adapts a closure to CommitHook for tests.
+type hookFunc func(line PhysAddr) CommitDecision
+
+func (f hookFunc) OnCommit(line PhysAddr) CommitDecision { return f(line) }
+
+func newTestDomain() (*PersistDomain, Layout) {
+	l := SmallLayout()
+	return NewPersistDomain(l, NewBacking(), sim.NewStats()), l
+}
+
+// TestCommitHookTorn: a CommitTorn decision persists only the prefix of
+// 8-byte words, leaving the tail at its previously committed image.
+func TestCommitHookTorn(t *testing.T) {
+	p, l := newTestDomain()
+	line := l.NVMBase
+
+	// Establish a committed baseline.
+	for w := 0; w < 8; w++ {
+		var buf [8]byte
+		buf[0] = byte(0x10 + w)
+		p.Write(line+PhysAddr(w*8), buf[:])
+	}
+	p.CommitLine(line)
+
+	// Overwrite every word, then commit torn after 3 words.
+	for w := 0; w < 8; w++ {
+		var buf [8]byte
+		buf[0] = byte(0xA0 + w)
+		p.Write(line+PhysAddr(w*8), buf[:])
+	}
+	p.SetCommitHook(hookFunc(func(PhysAddr) CommitDecision {
+		return CommitDecision{Outcome: CommitTorn, Words: 3}
+	}))
+	p.CommitLine(line)
+	p.SetCommitHook(nil)
+
+	var got [8]byte
+	for w := 0; w < 8; w++ {
+		p.ReadCommitted(line+PhysAddr(w*8), got[:])
+		want := byte(0x10 + w)
+		if w < 3 {
+			want = byte(0xA0 + w)
+		}
+		if got[0] != want {
+			t.Fatalf("word %d: committed %#x, want %#x", w, got[0], want)
+		}
+	}
+}
+
+// TestCommitHookNoneKeepsLineVolatile: a suppressed commit leaves the line
+// pending, and a crash then drops it back to the committed image.
+func TestCommitHookNoneKeepsLineVolatile(t *testing.T) {
+	p, l := newTestDomain()
+	line := l.NVMBase
+	p.Write(line, []byte{1})
+	p.CommitLine(line)
+
+	p.Write(line, []byte{2})
+	p.SetCommitHook(hookFunc(func(PhysAddr) CommitDecision {
+		return CommitDecision{Outcome: CommitNone}
+	}))
+	p.CommitLine(line)
+	p.SetCommitHook(nil)
+	if p.PendingLines() != 1 {
+		t.Fatalf("suppressed commit left %d pending lines, want 1", p.PendingLines())
+	}
+	p.Crash()
+	var b [1]byte
+	p.Read(line, b[:])
+	if b[0] != 1 {
+		t.Fatalf("after crash read %d, want committed 1", b[0])
+	}
+}
+
+// TestCommitHookCrashPanics: Crash in the decision raises CommitCrash after
+// applying the outcome (here: full commit, then power loss).
+func TestCommitHookCrashPanics(t *testing.T) {
+	p, l := newTestDomain()
+	line := l.NVMBase
+	p.Write(line, []byte{7})
+	p.SetCommitHook(hookFunc(func(PhysAddr) CommitDecision {
+		return CommitDecision{Outcome: CommitFull, Crash: true}
+	}))
+	defer func() {
+		r := recover()
+		cc, ok := r.(CommitCrash)
+		if !ok {
+			t.Fatalf("recovered %v, want CommitCrash", r)
+		}
+		if cc.Line != LineBase(line) {
+			t.Fatalf("CommitCrash.Line = %#x, want %#x", uint64(cc.Line), uint64(LineBase(line)))
+		}
+		// The decision was CommitFull: the line landed before the failure.
+		var b [1]byte
+		p.ReadCommitted(line, b[:])
+		if b[0] != 7 {
+			t.Fatalf("full-commit-then-crash lost the line: %d", b[0])
+		}
+	}()
+	p.CommitLine(line)
+	t.Fatal("CommitLine returned despite Crash decision")
+}
+
+// TestCommitAllAddressOrder: the full persist barrier commits lines in
+// ascending address order so fault-injection replays see a deterministic
+// event stream regardless of map iteration order.
+func TestCommitAllAddressOrder(t *testing.T) {
+	p, l := newTestDomain()
+	// Dirty lines in a scattered order.
+	for _, off := range []uint64{7, 2, 5, 0, 3, 6, 1, 4} {
+		p.Write(l.NVMBase+PhysAddr(off*LineSize), []byte{byte(off + 1)})
+	}
+	var seen []PhysAddr
+	p.SetCommitHook(hookFunc(func(line PhysAddr) CommitDecision {
+		seen = append(seen, line)
+		return CommitDecision{}
+	}))
+	if n := p.CommitAll(); n != 8 {
+		t.Fatalf("CommitAll committed %d lines, want 8", n)
+	}
+	p.SetCommitHook(nil)
+	if len(seen) != 8 {
+		t.Fatalf("hook saw %d commits, want 8", len(seen))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Fatalf("commit order not ascending: %#x after %#x", uint64(seen[i]), uint64(seen[i-1]))
+		}
+	}
+}

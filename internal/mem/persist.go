@@ -1,6 +1,11 @@
 package mem
 
-import "kindle/internal/sim"
+import (
+	"fmt"
+	"sort"
+
+	"kindle/internal/sim"
+)
 
 // PersistDomain implements NVM crash semantics on top of the functional
 // Backing store. CPU stores to NVM first land in the volatile cache
@@ -24,8 +29,59 @@ type PersistDomain struct {
 	// hold the committed image until commit time.
 	pending map[PhysAddr]*[LineSize]byte
 
+	// hook, when non-nil, observes (and may intercept) every line commit.
+	// Fault injection installs one; nil costs a single branch.
+	hook CommitHook
+
 	commits *sim.Counter
 }
+
+// CommitOutcome tells the domain what to do with one line commit.
+type CommitOutcome int
+
+const (
+	// CommitFull lets the whole line become durable (the default).
+	CommitFull CommitOutcome = iota
+	// CommitNone suppresses the commit: the line stays volatile.
+	CommitNone
+	// CommitTorn makes only the first Words 8-byte words of the line
+	// durable, modeling a power failure mid-line on a device with an
+	// 8-byte atomic write unit (PCM).
+	CommitTorn
+)
+
+// CommitDecision is a CommitHook's verdict on one durability event. The
+// zero value means "commit fully, keep running".
+type CommitDecision struct {
+	Outcome CommitOutcome
+	// Words is the torn-prefix length in 8-byte words (1..7) for
+	// CommitTorn.
+	Words int
+	// Crash aborts the simulation at this exact point by panicking with
+	// CommitCrash after the outcome is applied; the harness recovers the
+	// panic and calls Machine.Crash (see internal/fault).
+	Crash bool
+}
+
+// CommitHook observes every NVM line-commit (durability) event: clwb/clflush
+// completion, dirty write-back from the cache hierarchy, and each line of a
+// CommitRange/CommitAll. It runs before the line becomes durable.
+type CommitHook interface {
+	OnCommit(line PhysAddr) CommitDecision
+}
+
+// CommitCrash is the panic value a CommitDecision with Crash set raises; it
+// models a power failure at a precise durability event.
+type CommitCrash struct {
+	Line PhysAddr
+}
+
+func (c CommitCrash) String() string {
+	return fmt.Sprintf("injected crash at commit of line %#x", uint64(c.Line))
+}
+
+// SetCommitHook installs (nil removes) the commit interceptor.
+func (p *PersistDomain) SetCommitHook(h CommitHook) { p.hook = h }
 
 // NewPersistDomain wraps backing with crash semantics for the NVM region of
 // layout.
@@ -99,6 +155,40 @@ func (p *PersistDomain) CommitLine(pa PhysAddr) {
 	if !ok {
 		return
 	}
+	if p.hook != nil {
+		d := p.hook.OnCommit(line)
+		switch d.Outcome {
+		case CommitNone:
+			// The line stays volatile (and is lost if d.Crash follows).
+			if d.Crash {
+				panic(CommitCrash{Line: line})
+			}
+			return
+		case CommitTorn:
+			w := d.Words
+			if w < 1 {
+				w = 1
+			}
+			if w > LineSize/8-1 {
+				w = LineSize/8 - 1
+			}
+			p.backing.Write(line, buf[:w*8])
+			p.stats.Inc("persist.commit_torn")
+			if d.Crash {
+				panic(CommitCrash{Line: line})
+			}
+			return
+		default:
+			if d.Crash {
+				// Full commit, then power loss: the line is durable but
+				// nothing after it is.
+				p.backing.Write(line, buf[:])
+				delete(p.pending, line)
+				p.commits.Inc()
+				panic(CommitCrash{Line: line})
+			}
+		}
+	}
 	p.backing.Write(line, buf[:])
 	delete(p.pending, line)
 	p.commits.Inc()
@@ -119,15 +209,20 @@ func (p *PersistDomain) CommitRange(pa PhysAddr, size uint64) int {
 	return n
 }
 
-// CommitAll drains every pending line (a full persist barrier, used by
-// orderly shutdown and by tests).
+// CommitAll drains every pending line (a full persist barrier, used by the
+// checkpoint boundary, orderly shutdown and tests). Lines commit in address
+// order so the sequence of durability events is deterministic — commit-point
+// fault injection replays runs and must observe identical event streams.
 func (p *PersistDomain) CommitAll() int {
-	n := 0
+	lines := make([]PhysAddr, 0, len(p.pending))
 	for line := range p.pending {
-		p.CommitLine(line)
-		n++
+		lines = append(lines, line)
 	}
-	return n
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		p.CommitLine(line)
+	}
+	return len(lines)
 }
 
 // PendingLines reports how many NVM lines are dirty-in-cache.

@@ -6,89 +6,26 @@ import (
 
 	"kindle/internal/gemos"
 	"kindle/internal/machine"
-	"kindle/internal/mem"
-	"kindle/internal/pt"
 	"kindle/internal/sim"
 )
 
-// TestCrashAnywhereInvariants is the failure-injection sweep: a workload
-// of mmap/store/munmap operations runs under periodic checkpointing and
-// the machine crashes after every k-th operation (for a spread of k). The
-// recovery invariants must hold at every crash point:
-//
-//  1. recovery succeeds and yields the process;
-//  2. the recovered VMA layout is internally consistent (sorted,
-//     non-overlapping) and is a layout the process actually had at some
-//     checkpoint;
-//  3. every recovered page-table mapping points at an NVM frame that the
-//     recovered allocator considers in use (no dangling frames);
-//  4. recovered NVM mappings fall inside recovered NVM VMAs;
-//  5. the recovered register file equals the values captured at some
-//     checkpoint (never a torn mixture).
+// TestCrashAnywhereInvariants is the op-granularity failure-injection sweep:
+// the deterministic sweep workload runs under periodic checkpointing and the
+// machine crashes after every k-th operation (for a spread of k). The
+// recovery invariants (see CheckRecoveryInvariants) must hold at every crash
+// point. The finer-grained commit-point sweep lives in sweep_test.go.
 func TestCrashAnywhereInvariants(t *testing.T) {
 	for _, scheme := range []Scheme{Rebuild, Persistent} {
 		scheme := scheme
 		t.Run(scheme.String(), func(t *testing.T) {
 			for crashAfter := 5; crashAfter <= 125; crashAfter += 8 {
-				runCrashPoint(t, scheme, crashAfter)
+				runOpCrashPoint(t, scheme, crashAfter)
 			}
 		})
 	}
 }
 
-// opLog drives a deterministic mixed workload, one op at a time.
-type opLog struct {
-	k   *gemos.Kernel
-	p   *gemos.Process
-	rng *sim.RNG
-
-	regions []uint64 // live NVM mmap bases (fixed 4-page regions)
-	opCount int
-}
-
-const crashRegionPages = 4
-
-func (o *opLog) step() error {
-	o.opCount++
-	// Stamp the registers with the op counter so torn recovery is
-	// detectable: a consistent copy always holds a single opCount value.
-	o.k.M.Core.Regs.GPR[0] = uint64(o.opCount)
-	o.k.M.Core.Regs.RIP = uint64(o.opCount) * 16
-
-	switch o.rng.Intn(4) {
-	case 0, 1: // mmap + touch
-		a, err := o.k.Mmap(o.p, 0, crashRegionPages*mem.PageSize, gemos.ProtRead|gemos.ProtWrite, gemos.MapNVM)
-		if err != nil {
-			return err
-		}
-		o.regions = append(o.regions, a)
-		for i := uint64(0); i < crashRegionPages; i++ {
-			if _, err := o.k.M.Core.Access(a+i*mem.PageSize, true, 8); err != nil {
-				return err
-			}
-		}
-	case 2: // munmap a region if any
-		if len(o.regions) == 0 {
-			return nil
-		}
-		idx := o.rng.Intn(len(o.regions))
-		a := o.regions[idx]
-		o.regions = append(o.regions[:idx], o.regions[idx+1:]...)
-		return o.k.Munmap(o.p, a, crashRegionPages*mem.PageSize)
-	default: // touch a random live page
-		if len(o.regions) == 0 {
-			return nil
-		}
-		a := o.regions[o.rng.Intn(len(o.regions))]
-		off := uint64(o.rng.Intn(crashRegionPages)) * mem.PageSize
-		if _, err := o.k.M.Core.Access(a+off, true, 8); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func runCrashPoint(t *testing.T, scheme Scheme, crashAfter int) {
+func runOpCrashPoint(t *testing.T, scheme Scheme, crashAfter int) {
 	t.Helper()
 	m := machine.New(machine.TestConfig())
 	k := gemos.Boot(m)
@@ -103,7 +40,7 @@ func runCrashPoint(t *testing.T, scheme Scheme, crashAfter int) {
 	k.Switch(p)
 	mgr.Start()
 
-	o := &opLog{k: k, p: p, rng: sim.NewRNG(uint64(crashAfter) * 977)}
+	o := &sweepOps{k: k, p: p, rng: sim.NewRNG(uint64(crashAfter) * 977)}
 	for i := 0; i < crashAfter; i++ {
 		if err := o.step(); err != nil {
 			t.Fatalf("crashAfter=%d op %d: %v", crashAfter, i, err)
@@ -113,6 +50,7 @@ func runCrashPoint(t *testing.T, scheme Scheme, crashAfter int) {
 		m.Clock.Advance(sim.FromDuration(20 * time.Microsecond))
 		k.Tick()
 	}
+	started := m.Stats.Get("persist.checkpoints_started")
 
 	// Crash mid-flight, reboot, recover.
 	m.Crash()
@@ -125,57 +63,13 @@ func runCrashPoint(t *testing.T, scheme Scheme, crashAfter int) {
 	if err != nil {
 		t.Fatalf("crashAfter=%d: recover: %v", crashAfter, err)
 	}
-	if len(procs) != 1 {
-		t.Fatalf("crashAfter=%d: recovered %d processes", crashAfter, len(procs))
+	exp := RecoveryExpectation{
+		MaxOps:    uint64(crashAfter),
+		MaxGen:    started,
+		CheckGen:  true,
+		WantProcs: 1,
 	}
-	rp := procs[0]
-
-	// (2) VMA layout internally consistent.
-	var prevEnd uint64
-	for _, v := range rp.AS.All() {
-		if v.Start < prevEnd || v.Start >= v.End {
-			t.Fatalf("crashAfter=%d: inconsistent recovered VMA %v", crashAfter, v)
-		}
-		prevEnd = v.End
-	}
-
-	// (5) Registers from one consistent snapshot: GPR[0]*16 == RIP.
-	if rp.Regs.GPR[0]*16 != rp.Regs.RIP {
-		t.Fatalf("crashAfter=%d: torn registers: gpr0=%d rip=%d",
-			crashAfter, rp.Regs.GPR[0], rp.Regs.RIP)
-	}
-	if rp.Regs.GPR[0] > uint64(crashAfter) {
-		t.Fatalf("crashAfter=%d: registers from the future (%d)", crashAfter, rp.Regs.GPR[0])
-	}
-
-	// (3) + (4): mappings point at in-use NVM frames inside NVM VMAs.
-	rp.Table.ForEachMapped(func(va uint64, e pt.PTE) bool {
-		if !e.NVM() {
-			return true
-		}
-		if m.Cfg.Layout.KindOf(mem.FrameBase(e.PFN())) != mem.NVM {
-			t.Fatalf("crashAfter=%d: NVM-flagged PTE points at %v frame",
-				crashAfter, m.Cfg.Layout.KindOf(mem.FrameBase(e.PFN())))
-		}
-		if !k2.Alloc.InUse(e.PFN()) {
-			t.Fatalf("crashAfter=%d: recovered mapping va=%#x uses free frame %#x",
-				crashAfter, va, e.PFN())
-		}
-		v := rp.AS.Find(va)
-		if v == nil || v.Kind != mem.NVM {
-			t.Fatalf("crashAfter=%d: recovered NVM mapping va=%#x outside NVM VMAs", crashAfter, va)
-		}
-		return true
-	})
-
-	// The recovered process must be runnable: touch every NVM VMA.
-	k2.Switch(rp)
-	for _, v := range rp.AS.All() {
-		if v.Kind != mem.NVM {
-			continue
-		}
-		if _, err := m.Core.Access(v.Start, false, 8); err != nil {
-			t.Fatalf("crashAfter=%d: recovered area unusable: %v", crashAfter, err)
-		}
+	if err := CheckRecoveryInvariants(mgr2, procs, exp); err != nil {
+		t.Fatalf("crashAfter=%d: %v", crashAfter, err)
 	}
 }

@@ -1,0 +1,130 @@
+package persist
+
+import (
+	"fmt"
+
+	"kindle/internal/gemos"
+	"kindle/internal/mem"
+	"kindle/internal/pt"
+)
+
+// RecoveryExpectation parameterizes CheckRecoveryInvariants with the facts
+// the harness knows about the pre-crash run.
+type RecoveryExpectation struct {
+	// MaxOps, when non-zero, bounds the workload op counter the sweep
+	// workload stamps into GPR[0]: a recovered value above it means the
+	// checkpoint captured state that never existed.
+	MaxOps uint64
+	// MaxGen, checked when CheckGen is set, bounds the recovered slot
+	// generation: it can never exceed the number of checkpoints *started*
+	// before the crash (a crash mid-checkpoint may leave a durable
+	// generation one past the last *completed* checkpoint, so the bound is
+	// starts, not completions).
+	MaxGen   uint64
+	CheckGen bool
+	// WantProcs is the exact number of processes recovery must yield, or
+	// -1 when the crash point makes either outcome legal (e.g. a crash
+	// while the slot's valid flip was still volatile).
+	WantProcs int
+}
+
+// CheckRecoveryInvariants verifies the post-recovery state of mgr's kernel
+// against the crash-consistency invariants every commit point must satisfy:
+//
+//  1. the recovered process count matches the expectation;
+//  2. each recovered VMA layout is internally consistent (sorted,
+//     non-overlapping, non-empty regions);
+//  3. the recovered registers come from one consistent snapshot (the sweep
+//     workload maintains GPR[0]*16 == RIP as it runs) and never from the
+//     future (GPR[0] ≤ MaxOps);
+//  4. the recovered slot generation is monotone-bounded by MaxGen;
+//  5. every recovered NVM page-table mapping points at an NVM frame the
+//     recovered allocator considers in use, inside a recovered NVM VMA;
+//  6. the recovered process is runnable: every NVM VMA can be touched.
+//
+// It is exported so the go-test sweep, the bench crash-sweep experiment and
+// the op-granularity crash test all apply the same definition of "recovered
+// correctly".
+func CheckRecoveryInvariants(mgr *Manager, procs []*gemos.Process, exp RecoveryExpectation) error {
+	if exp.WantProcs >= 0 && len(procs) != exp.WantProcs {
+		return fmt.Errorf("recovered %d processes, want %d", len(procs), exp.WantProcs)
+	}
+	m := mgr.M
+	k := mgr.K
+	for _, rp := range procs {
+		// (2) VMA layout internally consistent, and coherent with the
+		// recovered allocation cursor: mmap only hands out cursor-region
+		// addresses below the cursor, so a recovered VMA beyond it means
+		// the layout and the cursor come from different snapshots (the
+		// checkpoint-flip ordering bug manifested exactly this way — a
+		// durable flip over a stale cursor/counts line).
+		var prevEnd uint64
+		for _, v := range rp.AS.All() {
+			if v.Start < prevEnd || v.Start >= v.End {
+				return fmt.Errorf("pid %d: inconsistent recovered VMA [%#x,%#x)", rp.PID, v.Start, v.End)
+			}
+			prevEnd = v.End
+			if v.Kind == mem.NVM && v.Start >= gemos.MmapBase && v.End > rp.MmapCursor() {
+				return fmt.Errorf("pid %d: recovered VMA [%#x,%#x) beyond recovered mmap cursor %#x",
+					rp.PID, v.Start, v.End, rp.MmapCursor())
+			}
+		}
+
+		// (3) Registers from one consistent snapshot.
+		if rp.Regs.GPR[0]*16 != rp.Regs.RIP {
+			return fmt.Errorf("pid %d: torn registers: gpr0=%d rip=%d", rp.PID, rp.Regs.GPR[0], rp.Regs.RIP)
+		}
+		if exp.MaxOps > 0 && rp.Regs.GPR[0] > exp.MaxOps {
+			return fmt.Errorf("pid %d: registers from the future: op %d > max %d",
+				rp.PID, rp.Regs.GPR[0], exp.MaxOps)
+		}
+
+		// (4) Generation monotonicity.
+		if exp.CheckGen {
+			if gen, _, ok := mgr.SlotOf(rp); ok && gen > exp.MaxGen {
+				return fmt.Errorf("pid %d: recovered generation %d exceeds checkpoints started %d",
+					rp.PID, gen, exp.MaxGen)
+			}
+		}
+
+		// (5) Mappings point at in-use NVM frames inside NVM VMAs.
+		var mapErr error
+		rp.Table.ForEachMapped(func(va uint64, e pt.PTE) bool {
+			if !e.NVM() {
+				return true
+			}
+			if m.Cfg.Layout.KindOf(mem.FrameBase(e.PFN())) != mem.NVM {
+				mapErr = fmt.Errorf("pid %d: NVM-flagged PTE va=%#x points at %v frame",
+					rp.PID, va, m.Cfg.Layout.KindOf(mem.FrameBase(e.PFN())))
+				return false
+			}
+			if !k.Alloc.InUse(e.PFN()) {
+				mapErr = fmt.Errorf("pid %d: recovered mapping va=%#x uses free frame %#x",
+					rp.PID, va, e.PFN())
+				return false
+			}
+			v := rp.AS.Find(va)
+			if v == nil || v.Kind != mem.NVM {
+				mapErr = fmt.Errorf("pid %d: recovered NVM mapping va=%#x outside NVM VMAs", rp.PID, va)
+				return false
+			}
+			return true
+		})
+		if mapErr != nil {
+			return mapErr
+		}
+
+		// (6) Runnable: touch every NVM VMA.
+		k.Switch(rp)
+		for _, v := range rp.AS.All() {
+			if v.Kind != mem.NVM {
+				continue
+			}
+			if _, err := m.Core.Access(v.Start, false, 8); err != nil {
+				return fmt.Errorf("pid %d: recovered area [%#x,%#x) unusable: %v",
+					rp.PID, v.Start, v.End, err)
+			}
+		}
+	}
+	return nil
+}

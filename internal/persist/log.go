@@ -22,14 +22,15 @@ const logEntrySize = 64 // one cache line per entry
 // (one line write + clwb, the paper's "redo log stored in NVM"); the
 // checkpoint reads and applies entries (timed reads), then resets the head.
 type redoLog struct {
-	m     *machine.Machine
-	base  mem.PhysAddr
-	size  uint64
-	head  uint64 // next append offset (bytes)
-	count uint64
+	m    *machine.Machine
+	base mem.PhysAddr
+	size uint64
+	head uint64 // next append offset (bytes)
+	live uint64 // entries currently in the ring (≤ capacity)
 
 	appends *sim.Counter // "persist.redo_append", one per metadata change
 	wraps   *sim.Counter // "persist.redo_wrap"
+	lost    *sim.Counter // "persist.redo_lost", un-drained entries overwritten
 }
 
 func newRedoLog(m *machine.Machine, base mem.PhysAddr, size uint64) *redoLog {
@@ -37,17 +38,28 @@ func newRedoLog(m *machine.Machine, base mem.PhysAddr, size uint64) *redoLog {
 		m: m, base: base, size: size,
 		appends: m.Stats.Counter("persist.redo_append"),
 		wraps:   m.Stats.Counter("persist.redo_wrap"),
+		lost:    m.Stats.Counter("persist.redo_lost"),
 	}
 }
+
+// capEntries is the ring capacity in entries.
+func (l *redoLog) capEntries() uint64 { return l.size / logEntrySize }
 
 // append writes one entry: {type, pid, a, b} packed into a line.
 func (l *redoLog) append(typ uint64, pid int, a, b uint64) sim.Cycles {
 	if l.head+logEntrySize > l.size {
 		// Ring wrapped within one checkpoint interval: the paper's design
 		// sizes the log for an interval; we fall back to overwriting from
-		// the start after accounting. Entries already applied are gone.
+		// the start after accounting.
 		l.head = 0
 		l.wraps.Inc()
+	}
+	if l.live == l.capEntries() {
+		// The ring is full of un-drained entries; this append overwrites
+		// the oldest one, which is lost to the next checkpoint.
+		l.lost.Inc()
+	} else {
+		l.live++
 	}
 	ea := l.base + mem.PhysAddr(l.head)
 	l.m.StoreU64(ea, typ)
@@ -57,23 +69,25 @@ func (l *redoLog) append(typ uint64, pid int, a, b uint64) sim.Cycles {
 	lat := l.m.AccessTimed(ea, true)
 	lat += l.m.Core.Clwb(ea)
 	l.head += logEntrySize
-	l.count++
 	l.appends.Inc()
 	return lat
 }
 
-// drain charges the cost of reading every outstanding entry (the
-// checkpoint's "applying changes in the redo log") and resets the ring.
-// It returns the number of entries applied.
+// drain charges the cost of reading every live entry (the checkpoint's
+// "applying changes in the redo log") and resets the ring. It returns the
+// number of entries applied — which equals the entries actually read: when
+// the ring has not wrapped they occupy [0, head); once it has wrapped every
+// slot of the ring is live.
 func (l *redoLog) drain() (entries uint64, lat sim.Cycles) {
-	for off := uint64(0); off < l.head; off += logEntrySize {
+	span := l.live * logEntrySize
+	for off := uint64(0); off < span; off += logEntrySize {
 		lat += l.m.AccessTimed(l.base+mem.PhysAddr(off), false)
 	}
-	entries = l.count
+	entries = l.live
 	l.head = 0
-	l.count = 0
+	l.live = 0
 	return entries, lat
 }
 
-// pending reports outstanding (un-checkpointed) entries.
-func (l *redoLog) pending() uint64 { return l.count }
+// pending reports outstanding (un-checkpointed) entries live in the ring.
+func (l *redoLog) pending() uint64 { return l.live }

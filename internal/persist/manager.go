@@ -54,25 +54,37 @@ func newV2PMirror() *v2pMirror {
 	return &v2pMirror{index: make(map[uint64]int)}
 }
 
-func (v *v2pMirror) set(vpn, pfn uint64) {
+// set inserts or updates vpn→pfn and returns the index of the entry slot
+// that was written (the appended slot for an insert, the existing slot for
+// an update).
+func (v *v2pMirror) set(vpn, pfn uint64) int {
 	if i, ok := v.index[vpn]; ok {
 		v.entries[i].pfn = pfn
-		return
+		return i
 	}
-	v.index[vpn] = len(v.entries)
+	i := len(v.entries)
+	v.index[vpn] = i
 	v.entries = append(v.entries, v2pEntry{vpn: vpn, pfn: pfn})
+	return i
 }
 
-func (v *v2pMirror) remove(vpn uint64) {
+// remove deletes vpn and returns the index of the entry slot rewritten by
+// the swap-with-last compaction, or -1 when no slot was written (vpn absent
+// or the removed entry was the last one).
+func (v *v2pMirror) remove(vpn uint64) int {
 	i, ok := v.index[vpn]
 	if !ok {
-		return
+		return -1
 	}
 	last := len(v.entries) - 1
 	v.entries[i] = v.entries[last]
 	v.index[v.entries[i].vpn] = i
 	v.entries = v.entries[:last]
 	delete(v.index, vpn)
+	if i == last {
+		return -1
+	}
+	return i
 }
 
 func (v *v2pMirror) len() int { return len(v.entries) }
@@ -181,6 +193,10 @@ func Reattach(k *gemos.Kernel, interval sim.Cycles) (*Manager, error) {
 		return nil, fmt.Errorf("persist: no valid area header at %#x", base)
 	}
 	scheme := Scheme(k.M.LoadU64(base + 8))
+	if scheme != Rebuild && scheme != Persistent {
+		return nil, fmt.Errorf("persist: corrupted area header at %#x: unknown page-table scheme %d",
+			base, uint64(scheme))
+	}
 	mgr := &Manager{
 		K:        k,
 		M:        k.M,
@@ -305,7 +321,7 @@ func (mgr *Manager) onSpawn(p *gemos.Process) {
 	sa := mgr.geo.slotAddr(slot)
 	m.StoreU64(sa+hdrMagic, slotMagic)
 	m.StoreU64(sa+hdrPID, uint64(p.PID))
-	m.StoreU64(sa+hdrValid, 1)
+	m.StoreU64(sa+hdrValid, 0)
 	m.StoreU64(sa+hdrWhich, 0)
 	m.StoreU64(sa+hdrPTRoot, uint64(p.Table.Root()))
 	m.StoreU64(sa+hdrGeneration, 0)
@@ -319,15 +335,22 @@ func (mgr *Manager) onSpawn(p *gemos.Process) {
 	m.StoreU64(sa+hdrCursorA, p.MmapCursor())
 	mgr.writeVMATable(slot, 0, p)
 	m.StoreU64(sa+hdrV2PCountA, 0)
-	// Durability: header + copy A structures.
-	m.CommitRange(sa, slotHeaderSize)
+	// Durability, in dependency order: copy-A payload and the header page
+	// first (valid still 0 — a crash here leaves the slot invisible), and
+	// only then the single-line valid flip.
 	m.CommitRange(mgr.geo.vmaTableAddr(slot, 0), vmaTableSize)
+	m.CommitRange(sa, slotHeaderSize)
 	// Timed: header lines + VMA lines.
 	for off := mem.PhysAddr(0); off < 0x340; off += mem.LineSize {
 		m.AccessTimed(sa+off, true)
 		m.Core.Clwb(sa + off)
 	}
 	m.Core.Fence()
+	m.StoreU64(sa+hdrValid, 1)
+	m.AccessTimed(sa+hdrValid, true)
+	m.Core.Clwb(sa + hdrValid)
+	m.Core.Fence()
+	m.CommitRange(sa, mem.LineSize)
 	m.Stats.Inc("persist.slot_init")
 }
 
@@ -451,6 +474,10 @@ func (mgr *Manager) schedule() {
 func (mgr *Manager) Checkpoint() {
 	m := mgr.M
 	start := m.Clock.Now()
+	// Counted at entry (the completion counter is persist.checkpoints):
+	// a crash mid-checkpoint may already have flipped some slots' durable
+	// generation, so the monotonicity bound is checkpoints *started*.
+	m.Stats.Inc("persist.checkpoints_started")
 	m.Core.EnterKernel()
 	defer m.Core.ExitKernel()
 	tracing := m.Tracer.Enabled(obs.CatCheckpoint)
@@ -510,10 +537,21 @@ func (mgr *Manager) Checkpoint() {
 		}
 		phaseStart = mgr.endPhase(tracing, "checkpoint.v2p", "persist.ckpt.v2p_cycles", phaseStart, slot)
 
-		// 4. Commit the working copy functionally, then flip the
-		// consistent pointer (single-line write + clwb + fence = atomic).
+		// 4. Make the working copy durable *before* the flip: VMA table,
+		// registers, and the header line holding the copy's cursor and
+		// VMA/v2p counts (hdrCursorA..hdrV2PCountB share one 64-byte line
+		// at +0x300, distinct from the line holding hdrWhich). Only once
+		// all of it is durable does the consistent pointer flip commit
+		// (single-line write + clwb + fence = atomic; gen and PTRoot ride
+		// on the same line as hdrWhich). A crash between the two fences
+		// now lands entirely on one side: either the old copy with its old
+		// counts, or the new copy with its new counts.
 		m.CommitRange(mgr.geo.vmaTableAddr(slot, target), vmaTableSize)
 		m.CommitRange(ra, regsBytes)
+		m.AccessTimed(sa+hdrCursorA, true)
+		m.Core.Clwb(sa + hdrCursorA)
+		m.Core.Fence()
+		m.CommitRange(sa+hdrCursorA, mem.LineSize)
 		st.gen++
 		m.StoreU64(sa+hdrGeneration, st.gen)
 		m.StoreU64(sa+hdrPTRoot, uint64(p.Table.Root()))
@@ -521,6 +559,9 @@ func (mgr *Manager) Checkpoint() {
 		m.AccessTimed(sa+hdrWhich, true)
 		m.Core.Clwb(sa + hdrWhich)
 		m.Core.Fence()
+		m.CommitRange(sa, mem.LineSize)
+		// Safety net only — the flip above must already have made the new
+		// copy recoverable; nothing below this line is load-bearing.
 		m.CommitRange(sa, slotHeaderSize)
 		st.which = target
 		mgr.endPhase(tracing, "checkpoint.flip", "persist.ckpt.flip_cycles", phaseStart, slot)
@@ -594,21 +635,27 @@ func (mgr *Manager) maintainV2P(slot int, st *slotState, d *procDirty, target in
 		base := mgr.geo.v2pAddr(slot, target)
 		for _, vpn := range vpns {
 			ch := d.changes[vpn]
+			var idx int
 			if ch.mapped {
-				st.mirror.set(vpn, ch.pfn)
+				idx = st.mirror.set(vpn, ch.pfn)
 			} else {
-				st.mirror.remove(vpn)
+				idx = st.mirror.remove(vpn)
 			}
-			// Timed: one entry write in the target copy + clwb + fence.
-			idx := uint64(st.mirror.len())
-			if idx >= mgr.geo.v2pCap {
-				idx = mgr.geo.v2pCap - 1
+			mgr.v2pUpdates.Inc()
+			// Timed: one entry write in the target copy + clwb + fence,
+			// charged at the address of the entry slot actually written
+			// (a removal that only shrinks the list writes no slot).
+			if idx < 0 {
+				continue
 			}
-			ea := base + mem.PhysAddr(idx*v2pEntrySize)
+			ui := uint64(idx)
+			if ui >= mgr.geo.v2pCap {
+				ui = mgr.geo.v2pCap - 1
+			}
+			ea := base + mem.PhysAddr(ui*v2pEntrySize)
 			m.AccessTimed(ea, true)
 			m.Core.Clwb(ea)
 			m.Core.Fence()
-			mgr.v2pUpdates.Inc()
 		}
 	}
 
