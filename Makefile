@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench benchsmoke crashsweep
+.PHONY: all build test check fmt vet race bench benchsmoke crashsweep fuzzsmoke
 
 all: build test
 
@@ -12,8 +12,9 @@ test:
 
 # check is the pre-commit gate: formatting, vet, the full test suite under
 # the race detector, a one-iteration pass over every benchmark so the perf
-# harness can't silently rot, and a bounded commit-point crash sweep.
-check: fmt vet race benchsmoke crashsweep
+# harness can't silently rot, a bounded commit-point crash sweep, and a
+# short fuzz of the trace decoders.
+check: fmt vet race benchsmoke crashsweep fuzzsmoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -33,6 +34,11 @@ benchsmoke:
 # the build if any injection point violates the recovery invariants.
 crashsweep:
 	$(GO) run ./cmd/kindle-bench -experiment crash-sweep -scale 0.0625 -check
+
+# fuzzsmoke runs the checked-in corpus plus 10 seconds of new coverage over
+# the v1/v2 binary trace decoders (see internal/trace/fuzz_test.go).
+fuzzsmoke:
+	$(GO) test -run XXX -fuzz FuzzDecode -fuzztime 10s ./internal/trace
 
 # bench runs the microbenchmarks, then records the headline numbers
 # (replay records/sec, suite wall-clock, GOMAXPROCS) in BENCH_replay.json

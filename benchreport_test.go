@@ -1,9 +1,7 @@
 package kindle_test
 
 import (
-	"encoding/json"
 	"flag"
-	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -13,32 +11,24 @@ import (
 
 // benchReportPath enables TestWriteBenchReport: `make bench` passes
 // -bench-report BENCH_replay.json to record the machine-readable
-// performance snapshot compared across PRs.
+// performance snapshot compared across PRs (see bench.Report and
+// cmd/kindle-benchdiff).
 var benchReportPath = flag.String("bench-report", "", "write the replay/suite benchmark report JSON to this path")
 
-// benchReport is the schema of BENCH_replay.json.
-type benchReport struct {
-	// RecordsPerSec is BenchmarkReplayThroughput's custom metric: trace
-	// records simulated per host second through the full access path.
-	RecordsPerSec float64 `json:"records_per_sec"`
-	// SuiteWallClockSec is the wall-clock time of one full RunAll at
-	// SuiteScale with the default worker pool.
-	SuiteWallClockSec float64 `json:"suite_wall_clock_sec"`
-	SuiteScale        float64 `json:"suite_scale"`
-	GOMAXPROCS        int     `json:"gomaxprocs"`
-}
-
-// TestWriteBenchReport measures replay throughput and suite wall-clock and
-// writes them as JSON. Skipped unless -bench-report is set, so regular
-// `go test` runs don't pay the measurement.
+// TestWriteBenchReport measures replay throughput (materialized and
+// streamed) and suite wall-clock and writes them as JSON. Skipped unless
+// -bench-report is set, so regular `go test` runs don't pay the
+// measurement.
 func TestWriteBenchReport(t *testing.T) {
 	if *benchReportPath == "" {
 		t.Skip("enabled by -bench-report <path> (see `make bench`)")
 	}
-	rep := benchReport{SuiteScale: 1.0 / 16, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep := bench.Report{SuiteScale: 1.0 / 16, GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
 	br := testing.Benchmark(BenchmarkReplayThroughput)
 	rep.RecordsPerSec = br.Extra["records/sec"]
+	bs := testing.Benchmark(BenchmarkStreamReplayThroughput)
+	rep.StreamRecordsPerSec = bs.Extra["records/sec"]
 
 	start := time.Now()
 	if _, err := bench.RunAll(bench.Options{Scale: rep.SuiteScale}, nil); err != nil {
@@ -46,13 +36,10 @@ func TestWriteBenchReport(t *testing.T) {
 	}
 	rep.SuiteWallClockSec = time.Since(start).Seconds()
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
+	if err := rep.WriteFile(*benchReportPath); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(*benchReportPath, append(data, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	t.Logf("wrote %s: %.0f records/sec, suite %.1fs at scale %g on %d procs",
-		*benchReportPath, rep.RecordsPerSec, rep.SuiteWallClockSec, rep.SuiteScale, rep.GOMAXPROCS)
+	t.Logf("wrote %s: %.0f records/sec (stream %.0f), suite %.1fs at scale %g on %d procs",
+		*benchReportPath, rep.RecordsPerSec, rep.StreamRecordsPerSec, rep.SuiteWallClockSec,
+		rep.SuiteScale, rep.GOMAXPROCS)
 }

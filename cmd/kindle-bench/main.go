@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	kindle-bench [-scale 1.0] [-parallel N] [-experiment all|tableI|tableII|fig4a|fig4b|tableIII|tableIV|fig5|intervals|hscc|crash-sweep|extensions] [-check]
+//	kindle-bench [-scale 1.0] [-parallel N] [-experiment all|tableI|tableII|fig4a|fig4b|tableIII|tableIV|fig5|intervals|image-sizes|hscc|crash-sweep|extensions] [-check]
 //
 // -scale shrinks footprints, trace lengths and intervals proportionally
 // (0.0625 runs the whole suite in about a minute; 1.0 is paper scale).
@@ -116,6 +116,9 @@ func main() {
 		run(r, err)
 	case "intervals":
 		r, err := bench.Intervals(opt)
+		run(r, err)
+	case "image-sizes", "imagesizes":
+		r, err := bench.ImageSizes(opt)
 		run(r, err)
 	case "hscc":
 		tv, f6, t6, err := bench.HSCCAll(opt)

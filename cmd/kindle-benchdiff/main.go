@@ -1,0 +1,54 @@
+// Command kindle-benchdiff compares two bench report JSON files (see `make
+// bench` and BENCH_replay.json) and exits non-zero on a throughput
+// regression beyond the failure threshold. CI's bench-regression job runs
+// it against the committed snapshot; throughputs are normalized by each
+// report's gomaxprocs so differently-sized runners compare sanely.
+//
+// Usage:
+//
+//	kindle-benchdiff -base BENCH_replay.json -fresh /tmp/BENCH_fresh.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kindle/internal/bench"
+)
+
+func main() {
+	base := flag.String("base", "BENCH_replay.json", "committed baseline report")
+	fresh := flag.String("fresh", "", "freshly measured report")
+	warn := flag.Float64("warn", 0.10, "warn when a metric drops more than this fraction")
+	fail := flag.Float64("fail", 0.20, "fail when a metric drops more than this fraction")
+	flag.Parse()
+
+	if *fresh == "" {
+		fmt.Fprintln(os.Stderr, "kindle-benchdiff: -fresh required")
+		os.Exit(2)
+	}
+	b, err := bench.LoadReport(*base)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := bench.LoadReport(*fresh)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("base:  %.0f rec/s (stream %.0f) on %d procs\n", b.RecordsPerSec, b.StreamRecordsPerSec, b.GOMAXPROCS)
+	fmt.Printf("fresh: %.0f rec/s (stream %.0f) on %d procs\n", f.RecordsPerSec, f.StreamRecordsPerSec, f.GOMAXPROCS)
+	warnings, err := bench.CompareReports(b, f, *warn, *fail)
+	for _, w := range warnings {
+		fmt.Println("warning:", w)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("bench comparison ok")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kindle-benchdiff:", err)
+	os.Exit(1)
+}

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	kindle-prep -benchmark Ycsb_mem -out ./images [-small] [-maps]
+//	kindle-prep -benchmark Ycsb_mem -out ./images [-small] [-maps] [-format v2]
+//	kindle-prep -convert images/Ycsb_mem.img -format v2 -o images/Ycsb_mem.v2.img
 package main
 
 import (
@@ -22,6 +23,9 @@ func main() {
 	small := flag.Bool("small", false, "use the reduced test-scale configuration")
 	maps := flag.Bool("maps", false, "print the captured /proc-style maps layout")
 	list := flag.Bool("list", false, "list available benchmarks")
+	format := flag.String("format", prep.FormatV1, "disk-image format: v1 (flat) or v2 (chunked+compressed, streamed)")
+	convert := flag.String("convert", "", "convert an existing image to -format instead of tracing")
+	convOut := flag.String("o", "", "output path for -convert")
 	flag.Parse()
 
 	if *list {
@@ -30,19 +34,31 @@ func main() {
 		}
 		return
 	}
+	if *convert != "" {
+		if *convOut == "" {
+			fmt.Fprintln(os.Stderr, "kindle-prep: -convert requires -o <output path>")
+			os.Exit(2)
+		}
+		n, err := prep.ConvertImage(*convert, *convOut, *format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kindle-prep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("converted %s -> %s (%s, %d records)\n", *convert, *convOut, *format, n)
+		return
+	}
 	if *benchmark == "" {
 		fmt.Fprintln(os.Stderr, "kindle-prep: -benchmark required (see -list)")
 		os.Exit(2)
 	}
-	d := &prep.Driver{OutDir: *out, Small: *small}
+	d := &prep.Driver{OutDir: *out, Small: *small, Format: *format}
 	res, err := d.Run(*benchmark)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kindle-prep:", err)
 		os.Exit(1)
 	}
-	r, w := res.Image.Mix()
 	fmt.Printf("traced %s: %d records, %d areas, %.0f%% read / %.0f%% write, footprint %d KiB\n",
-		*benchmark, len(res.Image.Records), len(res.Image.Areas), r, w, res.Image.Footprint()/1024)
+		*benchmark, res.Records, len(res.Image.Areas), res.ReadPct, res.WritePct, res.Image.Footprint()/1024)
 	fmt.Println("disk image:", res.ImagePath)
 	fmt.Println("template:  ", res.TemplatePath)
 	if *maps {

@@ -23,6 +23,7 @@ func main() {
 	out := flag.String("out", "", "output trace file (extension-independent; format by flags)")
 	textIn := flag.Bool("text-in", false, "input is the text format (default: binary)")
 	textOut := flag.Bool("text-out", true, "output in the text format (false: binary)")
+	format := flag.String("format", "v1", "binary output format: v1 (flat) or v2 (chunked+compressed)")
 	summary := flag.Bool("summary", false, "print a summary of the trace")
 	flag.Parse()
 
@@ -66,10 +67,15 @@ func main() {
 		fatal(err)
 	}
 	defer o.Close()
-	if *textOut {
+	switch {
+	case *textOut:
 		err = trace.EncodeText(o, img)
-	} else {
+	case *format == "v2":
+		err = trace.EncodeV2(o, img, trace.StreamOptions{})
+	case *format == "v1":
 		err = trace.Encode(o, img)
+	default:
+		err = fmt.Errorf("unknown -format %q (want v1 or v2)", *format)
 	}
 	if err != nil {
 		fatal(err)

@@ -47,10 +47,11 @@ func main() {
 	statsInterval := flag.Duration("stats-interval", 0, "dump gem5 interval stat blocks every simulated duration (0 = off)")
 	flag.Parse()
 
-	img, err := loadImage(*image, *benchmark, *small)
+	src, err := openSource(*image, *benchmark, *small)
 	if err != nil {
 		fatal(err)
 	}
+	defer src.Close()
 
 	cfg := machine.DefaultConfig()
 	if *traceOut != "" {
@@ -97,7 +98,7 @@ func main() {
 		fatal(err)
 	}
 
-	p, rep, err := f.LaunchInit(img)
+	p, rep, err := f.LaunchStream(src)
 	if err != nil {
 		fatal(err)
 	}
@@ -125,9 +126,19 @@ func main() {
 		mgr.Start()
 	}
 
-	total := rep.Remaining()
-	crashPoint := int(float64(total) * *crashAt)
-	fmt.Printf("replaying %s: %d records on %s\n", img.Benchmark, total, "3GB DRAM + 2GB NVM @ 3GHz")
+	total := rep.Total()
+	crashPoint := 0
+	if *crashAt > 0 {
+		if total < 0 {
+			fatal(fmt.Errorf("-crash-at needs the trace length, which this source cannot report"))
+		}
+		crashPoint = int(float64(total) * *crashAt)
+	}
+	if total >= 0 {
+		fmt.Printf("replaying %s: %d records on %s\n", src.Benchmark(), total, "3GB DRAM + 2GB NVM @ 3GHz")
+	} else {
+		fmt.Printf("replaying %s (streamed) on %s\n", src.Benchmark(), "3GB DRAM + 2GB NVM @ 3GHz")
+	}
 
 	if crashPoint > 0 && mgr != nil {
 		if _, err := rep.Step(crashPoint); err != nil {
@@ -218,12 +229,19 @@ func main() {
 	}
 }
 
-func loadImage(path, benchmark string, small bool) (*trace.Image, error) {
+// openSource yields the replay's record stream: a disk image (either
+// binary format, sniffed from the header, decoded chunk-by-chunk) or an
+// on-the-fly traced benchmark.
+func openSource(path, benchmark string, small bool) (trace.RecordSource, error) {
 	switch {
 	case path != "":
-		return prep.ReadImageFile(path)
+		return prep.OpenImageStream(path)
 	case benchmark != "":
-		return core.Prepare(benchmark, small)
+		img, err := core.Prepare(benchmark, small)
+		if err != nil {
+			return nil, err
+		}
+		return trace.NewImageSource(img), nil
 	default:
 		return nil, fmt.Errorf("one of -image or -benchmark is required")
 	}

@@ -242,3 +242,17 @@ func TestExtRecoveryShape(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestImageSizesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := ImageSizes(smokeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if err := res.CheckShape(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -85,6 +85,12 @@ func (r *Results) RenderCSV() string {
 			}
 		}
 	}
+	if r.ImageSizes != nil {
+		for _, ir := range r.ImageSizes.Rows {
+			row("image_sizes", ir.Benchmark, "v1_bytes", float64(ir.V1Bytes))
+			row("image_sizes", ir.Benchmark, "v2_bytes", float64(ir.V2Bytes))
+		}
+	}
 	return b.String()
 }
 

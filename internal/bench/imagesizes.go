@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"kindle/internal/core"
+	"kindle/internal/trace"
+)
+
+// ImageSizeRow is one benchmark's on-disk image size in both formats.
+type ImageSizeRow struct {
+	Benchmark string
+	Records   int
+	V1Bytes   int64
+	V2Bytes   int64
+}
+
+// ImageSizesResult compares the flat v1 disk images against the chunked
+// compressed v2 format (not a paper table; added with the streaming trace
+// pipeline).
+type ImageSizesResult struct {
+	Rows []ImageSizeRow
+}
+
+// countWriter discards the stream and counts its length, so the size
+// comparison never materializes an encoded image.
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// ImageSizes traces each Table II benchmark at the requested scale and
+// encodes it in both formats, reporting the sizes.
+func ImageSizes(opt Options) (*ImageSizesResult, error) {
+	benchmarks := []string{core.BenchPageRank, core.BenchSSSP, core.BenchYCSB}
+	res := &ImageSizesResult{Rows: make([]ImageSizeRow, len(benchmarks))}
+	err := forEachIndexed(opt.workers(), len(benchmarks), func(i int) error {
+		img, err := workloadImage(benchmarks[i], opt)
+		if err != nil {
+			return err
+		}
+		var v1, v2 countWriter
+		if err := trace.Encode(&v1, img); err != nil {
+			return err
+		}
+		if err := trace.EncodeV2(&v2, img, trace.StreamOptions{}); err != nil {
+			return err
+		}
+		res.Rows[i] = ImageSizeRow{
+			Benchmark: benchmarks[i],
+			Records:   len(img.Records),
+			V1Bytes:   v1.n,
+			V2Bytes:   v2.n,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints the size comparison.
+func (r *ImageSizesResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Disk image sizes: v1 (flat) vs v2 (chunked+compressed)\n")
+	b.WriteString("Benchmark      Records    v1 KiB    v2 KiB   ratio\n")
+	for _, row := range r.Rows {
+		ratio := float64(row.V1Bytes) / float64(row.V2Bytes)
+		fmt.Fprintf(&b, "%-11s %10d %9d %9d %6.1fx\n",
+			row.Benchmark, row.Records, row.V1Bytes/1024, row.V2Bytes/1024, ratio)
+	}
+	return b.String()
+}
+
+// CheckShape verifies v2 actually shrinks every image (the format's whole
+// point) — at least 2x on these traces.
+func (r *ImageSizesResult) CheckShape() error {
+	if len(r.Rows) == 0 {
+		return fmt.Errorf("imageSizes: no rows")
+	}
+	for _, row := range r.Rows {
+		if row.V2Bytes <= 0 || row.V1Bytes <= 0 {
+			return fmt.Errorf("imageSizes: %s has empty encoding", row.Benchmark)
+		}
+		if float64(row.V1Bytes) < 2*float64(row.V2Bytes) {
+			return fmt.Errorf("imageSizes: %s v2 %d B not ≥2x smaller than v1 %d B",
+				row.Benchmark, row.V2Bytes, row.V1Bytes)
+		}
+	}
+	return nil
+}

@@ -114,8 +114,8 @@ func TestRunAllProgressSerialized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(lines) != 9 {
-		t.Fatalf("got %d progress lines, want 9: %v", len(lines), lines)
+	if len(lines) != 10 {
+		t.Fatalf("got %d progress lines, want 10: %v", len(lines), lines)
 	}
 	seen := map[string]bool{}
 	for _, l := range lines {

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Report is the machine-readable performance snapshot `make bench` writes
+// to BENCH_replay.json. The CI bench-regression job records a fresh one on
+// every PR and gates it against the committed snapshot with
+// cmd/kindle-benchdiff.
+type Report struct {
+	// RecordsPerSec is BenchmarkReplayThroughput's custom metric: trace
+	// records simulated per host second through the full access path,
+	// replaying a materialized image.
+	RecordsPerSec float64 `json:"records_per_sec"`
+	// StreamRecordsPerSec is the same metric for
+	// BenchmarkStreamReplayThroughput, replaying through the chunked v2
+	// decoder with read-ahead. Zero in reports from before the streaming
+	// pipeline existed.
+	StreamRecordsPerSec float64 `json:"stream_records_per_sec,omitempty"`
+	// SuiteWallClockSec is the wall-clock time of one full RunAll at
+	// SuiteScale with the default worker pool.
+	SuiteWallClockSec float64 `json:"suite_wall_clock_sec"`
+	SuiteScale        float64 `json:"suite_scale"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+}
+
+// LoadReport reads a bench report JSON file.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if r.RecordsPerSec <= 0 {
+		return nil, fmt.Errorf("bench: %s has no records_per_sec", path)
+	}
+	return &r, nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// normProcs returns the divisor used to compare throughput across hosts
+// with different core counts.
+func (r *Report) normProcs() float64 {
+	if r.GOMAXPROCS <= 0 {
+		return 1
+	}
+	return float64(r.GOMAXPROCS)
+}
+
+// CompareReports gates fresh against base. Throughputs are normalized by
+// GOMAXPROCS so a snapshot recorded on an N-core box can be compared on a
+// differently-sized CI runner (a coarse correction — the replay itself is
+// single-threaded, but suite parallelism and machine class correlate with
+// core count). A drop beyond failFrac (e.g. 0.20) is an error; beyond
+// warnFrac (e.g. 0.10) a warning. Improvements never fail.
+func CompareReports(base, fresh *Report, warnFrac, failFrac float64) (warnings []string, err error) {
+	type metric struct {
+		name       string
+		base, have float64
+	}
+	metrics := []metric{
+		{"records_per_sec", base.RecordsPerSec / base.normProcs(), fresh.RecordsPerSec / fresh.normProcs()},
+	}
+	if base.StreamRecordsPerSec > 0 && fresh.StreamRecordsPerSec > 0 {
+		metrics = append(metrics, metric{
+			"stream_records_per_sec",
+			base.StreamRecordsPerSec / base.normProcs(),
+			fresh.StreamRecordsPerSec / fresh.normProcs(),
+		})
+	}
+	var failures []string
+	for _, m := range metrics {
+		if m.base <= 0 {
+			continue
+		}
+		drop := (m.base - m.have) / m.base
+		line := fmt.Sprintf("%s: base %.0f/proc, fresh %.0f/proc (%+.1f%%)",
+			m.name, m.base, m.have, -100*drop)
+		switch {
+		case drop > failFrac:
+			failures = append(failures, line)
+		case drop > warnFrac:
+			warnings = append(warnings, line)
+		}
+	}
+	if len(failures) > 0 {
+		return warnings, fmt.Errorf("bench regression beyond %.0f%%:\n  %s",
+			100*failFrac, joinLines(failures))
+	}
+	return warnings, nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}

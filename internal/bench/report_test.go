@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	r := &Report{RecordsPerSec: 7e6, StreamRecordsPerSec: 7.2e6, SuiteWallClockSec: 8, SuiteScale: 0.0625, GOMAXPROCS: 4}
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *r {
+		t.Fatalf("round trip: got %+v want %+v", got, r)
+	}
+}
+
+func TestLoadReportRejectsBad(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"garbage.json": "not json",
+		"empty.json":   "{}",
+		"zero.json":    `{"records_per_sec": 0}`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadReport(path); err == nil {
+			t.Errorf("%s: LoadReport accepted bad input", name)
+		}
+	}
+	if _, err := LoadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("LoadReport accepted missing file")
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	base := &Report{RecordsPerSec: 1000, StreamRecordsPerSec: 900, GOMAXPROCS: 1}
+	cases := []struct {
+		name     string
+		fresh    Report
+		wantWarn bool
+		wantFail bool
+	}{
+		{"unchanged", Report{RecordsPerSec: 1000, StreamRecordsPerSec: 900, GOMAXPROCS: 1}, false, false},
+		{"improved", Report{RecordsPerSec: 1500, StreamRecordsPerSec: 1400, GOMAXPROCS: 1}, false, false},
+		{"small drop", Report{RecordsPerSec: 950, StreamRecordsPerSec: 870, GOMAXPROCS: 1}, false, false},
+		{"warn drop", Report{RecordsPerSec: 850, StreamRecordsPerSec: 900, GOMAXPROCS: 1}, true, false},
+		{"fail drop", Report{RecordsPerSec: 700, StreamRecordsPerSec: 900, GOMAXPROCS: 1}, false, true},
+		{"stream fail", Report{RecordsPerSec: 1000, StreamRecordsPerSec: 600, GOMAXPROCS: 1}, false, true},
+		// 4000 rec/s on 4 procs is 1000/proc — equal after normalization.
+		{"normalized", Report{RecordsPerSec: 4000, StreamRecordsPerSec: 3600, GOMAXPROCS: 4}, false, false},
+		// 2000 rec/s on 4 procs is 500/proc — a 50% normalized drop.
+		{"normalized fail", Report{RecordsPerSec: 2000, StreamRecordsPerSec: 3600, GOMAXPROCS: 4}, false, true},
+		// Baseline without a stream metric skips that comparison.
+		{"no stream metric", Report{RecordsPerSec: 1000, GOMAXPROCS: 1}, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			warnings, err := CompareReports(base, &tc.fresh, 0.10, 0.20)
+			if tc.wantFail != (err != nil) {
+				t.Fatalf("err = %v, wantFail = %v", err, tc.wantFail)
+			}
+			if tc.wantFail && !strings.Contains(err.Error(), "regression") {
+				t.Fatalf("error does not name the regression: %v", err)
+			}
+			if tc.wantWarn != (len(warnings) > 0) {
+				t.Fatalf("warnings = %v, wantWarn = %v", warnings, tc.wantWarn)
+			}
+		})
+	}
+}

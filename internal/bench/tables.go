@@ -152,12 +152,14 @@ type Results struct {
 	// Intervals is the observability addition: per-dump-window counter
 	// deltas over a checkpointed run (not a paper table).
 	Intervals *IntervalsResult
+	// ImageSizes compares v1 vs v2 disk-image sizes (not a paper table).
+	ImageSizes *ImageSizesResult
 }
 
 // All returns the experiments in paper order.
 func (r *Results) All() []Experiment {
 	return []Experiment{r.TableI, r.TableII, r.Fig4a, r.Fig4b, r.TableIII, r.TableIV,
-		r.Fig5, r.TableV, r.Fig6, r.TableVI, r.Intervals}
+		r.Fig5, r.TableV, r.Fig6, r.TableVI, r.Intervals, r.ImageSizes}
 }
 
 // Render prints everything.
@@ -216,6 +218,7 @@ func RunAll(opt Options, progress func(string)) (*Results, error) {
 			return
 		}},
 		{"Interval stats", func() (err error) { res.Intervals, err = Intervals(opt); return }},
+		{"Image sizes", func() (err error) { res.ImageSizes, err = ImageSizes(opt); return }},
 	}
 	err := forEachIndexed(opt.workers(), len(tasks), func(i int) error {
 		if err := tasks[i].run(); err != nil {

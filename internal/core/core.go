@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"kindle/internal/gemos"
@@ -112,13 +113,22 @@ func (f *Framework) Recover(interval time.Duration) ([]*gemos.Process, error) {
 func (f *Framework) Manager() *persist.Manager { return f.mgr }
 
 // Replay drives a traced application through the simulated machine — the
-// generated template program running as gemOS's init process.
+// generated template program running as gemOS's init process. The record
+// stream comes from a trace.RecordSource, so a replay holds at most a
+// couple of decoded chunks in memory regardless of trace length; a
+// materialized Image replays through the same path via its adapter.
 type Replay struct {
 	f     *Framework
 	P     *gemos.Process
-	img   *trace.Image
+	src   trace.RecordSource
+	areas []trace.Area
 	bases []uint64
-	next  int
+
+	batch    []trace.Record
+	pos      int // cursor into batch
+	consumed int
+	total    int // -1 when the source cannot tell upfront
+	drained  bool
 
 	// ComputeCyclesPerPeriod charges non-memory instruction time between
 	// records from the trace's logical periods.
@@ -129,13 +139,25 @@ type Replay struct {
 	lastPeriod uint64
 }
 
-// LaunchInit spawns the init process for the image: each traced area is
-// mmapped (MAP_NVM for NVM areas) and a replayer is returned.
+// LaunchInit spawns the init process for a materialized image: each traced
+// area is mmapped (MAP_NVM for NVM areas) and a replayer is returned.
 func (f *Framework) LaunchInit(img *trace.Image) (*gemos.Process, *Replay, error) {
 	if err := img.Validate(); err != nil {
 		return nil, nil, err
 	}
-	p, err := f.K.Spawn(img.Benchmark)
+	return f.LaunchStream(trace.NewImageSource(img))
+}
+
+// LaunchStream spawns the init process for a streamed trace. The source's
+// header must be complete (benchmark, areas); records decode on demand as
+// the replay advances. The caller keeps ownership of the source and must
+// Close it after the replay (the replayer never does).
+func (f *Framework) LaunchStream(src trace.RecordSource) (*gemos.Process, *Replay, error) {
+	areas := src.Areas()
+	if err := trace.ValidateHeader(src.Benchmark(), areas); err != nil {
+		return nil, nil, err
+	}
+	p, err := f.K.Spawn(src.Benchmark())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -143,11 +165,13 @@ func (f *Framework) LaunchInit(img *trace.Image) (*gemos.Process, *Replay, error
 	rep := &Replay{
 		f:                      f,
 		P:                      p,
-		img:                    img,
+		src:                    src,
+		areas:                  areas,
+		total:                  src.Total(),
 		ComputeCyclesPerPeriod: 2,
 		TickEvery:              32,
 	}
-	for _, a := range img.Areas {
+	for _, a := range areas {
 		var flags uint32
 		if a.NVM {
 			flags |= gemos.MapNVM
@@ -168,7 +192,7 @@ func (f *Framework) LaunchInit(img *trace.Image) (*gemos.Process, *Replay, error
 // NVMRange returns the lowest and highest virtual addresses of the
 // replay's NVM areas (the range communicated to SSP hardware via MSRs).
 func (r *Replay) NVMRange() (lo, hi uint64) {
-	for i, a := range r.img.Areas {
+	for i, a := range r.areas {
 		if !a.NVM {
 			continue
 		}
@@ -187,7 +211,7 @@ func (r *Replay) NVMRange() (lo, hi uint64) {
 // The recovered VMA layout must still cover the replay's area bases (it
 // does when recovery restored the checkpointed layout of the same run).
 func (r *Replay) Rebind(p *gemos.Process) error {
-	for i, a := range r.img.Areas {
+	for i, a := range r.areas {
 		v := p.AS.Find(r.bases[i])
 		if v == nil {
 			return fmt.Errorf("core: recovered process lacks area %q at %#x", a.Name, r.bases[i])
@@ -198,10 +222,54 @@ func (r *Replay) Rebind(p *gemos.Process) error {
 }
 
 // Done reports whether the trace is exhausted.
-func (r *Replay) Done() bool { return r.next >= len(r.img.Records) }
+func (r *Replay) Done() bool {
+	if r.pos < len(r.batch) {
+		return false
+	}
+	if r.total >= 0 {
+		return r.consumed >= r.total
+	}
+	return r.drained
+}
 
-// Remaining returns how many records are left.
-func (r *Replay) Remaining() int { return len(r.img.Records) - r.next }
+// Total returns the record count of the trace, or -1 when the source
+// cannot tell without decoding to the end (a non-seekable v2 stream).
+func (r *Replay) Total() int { return r.total }
+
+// Consumed returns how many records have been replayed so far.
+func (r *Replay) Consumed() int { return r.consumed }
+
+// Remaining returns how many records are left, or -1 when the source's
+// total is unknown.
+func (r *Replay) Remaining() int {
+	if r.total < 0 {
+		return -1
+	}
+	return r.total - r.consumed
+}
+
+// fill fetches the next decoded batch from the source. It returns false at
+// end of stream.
+func (r *Replay) fill() (bool, error) {
+	for {
+		batch, err := r.src.Next()
+		if err == io.EOF {
+			r.drained = true
+			if r.total >= 0 && r.consumed < r.total {
+				return false, fmt.Errorf("core: trace ends after %d of %d records", r.consumed, r.total)
+			}
+			return false, nil
+		}
+		if err != nil {
+			return false, fmt.Errorf("core: reading trace: %w", err)
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		r.batch, r.pos = batch, 0
+		return true, nil
+	}
+}
 
 // Step replays up to n records, firing machine events along the way. It
 // returns done=true when the trace is exhausted.
@@ -215,18 +283,28 @@ func (r *Replay) Step(n int) (done bool, err error) {
 	if tickEvery <= 0 {
 		tickEvery = 32
 	}
-	for i := 0; i < n && r.next < len(r.img.Records); i++ {
-		rec := r.img.Records[r.next]
-		r.next++
+	for i := 0; i < n; i++ {
+		if r.pos >= len(r.batch) {
+			ok, err := r.fill()
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				break
+			}
+		}
+		rec := r.batch[r.pos]
+		r.pos++
+		r.consumed++
 		if rec.Period > r.lastPeriod {
 			m.Clock.Advance(sim.Cycles(rec.Period-r.lastPeriod) * r.ComputeCyclesPerPeriod)
 			r.lastPeriod = rec.Period
 		}
 		va := r.bases[rec.Area] + rec.Offset
 		if _, err := m.Core.Access(va, rec.Op == trace.Write, int(rec.Size)); err != nil {
-			return false, fmt.Errorf("core: replaying record %d: %w", r.next-1, err)
+			return false, fmt.Errorf("core: replaying record %d: %w", r.consumed-1, err)
 		}
-		if r.next%tickEvery == 0 {
+		if r.consumed%tickEvery == 0 {
 			k.Tick()
 		}
 	}
@@ -249,7 +327,7 @@ func (r *Replay) Run() error {
 
 // Teardown munmaps every area (the template's trailing munmap calls).
 func (r *Replay) Teardown() error {
-	for i, a := range r.img.Areas {
+	for i, a := range r.areas {
 		if err := r.f.K.Munmap(r.P, r.bases[i], a.Size); err != nil {
 			return err
 		}
@@ -259,7 +337,7 @@ func (r *Replay) Teardown() error {
 
 // MemKindOf reports which memory technology backs a replay area (tests).
 func (r *Replay) MemKindOf(area int) mem.Kind {
-	if r.img.Areas[area].NVM {
+	if r.areas[area].NVM {
 		return mem.NVM
 	}
 	return mem.DRAM

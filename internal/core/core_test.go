@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"io"
 	"testing"
 	"time"
 
@@ -310,5 +312,89 @@ func TestRepeatedCrashRestartValidation(t *testing.T) {
 	}
 	if f.M.BootGeneration() != 4 {
 		t.Fatalf("boot generation = %d", f.M.BootGeneration())
+	}
+}
+
+// TestStreamReplayMatchesMaterialized pins result determinism across the
+// two replay paths: streaming a v2-encoded image through LaunchStream must
+// produce exactly the simulated clock and statistics of replaying the
+// materialized image, chunk boundaries and read-ahead notwithstanding.
+func TestStreamReplayMatchesMaterialized(t *testing.T) {
+	img := smallImage(t)
+
+	runMaterialized := func() (uint64, string) {
+		f := NewSmall()
+		_, rep, err := f.LaunchInit(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return uint64(f.M.Clock.Now()), f.M.Stats.Dump("")
+	}
+	runStreamed := func(chunk int) (uint64, string) {
+		var buf bytes.Buffer
+		if err := trace.EncodeV2(&buf, img, trace.StreamOptions{ChunkRecords: chunk}); err != nil {
+			t.Fatal(err)
+		}
+		src, err := trace.OpenStream(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer src.Close()
+		f := NewSmall()
+		_, rep, err := f.LaunchStream(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Consumed() != len(img.Records) {
+			t.Fatalf("streamed %d of %d records", rep.Consumed(), len(img.Records))
+		}
+		return uint64(f.M.Clock.Now()), f.M.Stats.Dump("")
+	}
+
+	wantClock, wantStats := runMaterialized()
+	for _, chunk := range []int{0, 777} { // default chunking and an odd size
+		gotClock, gotStats := runStreamed(chunk)
+		if gotClock != wantClock {
+			t.Fatalf("chunk %d: clock %d != materialized %d", chunk, gotClock, wantClock)
+		}
+		if gotStats != wantStats {
+			t.Fatalf("chunk %d: stats diverge from materialized replay", chunk)
+		}
+	}
+}
+
+// TestLaunchStreamUnknownTotal replays through a source that cannot report
+// its length upfront (a non-seekable v2 stream): Done/Remaining must work
+// off stream exhaustion.
+func TestLaunchStreamUnknownTotal(t *testing.T) {
+	img := smallImage(t)
+	var buf bytes.Buffer
+	if err := trace.EncodeV2(&buf, img, trace.StreamOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := trace.OpenStream(io.MultiReader(bytes.NewReader(buf.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	f := NewSmall()
+	_, rep, err := f.LaunchStream(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total() != -1 || rep.Remaining() != -1 {
+		t.Fatalf("total = %d, remaining = %d, want -1", rep.Total(), rep.Remaining())
+	}
+	if err := rep.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Done() || rep.Consumed() != len(img.Records) {
+		t.Fatalf("done=%v consumed=%d want %d", rep.Done(), rep.Consumed(), len(img.Records))
 	}
 }

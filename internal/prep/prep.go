@@ -35,13 +35,26 @@ const (
 // multi-threaded variant last).
 func Benchmarks() []string { return []string{BenchPageRank, BenchSSSP, BenchYCSB, BenchYCSBMT} }
 
+// Disk-image format names accepted by Driver.Format and ConvertImage.
+const (
+	FormatV1 = "v1" // materialized, written by trace.Encode
+	FormatV2 = "v2" // chunked + compressed, written by trace.StreamWriter
+)
+
 // Result is everything the preparation run produces.
 type Result struct {
+	// Image holds the captured trace. When the driver streamed the
+	// records straight to disk (Format "v2" with OutDir set) it carries
+	// the header only — benchmark and area table, no records.
 	Image        *trace.Image
 	MapsText     string // /proc/pid/maps-style capture
 	TemplateCode string // generated gemOS replay template
 	ImagePath    string // written disk image ("" when OutDir unset)
 	TemplatePath string
+
+	Records  int // traced record count (also valid when streamed)
+	ReadPct  float64
+	WritePct float64
 }
 
 // Driver coordinates tracing and image generation, the role of the paper's
@@ -51,11 +64,58 @@ type Driver struct {
 	OutDir string
 	// Small selects the reduced test-scale workload configurations.
 	Small bool
+	// Format selects the disk-image format: FormatV1 (default) or
+	// FormatV2. With FormatV2 and OutDir set, records stream from the
+	// instrumented workload straight to the compressed image — the trace
+	// is never materialized in memory.
+	Format string
 }
 
 // Run traces the named benchmark and generates its artifacts.
 func (d *Driver) Run(benchmark string) (*Result, error) {
-	img, err := d.traceBenchmark(benchmark)
+	format := d.Format
+	if format == "" {
+		format = FormatV1
+	}
+	if format != FormatV1 && format != FormatV2 {
+		return nil, fmt.Errorf("prep: unknown image format %q (want %q or %q)", format, FormatV1, FormatV2)
+	}
+	streaming := format == FormatV2 && d.OutDir != ""
+
+	var (
+		imagePath string
+		imageFile *os.File
+		sw        *trace.StreamWriter
+		sink      workloads.SinkOpenFunc
+	)
+	if streaming {
+		if err := os.MkdirAll(d.OutDir, 0o755); err != nil {
+			return nil, fmt.Errorf("prep: %w", err)
+		}
+		imagePath = filepath.Join(d.OutDir, benchmark+".img")
+		sink = func(bm string, areas []trace.Area) (trace.RecordSink, error) {
+			f, err := os.Create(imagePath)
+			if err != nil {
+				return nil, err
+			}
+			w, err := trace.NewStreamWriter(f, bm, areas, trace.StreamOptions{})
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			imageFile, sw = f, w
+			return w, nil
+		}
+	}
+	defer func() {
+		// On error paths, don't leak the half-written image.
+		if imageFile != nil {
+			imageFile.Close()
+			os.Remove(imagePath)
+		}
+	}()
+
+	img, err := d.traceBenchmark(benchmark, sink)
 	if err != nil {
 		return nil, err
 	}
@@ -64,13 +124,33 @@ func (d *Driver) Run(benchmark string) (*Result, error) {
 		MapsText:     MapsText(img),
 		TemplateCode: GenerateTemplate(img),
 	}
+	if streaming && sw != nil {
+		if err := sw.Close(); err != nil {
+			return nil, fmt.Errorf("prep: finishing image: %w", err)
+		}
+		if err := imageFile.Sync(); err != nil {
+			return nil, fmt.Errorf("prep: %w", err)
+		}
+		if err := imageFile.Close(); err != nil {
+			return nil, fmt.Errorf("prep: %w", err)
+		}
+		imageFile = nil
+		res.ImagePath = imagePath
+		res.Records = sw.Count()
+		res.ReadPct, res.WritePct = sw.Mix()
+	} else {
+		res.Records = len(img.Records)
+		res.ReadPct, res.WritePct = img.Mix()
+	}
 	if d.OutDir != "" {
 		if err := os.MkdirAll(d.OutDir, 0o755); err != nil {
 			return nil, fmt.Errorf("prep: %w", err)
 		}
-		res.ImagePath = filepath.Join(d.OutDir, benchmark+".img")
-		if err := WriteImageFile(res.ImagePath, img); err != nil {
-			return nil, err
+		if !streaming {
+			res.ImagePath = filepath.Join(d.OutDir, benchmark+".img")
+			if err := writeImageFormat(res.ImagePath, img, format); err != nil {
+				return nil, err
+			}
 		}
 		res.TemplatePath = filepath.Join(d.OutDir, benchmark+"_template.c")
 		if err := os.WriteFile(res.TemplatePath, []byte(res.TemplateCode), 0o644); err != nil {
@@ -80,32 +160,37 @@ func (d *Driver) Run(benchmark string) (*Result, error) {
 	return res, nil
 }
 
-// traceBenchmark runs the instrumented application (the Pin stand-in).
-func (d *Driver) traceBenchmark(benchmark string) (*trace.Image, error) {
+// traceBenchmark runs the instrumented application (the Pin stand-in). A
+// non-nil sink streams records to disk as they are captured.
+func (d *Driver) traceBenchmark(benchmark string, sink workloads.SinkOpenFunc) (*trace.Image, error) {
 	switch benchmark {
 	case BenchPageRank:
 		cfg := workloads.DefaultPageRank()
 		if d.Small {
 			cfg = workloads.SmallPageRank()
 		}
+		cfg.Sink = sink
 		return workloads.PageRank(cfg)
 	case BenchSSSP:
 		cfg := workloads.DefaultSSSP()
 		if d.Small {
 			cfg = workloads.SmallSSSP()
 		}
+		cfg.Sink = sink
 		return workloads.SSSP(cfg)
 	case BenchYCSB:
 		cfg := workloads.DefaultYCSB()
 		if d.Small {
 			cfg = workloads.SmallYCSB()
 		}
+		cfg.Sink = sink
 		return workloads.YCSB(cfg)
 	case BenchYCSBMT:
 		cfg := workloads.DefaultYCSBMT()
 		if d.Small {
 			cfg = workloads.SmallYCSBMT()
 		}
+		cfg.Sink = sink
 		return workloads.YCSBMT(cfg)
 	default:
 		return nil, fmt.Errorf("prep: unknown benchmark %q (want one of %v)", benchmark, Benchmarks())
@@ -189,7 +274,7 @@ func GenerateTemplate(img *trace.Image) string {
 	return b.String()
 }
 
-// WriteImageFile writes the binary disk image.
+// WriteImageFile writes the binary disk image in the v1 format.
 func WriteImageFile(path string, img *trace.Image) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -202,7 +287,29 @@ func WriteImageFile(path string, img *trace.Image) error {
 	return f.Sync()
 }
 
-// ReadImageFile loads a disk image written by WriteImageFile.
+// WriteImageFileV2 writes the binary disk image in the chunked compressed
+// v2 format.
+func WriteImageFileV2(path string, img *trace.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prep: %w", err)
+	}
+	defer f.Close()
+	if err := trace.EncodeV2(f, img, trace.StreamOptions{}); err != nil {
+		return fmt.Errorf("prep: encoding image: %w", err)
+	}
+	return f.Sync()
+}
+
+func writeImageFormat(path string, img *trace.Image, format string) error {
+	if format == FormatV2 {
+		return WriteImageFileV2(path, img)
+	}
+	return WriteImageFile(path, img)
+}
+
+// ReadImageFile loads a disk image written by WriteImageFile or
+// WriteImageFileV2 (the decoder sniffs the format from the header).
 func ReadImageFile(path string) (*trace.Image, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -214,4 +321,77 @@ func ReadImageFile(path string) (*trace.Image, error) {
 		return nil, fmt.Errorf("prep: decoding %s: %w", path, err)
 	}
 	return img, nil
+}
+
+// ImageStream is an open disk image whose records decode on demand.
+// Closing it closes the underlying file.
+type ImageStream struct {
+	trace.RecordSource
+	f *os.File
+}
+
+// Close releases the decoder and the underlying file.
+func (s *ImageStream) Close() error {
+	err := s.RecordSource.Close()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// OpenImageStream opens a disk image (either format) for bounded-memory
+// streamed replay. The caller must Close the returned stream.
+func OpenImageStream(path string) (*ImageStream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("prep: %w", err)
+	}
+	src, err := trace.OpenStream(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("prep: opening %s: %w", path, err)
+	}
+	return &ImageStream{RecordSource: src, f: f}, nil
+}
+
+// ConvertImage rewrites a disk image into the given format ("v1" or "v2"),
+// streaming record-by-record — converting to v2 never materializes the
+// trace. It returns the number of records converted.
+func ConvertImage(srcPath, dstPath, format string) (int, error) {
+	switch format {
+	case FormatV1:
+		img, err := ReadImageFile(srcPath)
+		if err != nil {
+			return 0, err
+		}
+		if err := WriteImageFile(dstPath, img); err != nil {
+			return 0, err
+		}
+		return len(img.Records), nil
+	case FormatV2:
+		src, err := OpenImageStream(srcPath)
+		if err != nil {
+			return 0, err
+		}
+		defer src.Close()
+		f, err := os.Create(dstPath)
+		if err != nil {
+			return 0, fmt.Errorf("prep: %w", err)
+		}
+		defer f.Close()
+		sw, err := trace.NewStreamWriter(f, src.Benchmark(), src.Areas(), trace.StreamOptions{})
+		if err != nil {
+			return 0, fmt.Errorf("prep: %w", err)
+		}
+		n, err := trace.CopyStream(sw, src)
+		if err != nil {
+			return 0, fmt.Errorf("prep: converting %s: %w", srcPath, err)
+		}
+		if err := sw.Close(); err != nil {
+			return 0, fmt.Errorf("prep: finishing %s: %w", dstPath, err)
+		}
+		return n, f.Sync()
+	default:
+		return 0, fmt.Errorf("prep: unknown image format %q (want %q or %q)", format, FormatV1, FormatV2)
+	}
 }

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// fuzzSeeds returns representative inputs for FuzzDecode: well-formed v1
+// and v2 images (raw and compressed chunks), their truncations, and a few
+// corrupted headers. The same set is checked in under
+// testdata/fuzz/FuzzDecode so CI's fuzz smoke starts from real coverage.
+func fuzzSeeds() [][]byte {
+	img := sample()
+	var v1 bytes.Buffer
+	if err := Encode(&v1, img); err != nil {
+		panic(err)
+	}
+	var v2 bytes.Buffer
+	if err := EncodeV2(&v2, img, StreamOptions{}); err != nil {
+		panic(err)
+	}
+	var v2raw bytes.Buffer
+	if err := EncodeV2(&v2raw, img, StreamOptions{NoCompress: true, ChunkRecords: 2}); err != nil {
+		panic(err)
+	}
+	badMagic := append([]byte(nil), v1.Bytes()...)
+	badMagic[0] ^= 0xFF
+	badVer := append([]byte(nil), v2.Bytes()...)
+	badVer[4] = 99
+	seeds := [][]byte{
+		v1.Bytes(),
+		v2.Bytes(),
+		v2raw.Bytes(),
+		v1.Bytes()[:v1.Len()/2],
+		v2.Bytes()[:v2.Len()/2],
+		v2.Bytes()[:v2.Len()-5],
+		badMagic,
+		badVer,
+		{},
+		{0x43, 0x52, 0x54, 0x4B}, // magic only
+	}
+	return seeds
+}
+
+// nonSeeker hides the Seek method so OpenStream takes the pure-stream path
+// (no footer preread, Total unknown).
+type fuzzNonSeeker struct{ r io.Reader }
+
+func (n fuzzNonSeeker) Read(p []byte) (int, error) { return n.r.Read(p) }
+
+// FuzzDecode throws arbitrary bytes at the binary decoders (v1 and v2 take
+// the same entry point; the version byte routes). Any input must either
+// fail with an error or produce a valid image — and the seekable and
+// non-seekable decode paths must agree.
+func FuzzDecode(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			if img != nil {
+				t.Fatal("Decode returned both image and error")
+			}
+		} else {
+			if err := img.Validate(); err != nil {
+				t.Fatalf("decoded image invalid: %v", err)
+			}
+		}
+		img2, err2 := Decode(fuzzNonSeeker{bytes.NewReader(data)})
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("seekable err=%v, streamed err=%v", err, err2)
+		}
+		if err == nil {
+			if img.Benchmark != img2.Benchmark || len(img.Records) != len(img2.Records) {
+				t.Fatal("seekable and streamed decodes disagree")
+			}
+			for i := range img.Records {
+				if img.Records[i] != img2.Records[i] {
+					t.Fatalf("record %d differs across decode paths", i)
+				}
+			}
+		}
+	})
+}

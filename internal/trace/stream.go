@@ -1,0 +1,1073 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Stream format (version 2): the chunked, varint-delta-compressed on-disk
+// trace. Unlike version 1 — a single header followed by one flat record
+// stream whose decoder materializes everything — a v2 image is a sequence
+// of independently decodable chunks, so paper-scale traces replay in
+// bounded memory and the reader can stay one chunk ahead of the consumer.
+//
+// Layout:
+//
+//	u32    magic "KTRC"
+//	u32    version = 2
+//	string benchmark          (length byte + bytes)
+//	uvarint area count, then per area: string name, uvarint size, byte flags
+//	chunks, each:
+//	    uvarint record count  (0 terminates the chunk sequence)
+//	    byte    codec         (0 = raw, 1 = DEFLATE)
+//	    uvarint base period   (period preceding the chunk's first record)
+//	    uvarint raw payload bytes
+//	    uvarint disk payload bytes
+//	    payload
+//	footer (after the 0 terminator):
+//	    uvarint chunk count, then per chunk: uvarint records, uvarint disk bytes
+//	    uvarint total records
+//	u32 footer length (bytes of the footer block above)
+//	u32 footer magic "KIDX"
+//
+// Chunk payloads encode each record as four varints: the period delta
+// against the previous record (the chunk's base period for the first), a
+// tag packing area<<1|op, the offset as a zigzag delta against the same
+// area's previous offset within the chunk (absolute at chunk start), and
+// the size. Delta state resets at every chunk boundary, which is what
+// makes chunks independently decodable and lets the trailing footer index
+// support seeking.
+
+const (
+	formatVer2 = uint32(2)
+
+	// DefaultChunkRecords is the records-per-chunk target of the v2
+	// writer: big enough to amortize chunk framing and compression,
+	// small enough that two resident chunks stay a few MiB.
+	DefaultChunkRecords = 1 << 16
+
+	footerMagic = uint32(0x4B494458) // "KIDX"
+
+	codecRaw   = 0
+	codecFlate = 1
+
+	// Decoder hard limits: no well-formed writer output exceeds these, so
+	// anything past them is corruption — reject it before allocating.
+	maxChunkRecords = 1 << 22
+	maxChunkBytes   = 1 << 28
+	maxAreas        = 1 << 20
+)
+
+// ErrCorrupt tags decode failures caused by malformed input (as opposed to
+// I/O errors); wrap-checked with errors.Is.
+var ErrCorrupt = errors.New("corrupt trace")
+
+// RecordSink consumes records one at a time; *StreamWriter implements it,
+// as does anything that wants to observe a trace as it is captured.
+type RecordSink interface {
+	Write(rec Record) error
+}
+
+// RecordSource is a streamed trace: the header up front, records in
+// batches. Next returns the next batch, valid only until the following
+// Next call, and io.EOF after the last one. Total is the record count when
+// known (materialized images, v1 streams, seekable v2 streams) and -1
+// otherwise. Close releases the decoder; it never closes the underlying
+// reader.
+type RecordSource interface {
+	Benchmark() string
+	Areas() []Area
+	Total() int
+	Next() ([]Record, error)
+	Close() error
+}
+
+// ValidateHeader checks the header invariants shared by materialized
+// images and streams: a benchmark name and at least one area, every area
+// named and sized.
+func ValidateHeader(benchmark string, areas []Area) error {
+	if benchmark == "" {
+		return errors.New("trace: image without benchmark name")
+	}
+	if len(areas) == 0 {
+		return errors.New("trace: image without areas")
+	}
+	for i, a := range areas {
+		if a.Name == "" {
+			return fmt.Errorf("trace: area %d unnamed", i)
+		}
+		if a.Size == 0 {
+			return fmt.Errorf("trace: area %q has zero size", a.Name)
+		}
+	}
+	return nil
+}
+
+// validateRecord checks one record against the area table. index is the
+// record's position in the stream, used only for the error text.
+func validateRecord(rec Record, areas []Area, lastPeriod uint64, index int) error {
+	if int(rec.Area) >= len(areas) {
+		return fmt.Errorf("trace: record %d references area %d of %d: %w", index, rec.Area, len(areas), ErrCorrupt)
+	}
+	a := areas[rec.Area]
+	if rec.Size == 0 {
+		return fmt.Errorf("trace: record %d has zero size: %w", index, ErrCorrupt)
+	}
+	if rec.Offset+uint64(rec.Size) > a.Size || rec.Offset+uint64(rec.Size) < rec.Offset {
+		return fmt.Errorf("trace: record %d overruns area %q (%d+%d > %d): %w",
+			index, a.Name, rec.Offset, rec.Size, a.Size, ErrCorrupt)
+	}
+	if rec.Period < lastPeriod {
+		return fmt.Errorf("trace: record %d period goes backwards (%d < %d): %w",
+			index, rec.Period, lastPeriod, ErrCorrupt)
+	}
+	if rec.Op != Read && rec.Op != Write {
+		return fmt.Errorf("trace: record %d has op %d: %w", index, rec.Op, ErrCorrupt)
+	}
+	return nil
+}
+
+func zigzag(d int64) uint64   { return uint64(d<<1) ^ uint64(d>>63) }
+func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }
+
+// countingReader tracks the byte offset of a buffered reader so decode
+// errors can point at the exact spot in the file.
+type countingReader struct {
+	r   *bufio.Reader
+	off int64
+}
+
+func newCountingReader(r io.Reader) *countingReader {
+	return &countingReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.off++
+	}
+	return b, err
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.off += int64(n)
+	return n, err
+}
+
+// fail wraps a low-level read error with the current file offset and what
+// the decoder was expecting there. A clean EOF in the middle of a
+// structure is truncation, not end-of-input.
+func (c *countingReader) fail(what string, err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("trace: offset %d: reading %s: %w", c.off, what, err)
+}
+
+func (c *countingReader) u32(what string) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(c, buf[:]); err != nil {
+		return 0, c.fail(what, err)
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func (c *countingReader) uvarint(what string) (uint64, error) {
+	v, err := binary.ReadUvarint(c)
+	if err != nil {
+		return 0, c.fail(what, err)
+	}
+	return v, nil
+}
+
+func (c *countingReader) str(what string) (string, error) {
+	n, err := c.ReadByte()
+	if err != nil {
+		return "", c.fail(what+" length", err)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return "", c.fail(what, err)
+	}
+	return string(buf), nil
+}
+
+// streamHeader is the part of either format preceding the records.
+type streamHeader struct {
+	version   uint32
+	benchmark string
+	areas     []Area
+}
+
+// readStreamHeader parses the common header and sniffs the version.
+func readStreamHeader(c *countingReader) (*streamHeader, error) {
+	magic, err := c.u32("magic")
+	if err != nil {
+		return nil, err
+	}
+	if magic != formatMagic {
+		return nil, fmt.Errorf("trace: offset 0: bad magic %#x (want %#x): %w", magic, formatMagic, ErrCorrupt)
+	}
+	ver, err := c.u32("version")
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVer && ver != formatVer2 {
+		return nil, fmt.Errorf("trace: offset 4: unsupported version %d: %w", ver, ErrCorrupt)
+	}
+	h := &streamHeader{version: ver}
+	if h.benchmark, err = c.str("benchmark name"); err != nil {
+		return nil, err
+	}
+	nAreas, err := c.uvarint("area count")
+	if err != nil {
+		return nil, err
+	}
+	if nAreas > maxAreas {
+		return nil, fmt.Errorf("trace: offset %d: area count %d exceeds limit %d: %w", c.off, nAreas, maxAreas, ErrCorrupt)
+	}
+	h.areas = make([]Area, 0, min(nAreas, 4096))
+	for i := uint64(0); i < nAreas; i++ {
+		var a Area
+		if a.Name, err = c.str(fmt.Sprintf("area %d name", i)); err != nil {
+			return nil, err
+		}
+		if a.Size, err = c.uvarint(fmt.Sprintf("area %d size", i)); err != nil {
+			return nil, err
+		}
+		flags, err := c.ReadByte()
+		if err != nil {
+			return nil, c.fail(fmt.Sprintf("area %d flags", i), err)
+		}
+		a.NVM = flags&1 != 0
+		a.Write = flags&2 != 0
+		h.areas = append(h.areas, a)
+	}
+	if err := ValidateHeader(h.benchmark, h.areas); err != nil {
+		return nil, fmt.Errorf("%w: %w", err, ErrCorrupt)
+	}
+	return h, nil
+}
+
+// OpenStream opens a binary trace for streamed replay, sniffing the format
+// version from the header: v1 images decode incrementally in
+// DefaultChunkRecords batches, v2 images chunk-by-chunk with one chunk of
+// read-ahead decoded concurrently. The caller must Close the source (which
+// does not close r) and keeps ownership of r.
+func OpenStream(r io.Reader) (RecordSource, error) {
+	total := -1
+	if rs, ok := r.(io.ReadSeeker); ok {
+		if t, ok := readV2FooterTotal(rs); ok {
+			total = t
+		}
+	}
+	c := newCountingReader(r)
+	h, err := readStreamHeader(c)
+	if err != nil {
+		return nil, err
+	}
+	switch h.version {
+	case formatVer:
+		n, err := c.uvarint("record count")
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<62 {
+			return nil, fmt.Errorf("trace: offset %d: implausible record count %d: %w", c.off, n, ErrCorrupt)
+		}
+		return &v1Source{c: c, h: h, total: int(n)}, nil
+	default:
+		s := &v2Source{
+			h:     h,
+			total: total,
+			out:   make(chan v2Batch, 1),
+			free:  make(chan []Record, 2),
+			stop:  make(chan struct{}),
+		}
+		s.free <- nil
+		s.free <- nil
+		go s.run(c)
+		return s, nil
+	}
+}
+
+// readV2FooterTotal fetches the total record count from a seekable v2
+// stream's trailing footer without disturbing the read position. ok is
+// false for v1 images, non-seekable readers and anything malformed — the
+// sequential decoder then discovers the truth on its own.
+func readV2FooterTotal(rs io.ReadSeeker) (total int, ok bool) {
+	start, err := rs.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return 0, false
+	}
+	defer rs.Seek(start, io.SeekStart)
+	end, err := rs.Seek(0, io.SeekEnd)
+	if err != nil || end-start < 8 {
+		return 0, false
+	}
+	var tail [8]byte
+	if _, err := rs.Seek(end-8, io.SeekStart); err != nil {
+		return 0, false
+	}
+	if _, err := io.ReadFull(rs, tail[:]); err != nil {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint32(tail[4:]) != footerMagic {
+		return 0, false
+	}
+	fLen := int64(binary.LittleEndian.Uint32(tail[:4]))
+	if fLen <= 0 || fLen > 1<<24 || end-8-fLen < start {
+		return 0, false
+	}
+	if _, err := rs.Seek(end-8-fLen, io.SeekStart); err != nil {
+		return 0, false
+	}
+	buf := make([]byte, fLen)
+	if _, err := io.ReadFull(rs, buf); err != nil {
+		return 0, false
+	}
+	pos := 0
+	next := func() (uint64, bool) {
+		v, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	nChunks, ok2 := next()
+	if !ok2 || nChunks > uint64(fLen) {
+		return 0, false
+	}
+	for i := uint64(0); i < nChunks; i++ {
+		if _, ok2 = next(); !ok2 { // records
+			return 0, false
+		}
+		if _, ok2 = next(); !ok2 { // disk bytes
+			return 0, false
+		}
+	}
+	t, ok2 := next()
+	if !ok2 || t > 1<<62 {
+		return 0, false
+	}
+	return int(t), true
+}
+
+// NewImageSource adapts a materialized image to the streamed interface:
+// one batch aliasing img.Records, then io.EOF. The image must already be
+// Validated; the source performs no per-record checks.
+func NewImageSource(img *Image) RecordSource { return &imageSource{img: img} }
+
+type imageSource struct {
+	img  *Image
+	done bool
+}
+
+func (s *imageSource) Benchmark() string { return s.img.Benchmark }
+func (s *imageSource) Areas() []Area     { return s.img.Areas }
+func (s *imageSource) Total() int        { return len(s.img.Records) }
+func (s *imageSource) Close() error      { return nil }
+
+func (s *imageSource) Next() ([]Record, error) {
+	if s.done || len(s.img.Records) == 0 {
+		return nil, io.EOF
+	}
+	s.done = true
+	return s.img.Records, nil
+}
+
+// v1Source streams a version-1 image: the flat record stream decodes on
+// demand into one reusable batch, so even the legacy format replays
+// without materializing.
+type v1Source struct {
+	c          *countingReader
+	h          *streamHeader
+	total      int
+	read       int
+	lastPeriod uint64
+	batch      []Record
+}
+
+func (s *v1Source) Benchmark() string { return s.h.benchmark }
+func (s *v1Source) Areas() []Area     { return s.h.areas }
+func (s *v1Source) Total() int        { return s.total }
+func (s *v1Source) Close() error      { return nil }
+
+func (s *v1Source) Next() ([]Record, error) {
+	if s.read >= s.total {
+		return nil, io.EOF
+	}
+	n := min(s.total-s.read, DefaultChunkRecords)
+	if cap(s.batch) < n {
+		s.batch = make([]Record, n)
+	}
+	batch := s.batch[:n]
+	c := s.c
+	for i := range batch {
+		idx := s.read + i
+		d, err := c.uvarint(fmt.Sprintf("record %d period delta", idx))
+		if err != nil {
+			return nil, err
+		}
+		s.lastPeriod += d
+		batch[i].Period = s.lastPeriod
+		if batch[i].Offset, err = c.uvarint(fmt.Sprintf("record %d offset", idx)); err != nil {
+			return nil, err
+		}
+		op, err := c.ReadByte()
+		if err != nil {
+			return nil, c.fail(fmt.Sprintf("record %d op", idx), err)
+		}
+		batch[i].Op = Op(op)
+		sz, err := c.uvarint(fmt.Sprintf("record %d size", idx))
+		if err != nil {
+			return nil, err
+		}
+		batch[i].Size = uint32(sz)
+		ar, err := c.uvarint(fmt.Sprintf("record %d area", idx))
+		if err != nil {
+			return nil, err
+		}
+		batch[i].Area = uint32(ar)
+		if err := validateRecord(batch[i], s.h.areas, s.lastPeriod, idx); err != nil {
+			return nil, err
+		}
+	}
+	s.read += n
+	return batch, nil
+}
+
+// v2Batch carries one decoded chunk (or the stream's final error) from the
+// read-ahead goroutine to the consumer.
+type v2Batch struct {
+	recs []Record
+	err  error
+}
+
+// v2Source decodes chunks one ahead of the consumer: a single goroutine
+// reads, decompresses and decodes the next chunk into one of two recycled
+// record buffers while the previous one is being replayed, so at most two
+// chunks are ever resident regardless of trace length.
+type v2Source struct {
+	h     *streamHeader
+	total int
+
+	out  chan v2Batch
+	free chan []Record
+	stop chan struct{}
+
+	cur       []Record
+	closeOnce sync.Once
+}
+
+func (s *v2Source) Benchmark() string { return s.h.benchmark }
+func (s *v2Source) Areas() []Area     { return s.h.areas }
+func (s *v2Source) Total() int        { return s.total }
+
+func (s *v2Source) Next() ([]Record, error) {
+	if s.cur != nil {
+		s.free <- s.cur[:0] // hand the consumed buffer back; never blocks (cap 2)
+		s.cur = nil
+	}
+	b, ok := <-s.out
+	if !ok {
+		return nil, io.EOF
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	s.cur = b.recs
+	return b.recs, nil
+}
+
+// Close stops the read-ahead goroutine and waits for it to exit, so the
+// caller may close the underlying reader afterwards.
+func (s *v2Source) Close() error {
+	s.closeOnce.Do(func() { close(s.stop) })
+	for range s.out {
+	}
+	return nil
+}
+
+// run is the read-ahead loop. It owns the reader; it exits when the stream
+// ends, on the first error, or when Close fires, and always closes out.
+func (s *v2Source) run(c *countingReader) {
+	defer close(s.out)
+	var (
+		recIndex   int
+		lastPeriod uint64
+		disk, raw  []byte
+		inflate    io.ReadCloser
+		seenChunks []chunkIndexEntry
+		lastOffs   = make([]uint64, len(s.h.areas))
+	)
+	emitErr := func(err error) {
+		select {
+		case s.out <- v2Batch{err: err}:
+		case <-s.stop:
+		}
+	}
+	for {
+		count, err := c.uvarint("chunk record count")
+		if err != nil {
+			emitErr(err)
+			return
+		}
+		if count == 0 {
+			emitErr(s.checkFooter(c, seenChunks, recIndex))
+			return
+		}
+		if count > maxChunkRecords {
+			emitErr(fmt.Errorf("trace: offset %d: chunk of %d records exceeds limit %d: %w", c.off, count, maxChunkRecords, ErrCorrupt))
+			return
+		}
+		codec, err := c.ReadByte()
+		if err != nil {
+			emitErr(c.fail("chunk codec", err))
+			return
+		}
+		if codec != codecRaw && codec != codecFlate {
+			emitErr(fmt.Errorf("trace: offset %d: unknown chunk codec %d: %w", c.off, codec, ErrCorrupt))
+			return
+		}
+		basePeriod, err := c.uvarint("chunk base period")
+		if err != nil {
+			emitErr(err)
+			return
+		}
+		if basePeriod < lastPeriod {
+			emitErr(fmt.Errorf("trace: offset %d: chunk base period goes backwards (%d < %d): %w", c.off, basePeriod, lastPeriod, ErrCorrupt))
+			return
+		}
+		rawLen, err := c.uvarint("chunk raw length")
+		if err != nil {
+			emitErr(err)
+			return
+		}
+		diskLen, err := c.uvarint("chunk disk length")
+		if err != nil {
+			emitErr(err)
+			return
+		}
+		if rawLen > maxChunkBytes || diskLen > maxChunkBytes {
+			emitErr(fmt.Errorf("trace: offset %d: chunk payload %d/%d bytes exceeds limit %d: %w", c.off, rawLen, diskLen, maxChunkBytes, ErrCorrupt))
+			return
+		}
+		if codec == codecRaw && rawLen != diskLen {
+			emitErr(fmt.Errorf("trace: offset %d: raw chunk with disk length %d != raw length %d: %w", c.off, diskLen, rawLen, ErrCorrupt))
+			return
+		}
+		payloadStart := c.off
+		if uint64(cap(disk)) < diskLen {
+			disk = make([]byte, diskLen)
+		}
+		disk = disk[:diskLen]
+		if _, err := io.ReadFull(c, disk); err != nil {
+			emitErr(c.fail("chunk payload", err))
+			return
+		}
+		payload := disk
+		if codec == codecFlate {
+			if uint64(cap(raw)) < rawLen {
+				raw = make([]byte, rawLen)
+			}
+			raw = raw[:rawLen]
+			if inflate == nil {
+				inflate = flate.NewReader(bytes.NewReader(disk))
+			} else if err := inflate.(flate.Resetter).Reset(bytes.NewReader(disk), nil); err != nil {
+				emitErr(fmt.Errorf("trace: offset %d: resetting inflater: %w", payloadStart, err))
+				return
+			}
+			if _, err := io.ReadFull(inflate, raw); err != nil {
+				emitErr(fmt.Errorf("trace: offset %d: inflating chunk: %w: %w", payloadStart, err, ErrCorrupt))
+				return
+			}
+			if n, _ := inflate.Read(make([]byte, 1)); n != 0 {
+				emitErr(fmt.Errorf("trace: offset %d: chunk inflates past its declared %d bytes: %w", payloadStart, rawLen, ErrCorrupt))
+				return
+			}
+			payload = raw
+		}
+
+		var buf []Record
+		select {
+		case buf = <-s.free:
+		case <-s.stop:
+			return
+		}
+		clear(lastOffs)
+		recs, last, err := decodeChunkPayload(payload, int(count), basePeriod, s.h.areas, lastOffs, buf, recIndex, payloadStart)
+		if err != nil {
+			emitErr(err)
+			return
+		}
+		lastPeriod = last
+		seenChunks = append(seenChunks, chunkIndexEntry{records: count, diskBytes: diskLen})
+		recIndex += int(count)
+		select {
+		case s.out <- v2Batch{recs: recs}:
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// checkFooter parses the trailing index and cross-checks it against what
+// the sequential pass actually decoded. A clean match ends the stream with
+// io.EOF.
+func (s *v2Source) checkFooter(c *countingReader, seen []chunkIndexEntry, totalRecs int) error {
+	nChunks, err := c.uvarint("footer chunk count")
+	if err != nil {
+		return err
+	}
+	if nChunks != uint64(len(seen)) {
+		return fmt.Errorf("trace: offset %d: footer indexes %d chunks, stream held %d: %w", c.off, nChunks, len(seen), ErrCorrupt)
+	}
+	for i := range seen {
+		recs, err := c.uvarint(fmt.Sprintf("footer chunk %d records", i))
+		if err != nil {
+			return err
+		}
+		diskBytes, err := c.uvarint(fmt.Sprintf("footer chunk %d disk bytes", i))
+		if err != nil {
+			return err
+		}
+		if recs != seen[i].records || diskBytes != seen[i].diskBytes {
+			return fmt.Errorf("trace: offset %d: footer chunk %d is (%d recs, %d B), stream held (%d, %d): %w",
+				c.off, i, recs, diskBytes, seen[i].records, seen[i].diskBytes, ErrCorrupt)
+		}
+	}
+	total, err := c.uvarint("footer total records")
+	if err != nil {
+		return err
+	}
+	if total != uint64(totalRecs) {
+		return fmt.Errorf("trace: offset %d: footer says %d records, stream held %d: %w", c.off, total, totalRecs, ErrCorrupt)
+	}
+	if _, err := c.u32("footer length"); err != nil {
+		return err
+	}
+	magic, err := c.u32("footer magic")
+	if err != nil {
+		return err
+	}
+	if magic != footerMagic {
+		return fmt.Errorf("trace: offset %d: bad footer magic %#x: %w", c.off-4, magic, ErrCorrupt)
+	}
+	return io.EOF
+}
+
+// decodeChunkPayload decodes count records from one chunk's raw payload
+// into buf (grown as needed), returning the record slice and the last
+// period. lastOff must hold one zeroed slot per area; recBase and fileOff
+// only feed error messages. The varint loop is hand-rolled: this is the
+// replay pipeline's decode hot path, and one-byte varints (the common case
+// for period deltas, tags and sizes) must not pay binary.Uvarint's full
+// loop or a closure call per field.
+func decodeChunkPayload(payload []byte, count int, basePeriod uint64, areas []Area, lastOff []uint64, buf []Record, recBase int, fileOff int64) ([]Record, uint64, error) {
+	if cap(buf) < count {
+		buf = make([]Record, count)
+	}
+	recs := buf[:count]
+	nAreas := uint64(len(areas))
+	lastPeriod := basePeriod
+	pos := 0
+	fail := func(i int, what string) error {
+		return fmt.Errorf("trace: offset %d: record %d %s (chunk byte %d): %w",
+			fileOff, recBase+i, what, pos, ErrCorrupt)
+	}
+	for i := 0; i < count; i++ {
+		// Field 1: period delta.
+		var v uint64
+		if pos < len(payload) && payload[pos] < 0x80 {
+			v = uint64(payload[pos])
+			pos++
+		} else {
+			var n int
+			if v, n = binary.Uvarint(payload[pos:]); n <= 0 {
+				return nil, 0, fail(i, "period delta")
+			} else {
+				pos += n
+			}
+		}
+		lastPeriod += v
+
+		// Field 2: tag = area<<1 | op.
+		if pos < len(payload) && payload[pos] < 0x80 {
+			v = uint64(payload[pos])
+			pos++
+		} else {
+			var n int
+			if v, n = binary.Uvarint(payload[pos:]); n <= 0 {
+				return nil, 0, fail(i, "tag")
+			} else {
+				pos += n
+			}
+		}
+		area := v >> 1
+		op := Op(v & 1)
+		if area >= nAreas {
+			return nil, 0, fmt.Errorf("trace: offset %d: record %d references area %d of %d: %w",
+				fileOff, recBase+i, area, nAreas, ErrCorrupt)
+		}
+
+		// Field 3: zigzag offset delta.
+		if pos < len(payload) && payload[pos] < 0x80 {
+			v = uint64(payload[pos])
+			pos++
+		} else {
+			var n int
+			if v, n = binary.Uvarint(payload[pos:]); n <= 0 {
+				return nil, 0, fail(i, "offset delta")
+			} else {
+				pos += n
+			}
+		}
+		off := lastOff[area] + uint64(unzigzag(v))
+		lastOff[area] = off
+
+		// Field 4: size.
+		if pos < len(payload) && payload[pos] < 0x80 {
+			v = uint64(payload[pos])
+			pos++
+		} else {
+			var n int
+			if v, n = binary.Uvarint(payload[pos:]); n <= 0 {
+				return nil, 0, fail(i, "size")
+			} else {
+				pos += n
+			}
+		}
+		size := uint32(v)
+		if v == 0 || v > uint64(^uint32(0)) {
+			return nil, 0, fail(i, "size (zero or oversized)")
+		}
+		if end := off + uint64(size); end > areas[area].Size || end < off {
+			return nil, 0, fmt.Errorf("trace: offset %d: record %d overruns area %q (%d+%d > %d): %w",
+				fileOff, recBase+i, areas[area].Name, off, size, areas[area].Size, ErrCorrupt)
+		}
+		recs[i] = Record{
+			Period: lastPeriod,
+			Offset: off,
+			Op:     op,
+			Size:   size,
+			Area:   uint32(area),
+		}
+	}
+	if pos != len(payload) {
+		return nil, 0, fmt.Errorf("trace: offset %d: chunk has %d trailing payload bytes after %d records: %w",
+			fileOff, len(payload)-pos, count, ErrCorrupt)
+	}
+	return recs, lastPeriod, nil
+}
+
+type chunkIndexEntry struct {
+	records   uint64
+	diskBytes uint64
+}
+
+// StreamOptions tunes the v2 writer. The zero value is the default:
+// DefaultChunkRecords per chunk, DEFLATE-compressed payloads.
+type StreamOptions struct {
+	// ChunkRecords caps records per chunk (0 = DefaultChunkRecords).
+	ChunkRecords int
+	// NoCompress stores chunk payloads raw. Decoding raw chunks is
+	// cheaper; the on-disk image is a few times larger.
+	NoCompress bool
+}
+
+// StreamWriter emits the v2 format incrementally: records go to disk as
+// they are written, so a capture as large as the disk never materializes
+// in memory. Close flushes the tail chunk and writes the footer index.
+type StreamWriter struct {
+	bw        *bufio.Writer
+	areas     []Area
+	chunkRecs int
+	compress  bool
+
+	payload    bytes.Buffer
+	deflated   bytes.Buffer
+	deflater   *flate.Writer
+	count      int
+	basePeriod uint64 // last period committed before the open chunk
+	lastPeriod uint64
+	lastOff    []uint64
+	index      []chunkIndexEntry
+	total      int
+	writes     int
+	scratch    [binary.MaxVarintLen64]byte
+	closed     bool
+}
+
+// NewStreamWriter starts a v2 image on w with the given header. The areas
+// must be final: the chunk encoder's per-area delta state is sized here.
+func NewStreamWriter(w io.Writer, benchmark string, areas []Area, opt StreamOptions) (*StreamWriter, error) {
+	if err := ValidateHeader(benchmark, areas); err != nil {
+		return nil, err
+	}
+	if len(benchmark) > maxNameBytes {
+		return nil, fmt.Errorf("trace: name %q too long", benchmark)
+	}
+	for _, a := range areas {
+		if len(a.Name) > maxNameBytes {
+			return nil, fmt.Errorf("trace: name %q too long", a.Name)
+		}
+	}
+	chunkRecs := opt.ChunkRecords
+	if chunkRecs <= 0 {
+		chunkRecs = DefaultChunkRecords
+	}
+	if chunkRecs > maxChunkRecords {
+		return nil, fmt.Errorf("trace: chunk size %d exceeds limit %d", chunkRecs, maxChunkRecords)
+	}
+	sw := &StreamWriter{
+		bw:        bufio.NewWriterSize(w, 1<<16),
+		areas:     append([]Area(nil), areas...),
+		chunkRecs: chunkRecs,
+		compress:  !opt.NoCompress,
+		lastOff:   make([]uint64, len(areas)),
+	}
+	if err := sw.writeHeader(benchmark); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+func (sw *StreamWriter) putU32(v uint32) error {
+	binary.LittleEndian.PutUint32(sw.scratch[:4], v)
+	_, err := sw.bw.Write(sw.scratch[:4])
+	return err
+}
+
+func (sw *StreamWriter) putUvarint(v uint64) error {
+	n := binary.PutUvarint(sw.scratch[:], v)
+	_, err := sw.bw.Write(sw.scratch[:n])
+	return err
+}
+
+func (sw *StreamWriter) putString(s string) error {
+	if err := sw.bw.WriteByte(byte(len(s))); err != nil {
+		return err
+	}
+	_, err := sw.bw.WriteString(s)
+	return err
+}
+
+func (sw *StreamWriter) writeHeader(benchmark string) error {
+	if err := sw.putU32(formatMagic); err != nil {
+		return err
+	}
+	if err := sw.putU32(formatVer2); err != nil {
+		return err
+	}
+	if err := sw.putString(benchmark); err != nil {
+		return err
+	}
+	if err := sw.putUvarint(uint64(len(sw.areas))); err != nil {
+		return err
+	}
+	for _, a := range sw.areas {
+		if err := sw.putString(a.Name); err != nil {
+			return err
+		}
+		if err := sw.putUvarint(a.Size); err != nil {
+			return err
+		}
+		var flags byte
+		if a.NVM {
+			flags |= 1
+		}
+		if a.Write {
+			flags |= 2
+		}
+		if err := sw.bw.WriteByte(flags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write appends one record, validating it against the header. Records must
+// arrive in period order, exactly as a Validate-clean image would hold
+// them.
+func (sw *StreamWriter) Write(rec Record) error {
+	if sw.closed {
+		return errors.New("trace: write to closed stream writer")
+	}
+	if err := validateRecord(rec, sw.areas, sw.lastPeriod, sw.total); err != nil {
+		return err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		sw.payload.Write(tmp[:n])
+	}
+	put(rec.Period - sw.lastPeriod)
+	sw.lastPeriod = rec.Period
+	put(uint64(rec.Area)<<1 | uint64(rec.Op))
+	put(zigzag(int64(rec.Offset - sw.lastOff[rec.Area])))
+	sw.lastOff[rec.Area] = rec.Offset
+	put(uint64(rec.Size))
+	sw.count++
+	sw.total++
+	if rec.Op == Write {
+		sw.writes++
+	}
+	if sw.count >= sw.chunkRecs {
+		return sw.flushChunk()
+	}
+	return nil
+}
+
+// flushChunk commits the open chunk: frame header, (optionally deflated)
+// payload, index entry; then resets the delta state for the next chunk.
+func (sw *StreamWriter) flushChunk() error {
+	if sw.count == 0 {
+		return nil
+	}
+	rawLen := sw.payload.Len()
+	codec := byte(codecRaw)
+	out := sw.payload.Bytes()
+	if sw.compress {
+		sw.deflated.Reset()
+		if sw.deflater == nil {
+			var err error
+			if sw.deflater, err = flate.NewWriter(&sw.deflated, flate.BestSpeed); err != nil {
+				return err
+			}
+		} else {
+			sw.deflater.Reset(&sw.deflated)
+		}
+		if _, err := sw.deflater.Write(out); err != nil {
+			return err
+		}
+		if err := sw.deflater.Close(); err != nil {
+			return err
+		}
+		// Keep the raw payload if deflate didn't help (tiny chunks).
+		if sw.deflated.Len() < rawLen {
+			codec = codecFlate
+			out = sw.deflated.Bytes()
+		}
+	}
+	if err := sw.putUvarint(uint64(sw.count)); err != nil {
+		return err
+	}
+	if err := sw.bw.WriteByte(codec); err != nil {
+		return err
+	}
+	if err := sw.putUvarint(sw.basePeriod); err != nil {
+		return err
+	}
+	if err := sw.putUvarint(uint64(rawLen)); err != nil {
+		return err
+	}
+	if err := sw.putUvarint(uint64(len(out))); err != nil {
+		return err
+	}
+	if _, err := sw.bw.Write(out); err != nil {
+		return err
+	}
+	sw.index = append(sw.index, chunkIndexEntry{records: uint64(sw.count), diskBytes: uint64(len(out))})
+	sw.basePeriod = sw.lastPeriod
+	sw.count = 0
+	sw.payload.Reset()
+	clear(sw.lastOff)
+	return nil
+}
+
+// Close flushes the tail chunk, writes the terminator and footer index,
+// and flushes the buffered writer. It does not close the underlying
+// writer. Close is not idempotent-safe for further Writes.
+func (sw *StreamWriter) Close() error {
+	if sw.closed {
+		return nil
+	}
+	sw.closed = true
+	if err := sw.flushChunk(); err != nil {
+		return err
+	}
+	if err := sw.putUvarint(0); err != nil {
+		return err
+	}
+	var footer bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		footer.Write(tmp[:n])
+	}
+	put(uint64(len(sw.index)))
+	for _, e := range sw.index {
+		put(e.records)
+		put(e.diskBytes)
+	}
+	put(uint64(sw.total))
+	if _, err := sw.bw.Write(footer.Bytes()); err != nil {
+		return err
+	}
+	if err := sw.putU32(uint32(footer.Len())); err != nil {
+		return err
+	}
+	if err := sw.putU32(footerMagic); err != nil {
+		return err
+	}
+	return sw.bw.Flush()
+}
+
+// Count returns the records written so far.
+func (sw *StreamWriter) Count() int { return sw.total }
+
+// Mix reports the read/write percentages of the records written so far.
+func (sw *StreamWriter) Mix() (readPct, writePct float64) {
+	if sw.total == 0 {
+		return 0, 0
+	}
+	writePct = 100 * float64(sw.writes) / float64(sw.total)
+	return 100 - writePct, writePct
+}
+
+// EncodeV2 writes a materialized image in the v2 chunked format.
+func EncodeV2(w io.Writer, img *Image, opt StreamOptions) error {
+	if err := img.Validate(); err != nil {
+		return err
+	}
+	sw, err := NewStreamWriter(w, img.Benchmark, img.Areas, opt)
+	if err != nil {
+		return err
+	}
+	for _, rec := range img.Records {
+		if err := sw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return sw.Close()
+}
+
+// CopyStream drains src into sink. It is the convert primitive: v1→v2
+// re-encoding without materializing the trace.
+func CopyStream(sink RecordSink, src RecordSource) (int, error) {
+	n := 0
+	for {
+		batch, err := src.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		for _, rec := range batch {
+			if err := sink.Write(rec); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+}

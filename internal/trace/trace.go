@@ -8,7 +8,6 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 )
@@ -64,26 +63,13 @@ type Image struct {
 
 // Validate checks internal consistency.
 func (img *Image) Validate() error {
-	if img.Benchmark == "" {
-		return errors.New("trace: image without benchmark name")
-	}
-	if len(img.Areas) == 0 {
-		return errors.New("trace: image without areas")
+	if err := ValidateHeader(img.Benchmark, img.Areas); err != nil {
+		return err
 	}
 	var lastPeriod uint64
 	for i, r := range img.Records {
-		if int(r.Area) >= len(img.Areas) {
-			return fmt.Errorf("trace: record %d references area %d of %d", i, r.Area, len(img.Areas))
-		}
-		a := img.Areas[r.Area]
-		if r.Offset+uint64(r.Size) > a.Size {
-			return fmt.Errorf("trace: record %d overruns area %q (%d+%d > %d)", i, a.Name, r.Offset, r.Size, a.Size)
-		}
-		if r.Size == 0 {
-			return fmt.Errorf("trace: record %d has zero size", i)
-		}
-		if r.Period < lastPeriod {
-			return fmt.Errorf("trace: record %d period goes backwards (%d < %d)", i, r.Period, lastPeriod)
+		if err := validateRecord(r, img.Areas, lastPeriod, i); err != nil {
+			return err
 		}
 		lastPeriod = r.Period
 	}
@@ -205,96 +191,33 @@ func Encode(w io.Writer, img *Image) error {
 	return bw.Flush()
 }
 
-// Decode reads an image written by Encode.
+// Decode materializes an image from either binary format — version 1
+// (written by Encode) or version 2 (written by EncodeV2/StreamWriter) —
+// sniffing the version from the header. Truncated or corrupt input yields
+// a descriptive error naming the file offset and what was expected there,
+// never a partially zero image. For bounded-memory replay of large images
+// use OpenStream instead.
 func Decode(r io.Reader) (*Image, error) {
-	br := bufio.NewReader(r)
-	var scratch [4]byte
-	getU32 := func() (uint32, error) {
-		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint32(scratch[:4]), nil
-	}
-	getString := func() (string, error) {
-		n, err := br.ReadByte()
-		if err != nil {
-			return "", err
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return "", err
-		}
-		return string(buf), nil
-	}
-
-	magic, err := getU32()
+	src, err := OpenStream(r)
 	if err != nil {
 		return nil, err
 	}
-	if magic != formatMagic {
-		return nil, fmt.Errorf("trace: bad magic %#x", magic)
+	defer src.Close()
+	img := &Image{Benchmark: src.Benchmark(), Areas: src.Areas()}
+	// Preallocate from the header's count, capped so a corrupt count
+	// cannot balloon the allocation before the decode loop fails.
+	if t := src.Total(); t > 0 {
+		img.Records = make([]Record, 0, min(t, 1<<21))
 	}
-	ver, err := getU32()
-	if err != nil {
-		return nil, err
-	}
-	if ver != formatVer {
-		return nil, fmt.Errorf("trace: unsupported version %d", ver)
-	}
-	img := &Image{}
-	if img.Benchmark, err = getString(); err != nil {
-		return nil, err
-	}
-	nAreas, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	img.Areas = make([]Area, nAreas)
-	for i := range img.Areas {
-		if img.Areas[i].Name, err = getString(); err != nil {
-			return nil, err
+	for {
+		batch, err := src.Next()
+		if err == io.EOF {
+			break
 		}
-		if img.Areas[i].Size, err = binary.ReadUvarint(br); err != nil {
-			return nil, err
-		}
-		flags, err := br.ReadByte()
 		if err != nil {
 			return nil, err
 		}
-		img.Areas[i].NVM = flags&1 != 0
-		img.Areas[i].Write = flags&2 != 0
-	}
-	nRecs, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	img.Records = make([]Record, nRecs)
-	var lastPeriod uint64
-	for i := range img.Records {
-		d, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		lastPeriod += d
-		img.Records[i].Period = lastPeriod
-		if img.Records[i].Offset, err = binary.ReadUvarint(br); err != nil {
-			return nil, err
-		}
-		op, err := br.ReadByte()
-		if err != nil {
-			return nil, err
-		}
-		img.Records[i].Op = Op(op)
-		sz, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		img.Records[i].Size = uint32(sz)
-		ar, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		img.Records[i].Area = uint32(ar)
+		img.Records = append(img.Records, batch...)
 	}
 	if err := img.Validate(); err != nil {
 		return nil, err

@@ -3,6 +3,8 @@ package trace
 import (
 	"bytes"
 	"io"
+	"os"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -262,6 +264,145 @@ func TestTextFormatErrors(t *testing.T) {
 	for i, in := range bad {
 		if _, err := DecodeText(bytes.NewBufferString(in)); err == nil {
 			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+// goldenImage reconstructs the image stored in testdata/golden_v1.img. The
+// file was written by the v1 encoder and is never regenerated: it stands in
+// for images produced by prior releases.
+func goldenImage() *Image {
+	img := &Image{
+		Benchmark: "golden",
+		Areas: []Area{
+			{Name: "heap0", Size: 65536, NVM: true, Write: true},
+			{Name: "heap1", Size: 16384, NVM: true, Write: false},
+			{Name: "stack.tid0", Size: 4096, Write: true},
+		},
+	}
+	offs := []uint64{0, 1, 63, 64, 127, 128, 4095, 16383, 65528, 300, 70, 8}
+	period := uint64(1)
+	for i := 0; i < 64; i++ {
+		area := uint32(i % 3)
+		limit := img.Areas[area].Size
+		off := offs[i%len(offs)] % (limit - 8)
+		op := Read
+		if area != 1 && i%3 == 0 {
+			op = Write
+		}
+		period += uint64(i % 7)
+		img.Records = append(img.Records, Record{
+			Period: period, Offset: off, Op: op, Size: uint32(4 << (i % 3)), Area: area,
+		})
+	}
+	return img
+}
+
+// TestGoldenV1Decodes pins backward compatibility: a v1 image written by a
+// prior release must keep decoding bit-exactly, through both Decode and the
+// streaming path.
+func TestGoldenV1Decodes(t *testing.T) {
+	data, err := os.ReadFile("testdata/golden_v1.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goldenImage()
+	got, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmark != want.Benchmark || len(got.Areas) != len(want.Areas) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range want.Areas {
+		if got.Areas[i] != want.Areas[i] {
+			t.Fatalf("area %d: %+v != %+v", i, got.Areas[i], want.Areas[i])
+		}
+	}
+	if len(got.Records) != len(want.Records) {
+		t.Fatalf("records: %d != %d", len(got.Records), len(want.Records))
+	}
+	for i := range want.Records {
+		if got.Records[i] != want.Records[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got.Records[i], want.Records[i])
+		}
+	}
+	// The v1 encoder must keep producing those exact bytes (images round
+	// trip across releases in both directions).
+	var reenc bytes.Buffer
+	if err := Encode(&reenc, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reenc.Bytes(), data) {
+		t.Fatal("v1 encoder no longer reproduces the golden bytes")
+	}
+}
+
+// TestDecodeErrorsDescriptive pins the error contract of the binary
+// decoders: truncated or corrupt input yields an error naming the file
+// offset and what was being read — never a silently short or zero-padded
+// record list.
+func TestDecodeErrorsDescriptive(t *testing.T) {
+	img := sample()
+	var v1buf bytes.Buffer
+	if err := Encode(&v1buf, img); err != nil {
+		t.Fatal(err)
+	}
+	v1 := v1buf.Bytes()
+	mut := func(data []byte, off int, val byte) []byte {
+		out := append([]byte(nil), data...)
+		out[off] = val
+		return out
+	}
+	// The full v1 header (magic, version, benchmark, area table) of
+	// sample() spans 34 bytes; the record count varint follows.
+	hugeCount := append([]byte(nil), v1[:34]...)
+	hugeCount = append(hugeCount, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)
+	cases := []struct {
+		name string
+		data []byte
+		want []string // substrings the error must contain
+	}{
+		{"empty", nil, []string{"offset 0"}},
+		{"magic only", v1[:4], []string{"offset", "version"}},
+		{"bad magic", mut(v1, 0, 0xAA), []string{"offset 0", "magic"}},
+		{"bad version", mut(v1, 4, 99), []string{"offset 4", "version"}},
+		{"cut in benchmark name", v1[:10], []string{"offset", "benchmark"}},
+		{"cut mid areas", v1[:16], []string{"offset"}},
+		{"cut mid records", v1[:len(v1)-3], []string{"offset", "record"}},
+		{"implausible record count", hugeCount, []string{"record count"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Decode(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatalf("decoded %d records from corrupt input", len(got.Records))
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Fatalf("error %q does not mention %q", err, w)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeNoZeroTail guards the original bug class: a record stream that
+// ends early must error, not fill the tail with zero-value records.
+func TestDecodeNoZeroTail(t *testing.T) {
+	img := sample()
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := len(full) - 1; cut > len(full)-12; cut-- {
+		got, err := Decode(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("cut %d: decoded without error", cut)
+		}
+		if got != nil {
+			t.Fatalf("cut %d: returned image alongside error", cut)
 		}
 	}
 }

@@ -14,6 +14,9 @@ type PageRankConfig struct {
 	Degree   int
 	Ops      int // trace record budget
 	Seed     uint64
+	// Sink, when set, streams records to a RecordSink instead of
+	// materializing them (see Recorder.StreamTo).
+	Sink SinkOpenFunc
 }
 
 // DefaultPageRank returns the paper-scale configuration (10 M ops over a
@@ -39,6 +42,7 @@ const prFrameSpills = 5
 func PageRank(cfg PageRankConfig) (*trace.Image, error) {
 	g := GenRMAT(cfg.Vertices, cfg.Degree, cfg.Seed)
 	rec := NewRecorder("Gapbs_pr", cfg.Ops)
+	rec.StreamTo(cfg.Sink)
 
 	offsets := rec.AddArea("heap.offsets", uint64(len(g.Offsets))*8, true, false)
 	edges := rec.AddArea("heap.edges", uint64(len(g.Edges))*4, true, false)

@@ -13,15 +13,27 @@ import (
 	"kindle/internal/trace"
 )
 
+// SinkOpenFunc opens a streaming destination for a recorder once the trace
+// header (benchmark name and area table) is known. The recorder calls it
+// lazily at the first recorded access — every Kindle workload registers all
+// of its areas before touching memory, so the header is complete by then.
+type SinkOpenFunc func(benchmark string, areas []trace.Area) (trace.RecordSink, error)
+
 // Recorder captures memory accesses into a trace image. It plays the role
 // of Pin in the paper's preparation component: the workload "executes" and
 // the recorder observes its loads/stores with (period, offset, op, size,
-// area) fidelity.
+// area) fidelity. With StreamTo, records flow straight to a RecordSink
+// (e.g. a v2 StreamWriter on disk) instead of accumulating in memory.
 type Recorder struct {
 	img    trace.Image
 	period uint64
 	limit  int // stop recording past this many records (0 = unlimited)
 	paused bool
+
+	sinkOpen SinkOpenFunc
+	sink     trace.RecordSink
+	sinkErr  error
+	count    int
 }
 
 // NewRecorder starts a trace for the named benchmark. limit caps the
@@ -30,6 +42,16 @@ func NewRecorder(benchmark string, limit int) *Recorder {
 	return &Recorder{img: trace.Image{Benchmark: benchmark}, limit: limit}
 }
 
+// StreamTo switches the recorder to streaming capture: instead of
+// materializing records, each access is written to the sink that open
+// returns. Must be called before the first access is recorded; a nil open
+// is a no-op (materialized capture). The caller owns the opened sink's
+// lifetime (the recorder never closes it); check SinkErr after the run.
+func (r *Recorder) StreamTo(open SinkOpenFunc) { r.sinkOpen = open }
+
+// SinkErr returns the first error the streaming sink reported, if any.
+func (r *Recorder) SinkErr() error { return r.sinkErr }
+
 // AddArea registers a memory area and returns its index.
 func (r *Recorder) AddArea(name string, size uint64, nvm, write bool) int {
 	size = (size + 4095) &^ 4095
@@ -37,9 +59,13 @@ func (r *Recorder) AddArea(name string, size uint64, nvm, write bool) int {
 	return len(r.img.Areas) - 1
 }
 
-// Full reports whether the record limit has been reached.
+// Full reports whether the record limit has been reached (or streaming
+// failed, which also stops recording).
 func (r *Recorder) Full() bool {
-	return r.limit > 0 && len(r.img.Records) >= r.limit
+	if r.sinkErr != nil {
+		return true
+	}
+	return r.limit > 0 && r.count >= r.limit
 }
 
 // Tick advances logical time without recording (models non-memory
@@ -60,13 +86,30 @@ func (r *Recorder) record(area int, off uint64, op trace.Op, size uint32) {
 		return
 	}
 	r.period++
-	r.img.Records = append(r.img.Records, trace.Record{
+	rec := trace.Record{
 		Period: r.period,
 		Offset: off,
 		Op:     op,
 		Size:   size,
 		Area:   uint32(area),
-	})
+	}
+	if r.sinkOpen != nil {
+		if r.sink == nil {
+			r.sink, r.sinkErr = r.sinkOpen(r.img.Benchmark, r.img.Areas)
+			if r.sinkErr != nil {
+				r.sinkOpen = nil
+				return
+			}
+		}
+		if err := r.sink.Write(rec); err != nil {
+			r.sinkErr = err
+			return
+		}
+		r.count++
+		return
+	}
+	r.img.Records = append(r.img.Records, rec)
+	r.count++
 }
 
 // Load records a read of size bytes at off in area.
@@ -88,8 +131,13 @@ func (r *Recorder) Frame(stackArea int, depth uint64, n int) {
 	}
 }
 
-// Image finalizes and returns the trace.
+// Image finalizes and returns the trace. In streaming mode the records
+// already live in the sink, so the returned image carries the header
+// (benchmark, areas) with no records; SinkErr failures surface here.
 func (r *Recorder) Image() (*trace.Image, error) {
+	if r.sinkErr != nil {
+		return nil, fmt.Errorf("workloads: streaming capture: %w", r.sinkErr)
+	}
 	if err := r.img.Validate(); err != nil {
 		return nil, fmt.Errorf("workloads: %w", err)
 	}

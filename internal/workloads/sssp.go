@@ -8,6 +8,9 @@ type SSSPConfig struct {
 	Degree   int
 	Ops      int
 	Seed     uint64
+	// Sink, when set, streams records to a RecordSink instead of
+	// materializing them (see Recorder.StreamTo).
+	Sink SinkOpenFunc
 }
 
 // DefaultSSSP returns the paper-scale configuration.
@@ -36,6 +39,7 @@ const ssspPopsPerRoot = 2048
 func SSSP(cfg SSSPConfig) (*trace.Image, error) {
 	g := GenRMAT(cfg.Vertices, cfg.Degree, cfg.Seed)
 	rec := NewRecorder("G500_sssp", cfg.Ops)
+	rec.StreamTo(cfg.Sink)
 
 	offsets := rec.AddArea("heap.offsets", uint64(len(g.Offsets))*8, true, false)
 	edges := rec.AddArea("heap.edges", uint64(len(g.Edges))*4, true, false)

@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 
@@ -273,5 +274,106 @@ func TestYCSBMTRejectsZeroThreads(t *testing.T) {
 	cfg.Threads = 0
 	if _, err := YCSBMT(cfg); err == nil {
 		t.Fatal("zero threads accepted")
+	}
+}
+
+// recordCollector is a RecordSink capturing what a streaming run emits.
+type recordCollector struct {
+	benchmark string
+	areas     []trace.Area
+	records   []trace.Record
+}
+
+func (c *recordCollector) Write(rec trace.Record) error {
+	c.records = append(c.records, rec)
+	return nil
+}
+
+// TestStreamedCaptureMatchesMaterialized runs each workload twice — once
+// materializing, once streaming to a sink — and requires identical record
+// sequences: streaming capture must not perturb the trace.
+func TestStreamedCaptureMatchesMaterialized(t *testing.T) {
+	type runner func(sink SinkOpenFunc) (*trace.Image, error)
+	cases := map[string]runner{
+		"ycsb": func(sink SinkOpenFunc) (*trace.Image, error) {
+			cfg := SmallYCSB()
+			cfg.Ops = 30_000
+			cfg.Sink = sink
+			return YCSB(cfg)
+		},
+		"pagerank": func(sink SinkOpenFunc) (*trace.Image, error) {
+			cfg := SmallPageRank()
+			cfg.Ops = 30_000
+			cfg.Sink = sink
+			return PageRank(cfg)
+		},
+		"sssp": func(sink SinkOpenFunc) (*trace.Image, error) {
+			cfg := SmallSSSP()
+			cfg.Ops = 30_000
+			cfg.Sink = sink
+			return SSSP(cfg)
+		},
+		"ycsbmt": func(sink SinkOpenFunc) (*trace.Image, error) {
+			cfg := SmallYCSBMT()
+			cfg.Ops = 30_000
+			cfg.Sink = sink
+			return YCSBMT(cfg)
+		},
+	}
+	for name, run := range cases {
+		t.Run(name, func(t *testing.T) {
+			ref, err := run(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			col := &recordCollector{}
+			hdr, err := run(func(bm string, areas []trace.Area) (trace.RecordSink, error) {
+				col.benchmark = bm
+				col.areas = append([]trace.Area(nil), areas...)
+				return col, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(hdr.Records) != 0 {
+				t.Fatalf("streaming run materialized %d records", len(hdr.Records))
+			}
+			if col.benchmark != ref.Benchmark || len(col.areas) != len(ref.Areas) {
+				t.Fatalf("sink header %q/%d areas, want %q/%d", col.benchmark, len(col.areas), ref.Benchmark, len(ref.Areas))
+			}
+			if len(col.records) != len(ref.Records) {
+				t.Fatalf("streamed %d records, materialized %d", len(col.records), len(ref.Records))
+			}
+			for i := range ref.Records {
+				if col.records[i] != ref.Records[i] {
+					t.Fatalf("record %d: %+v != %+v", i, col.records[i], ref.Records[i])
+				}
+			}
+		})
+	}
+}
+
+// errorSink fails after a few writes; the recorder must stop and surface
+// the error instead of recording into the void.
+type errorSink struct{ left int }
+
+func (s *errorSink) Write(trace.Record) error {
+	if s.left--; s.left < 0 {
+		return errSinkFull
+	}
+	return nil
+}
+
+var errSinkFull = errors.New("sink full")
+
+func TestRecorderSurfacesSinkError(t *testing.T) {
+	cfg := SmallYCSB()
+	cfg.Ops = 10_000
+	cfg.Sink = func(string, []trace.Area) (trace.RecordSink, error) {
+		return &errorSink{left: 100}, nil
+	}
+	_, err := YCSB(cfg)
+	if !errors.Is(err, errSinkFull) {
+		t.Fatalf("sink error lost: %v", err)
 	}
 }

@@ -13,6 +13,9 @@ type YCSBConfig struct {
 	ReadRatio float64 // fraction of GET operations (rest are UPDATE)
 	Theta     float64 // zipfian skew
 	Seed      uint64
+	// Sink, when set, streams records to a RecordSink instead of
+	// materializing them (see Recorder.StreamTo).
+	Sink SinkOpenFunc
 }
 
 // DefaultYCSB returns the paper-scale configuration.
@@ -40,6 +43,7 @@ const (
 // reads, chain probes, value line reads/writes and per-op stack frames.
 func YCSB(cfg YCSBConfig) (*trace.Image, error) {
 	rec := NewRecorder("Ycsb_mem", cfg.Ops)
+	rec.StreamTo(cfg.Sink)
 	nBuckets := uint64(cfg.Records) // load factor 1
 	buckets := rec.AddArea("heap.buckets", nBuckets*8, true, true)
 	entries := rec.AddArea("heap.entries", uint64(cfg.Records)*ycsbEntrySize, true, true)

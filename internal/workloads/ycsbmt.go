@@ -38,6 +38,7 @@ func YCSBMT(cfg YCSBMTConfig) (*trace.Image, error) {
 		return nil, fmt.Errorf("workloads: YCSBMT with %d threads", cfg.Threads)
 	}
 	rec := NewRecorder("Ycsb_mem_mt", cfg.Ops)
+	rec.StreamTo(cfg.Sink)
 	nBuckets := uint64(cfg.Records)
 	buckets := rec.AddArea("heap.buckets", nBuckets*8, true, true)
 	entries := rec.AddArea("heap.entries", uint64(cfg.Records)*ycsbEntrySize, true, true)
