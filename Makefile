@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench benchsmoke crashsweep fuzzsmoke
+.PHONY: all build test check fmt vet race bench benchsmoke crashsweep fuzzsmoke allocguard profile
 
 all: build test
 
@@ -11,10 +11,17 @@ test:
 	$(GO) test ./...
 
 # check is the pre-commit gate: formatting, vet, the full test suite under
-# the race detector, a one-iteration pass over every benchmark so the perf
-# harness can't silently rot, a bounded commit-point crash sweep, and a
-# short fuzz of the trace decoders.
-check: fmt vet race benchsmoke crashsweep fuzzsmoke
+# the race detector, the zero-allocation guards (which the race build must
+# skip, hence the separate non-race run), a one-iteration pass over every
+# benchmark so the perf harness can't silently rot, a bounded commit-point
+# crash sweep, and a short fuzz of the trace decoders.
+check: fmt vet race allocguard benchsmoke crashsweep fuzzsmoke
+
+# allocguard pins the replay fast path's zero-allocation steady state (see
+# allocguard_test.go); it needs a non-race build because race instrumentation
+# changes allocation counts.
+allocguard:
+	$(GO) test -run ZeroAlloc .
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -39,6 +46,18 @@ crashsweep:
 # the v1/v2 binary trace decoders (see internal/trace/fuzz_test.go).
 fuzzsmoke:
 	$(GO) test -run XXX -fuzz FuzzDecode -fuzztime 10s ./internal/trace
+
+# profile records CPU and allocation profiles for both replay benchmarks
+# under profiles/ (gitignored). See "Recipe: profiling the replay engine"
+# in EXPERIMENTS.md for how to read them.
+profile:
+	mkdir -p profiles
+	$(GO) test -run XXX -bench '^BenchmarkReplayThroughput$$' -benchtime 2s \
+		-cpuprofile profiles/replay_cpu.prof -memprofile profiles/replay_mem.prof -o profiles/kindle.test .
+	$(GO) test -run XXX -bench '^BenchmarkStreamReplayThroughput$$' -benchtime 2s \
+		-cpuprofile profiles/stream_cpu.prof -memprofile profiles/stream_mem.prof -o profiles/kindle.test .
+	@echo "wrote profiles/{replay,stream}_{cpu,mem}.prof; try:"
+	@echo "  go tool pprof -top -nodecount 20 profiles/kindle.test profiles/replay_cpu.prof"
 
 # bench runs the microbenchmarks, then records the headline numbers
 # (replay records/sec, suite wall-clock, GOMAXPROCS) in BENCH_replay.json

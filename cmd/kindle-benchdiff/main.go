@@ -22,6 +22,8 @@ func main() {
 	fresh := flag.String("fresh", "", "freshly measured report")
 	warn := flag.Float64("warn", 0.10, "warn when a metric drops more than this fraction")
 	fail := flag.Float64("fail", 0.20, "fail when a metric drops more than this fraction")
+	ratioWarn := flag.Float64("ratio-warn", 0.10, "warn when the stream/materialized throughput ratio drops more than this fraction (0 disables)")
+	normEnv := flag.Bool("normalize-env", false, "compare reports from different gomaxprocs/suite_scale environments, normalizing throughput per proc (refused otherwise)")
 	flag.Parse()
 
 	if *fresh == "" {
@@ -36,9 +38,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("base:  %.0f rec/s (stream %.0f) on %d procs\n", b.RecordsPerSec, b.StreamRecordsPerSec, b.GOMAXPROCS)
-	fmt.Printf("fresh: %.0f rec/s (stream %.0f) on %d procs\n", f.RecordsPerSec, f.StreamRecordsPerSec, f.GOMAXPROCS)
-	warnings, err := bench.CompareReports(b, f, *warn, *fail)
+	fmt.Printf("base:  %.0f rec/s (stream %.0f, ratio %.2f) on %d procs\n", b.RecordsPerSec, b.StreamRecordsPerSec, b.Ratio(), b.GOMAXPROCS)
+	fmt.Printf("fresh: %.0f rec/s (stream %.0f, ratio %.2f) on %d procs\n", f.RecordsPerSec, f.StreamRecordsPerSec, f.Ratio(), f.GOMAXPROCS)
+	warnings, err := bench.CompareReports(b, f, bench.CompareOptions{
+		WarnFrac:      *warn,
+		FailFrac:      *fail,
+		RatioWarnFrac: *ratioWarn,
+		NormalizeEnv:  *normEnv,
+	})
 	for _, w := range warnings {
 		fmt.Println("warning:", w)
 	}

@@ -1,0 +1,59 @@
+package kindle_test
+
+import (
+	"bytes"
+	"testing"
+
+	"kindle/internal/core"
+	"kindle/internal/machine"
+	"kindle/internal/workloads"
+)
+
+// TestFastPathsStatsIdentity is the end-to-end contract behind every fast
+// path in this PR: replaying a full YCSB workload with the fast paths on
+// and with Config.DisableFastPaths must finish at the same simulated clock
+// and produce byte-identical gem5-format stats dumps. The fast paths are
+// host-side shortcuts only — no simulated outcome may depend on them.
+func TestFastPathsStatsIdentity(t *testing.T) {
+	cfg := workloads.DefaultYCSB()
+	cfg.Ops = 50_000
+	img, err := workloads.YCSB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(disable bool) (clock uint64, dump []byte) {
+		mcfg := machine.TestConfig()
+		mcfg.DisableFastPaths = disable
+		f := core.New(mcfg)
+		_, rep, err := f.LaunchInit(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := f.M.Stats.WriteStatsFile(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return uint64(f.M.Clock.Now()), buf.Bytes()
+	}
+
+	fastClock, fastDump := run(false)
+	slowClock, slowDump := run(true)
+	if fastClock != slowClock {
+		t.Fatalf("final clock %d with fast paths, %d without", fastClock, slowClock)
+	}
+	if !bytes.Equal(fastDump, slowDump) {
+		// Find the first differing line so the failure names the stat.
+		fl := bytes.Split(fastDump, []byte("\n"))
+		sl := bytes.Split(slowDump, []byte("\n"))
+		for i := 0; i < len(fl) && i < len(sl); i++ {
+			if !bytes.Equal(fl[i], sl[i]) {
+				t.Fatalf("stats dumps diverge at line %d:\n fast: %s\n slow: %s", i+1, fl[i], sl[i])
+			}
+		}
+		t.Fatalf("stats dumps differ in length: %d vs %d lines", len(fl), len(sl))
+	}
+}

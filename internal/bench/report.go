@@ -20,6 +20,11 @@ type Report struct {
 	// decoder with read-ahead. Zero in reports from before the streaming
 	// pipeline existed.
 	StreamRecordsPerSec float64 `json:"stream_records_per_sec,omitempty"`
+	// StreamVsMaterialized records StreamRecordsPerSec/RecordsPerSec for
+	// human readers of the snapshot; WriteFile keeps it in sync and
+	// comparisons recompute it from the throughputs (see Ratio), so a
+	// hand-edited value cannot skew the gate.
+	StreamVsMaterialized float64 `json:"stream_vs_materialized,omitempty"`
 	// SuiteWallClockSec is the wall-clock time of one full RunAll at
 	// SuiteScale with the default worker pool.
 	SuiteWallClockSec float64 `json:"suite_wall_clock_sec"`
@@ -45,11 +50,23 @@ func LoadReport(path string) (*Report, error) {
 
 // WriteFile writes the report as indented JSON.
 func (r *Report) WriteFile(path string) error {
+	r.StreamVsMaterialized = r.Ratio()
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Ratio returns the streamed-to-materialized throughput ratio, the tracked
+// measure of what chunked decode costs the replay pipeline on this host
+// (read-ahead hides it only when a spare core exists). Zero when either
+// throughput is missing.
+func (r *Report) Ratio() float64 {
+	if r.RecordsPerSec <= 0 || r.StreamRecordsPerSec <= 0 {
+		return 0
+	}
+	return r.StreamRecordsPerSec / r.RecordsPerSec
 }
 
 // normProcs returns the divisor used to compare throughput across hosts
@@ -61,13 +78,39 @@ func (r *Report) normProcs() float64 {
 	return float64(r.GOMAXPROCS)
 }
 
-// CompareReports gates fresh against base. Throughputs are normalized by
-// GOMAXPROCS so a snapshot recorded on an N-core box can be compared on a
-// differently-sized CI runner (a coarse correction — the replay itself is
-// single-threaded, but suite parallelism and machine class correlate with
-// core count). A drop beyond failFrac (e.g. 0.20) is an error; beyond
-// warnFrac (e.g. 0.10) a warning. Improvements never fail.
-func CompareReports(base, fresh *Report, warnFrac, failFrac float64) (warnings []string, err error) {
+// CompareOptions tunes CompareReports.
+type CompareOptions struct {
+	// WarnFrac and FailFrac bound the tolerated fractional throughput
+	// drop: beyond WarnFrac (e.g. 0.10) a warning, beyond FailFrac (e.g.
+	// 0.20) an error. Improvements never fail.
+	WarnFrac, FailFrac float64
+	// RatioWarnFrac separately guards the streamed-to-materialized
+	// throughput ratio (Report.Ratio): both absolute throughputs can pass
+	// while the streamed path quietly loses ground on the materialized
+	// one, so the ratio gets its own warn-only threshold. Zero disables.
+	RatioWarnFrac float64
+	// NormalizeEnv permits comparing reports recorded under different
+	// gomaxprocs or suite_scale. Without it such comparisons are refused:
+	// per-proc normalization is a coarse correction (the replay itself is
+	// single-threaded) and suite wall-clock at different scales measures
+	// different work, so crossing environments must be an explicit choice.
+	NormalizeEnv bool
+}
+
+// CompareReports gates fresh against base. Reports from identical
+// environments compare raw; differing gomaxprocs or suite_scale is refused
+// unless opt.NormalizeEnv, which normalizes throughput per gomaxprocs and
+// says so in a warning.
+func CompareReports(base, fresh *Report, opt CompareOptions) (warnings []string, err error) {
+	if base.GOMAXPROCS != fresh.GOMAXPROCS || base.SuiteScale != fresh.SuiteScale {
+		desc := fmt.Sprintf("gomaxprocs %d vs %d, suite_scale %g vs %g",
+			base.GOMAXPROCS, fresh.GOMAXPROCS, base.SuiteScale, fresh.SuiteScale)
+		if !opt.NormalizeEnv {
+			return nil, fmt.Errorf("bench: reports measured in different environments (%s); rerun with env normalization enabled (-normalize-env) to compare per-proc throughput anyway", desc)
+		}
+		warnings = append(warnings, fmt.Sprintf(
+			"environments differ (%s): comparing throughput per gomaxprocs", desc))
+	}
 	type metric struct {
 		name       string
 		base, have float64
@@ -91,15 +134,24 @@ func CompareReports(base, fresh *Report, warnFrac, failFrac float64) (warnings [
 		line := fmt.Sprintf("%s: base %.0f/proc, fresh %.0f/proc (%+.1f%%)",
 			m.name, m.base, m.have, -100*drop)
 		switch {
-		case drop > failFrac:
+		case drop > opt.FailFrac:
 			failures = append(failures, line)
-		case drop > warnFrac:
+		case drop > opt.WarnFrac:
 			warnings = append(warnings, line)
+		}
+	}
+	// The ratio is recomputed from the throughputs, never read from the
+	// stored stream_vs_materialized field.
+	if rb, rf := base.Ratio(), fresh.Ratio(); opt.RatioWarnFrac > 0 && rb > 0 && rf > 0 {
+		if drop := (rb - rf) / rb; drop > opt.RatioWarnFrac {
+			warnings = append(warnings, fmt.Sprintf(
+				"stream_vs_materialized: base %.2f, fresh %.2f (%+.1f%%) — streamed decode losing ground on materialized replay",
+				rb, rf, -100*drop))
 		}
 	}
 	if len(failures) > 0 {
 		return warnings, fmt.Errorf("bench regression beyond %.0f%%:\n  %s",
-			100*failFrac, joinLines(failures))
+			100*opt.FailFrac, joinLines(failures))
 	}
 	return warnings, nil
 }

@@ -45,37 +45,67 @@ func TestLoadReportRejectsBad(t *testing.T) {
 
 func TestCompareReports(t *testing.T) {
 	base := &Report{RecordsPerSec: 1000, StreamRecordsPerSec: 900, GOMAXPROCS: 1}
+	opt := CompareOptions{WarnFrac: 0.10, FailFrac: 0.20, RatioWarnFrac: 0.10}
+	normOpt := opt
+	normOpt.NormalizeEnv = true
 	cases := []struct {
 		name     string
 		fresh    Report
+		opt      CompareOptions
 		wantWarn bool
 		wantFail bool
 	}{
-		{"unchanged", Report{RecordsPerSec: 1000, StreamRecordsPerSec: 900, GOMAXPROCS: 1}, false, false},
-		{"improved", Report{RecordsPerSec: 1500, StreamRecordsPerSec: 1400, GOMAXPROCS: 1}, false, false},
-		{"small drop", Report{RecordsPerSec: 950, StreamRecordsPerSec: 870, GOMAXPROCS: 1}, false, false},
-		{"warn drop", Report{RecordsPerSec: 850, StreamRecordsPerSec: 900, GOMAXPROCS: 1}, true, false},
-		{"fail drop", Report{RecordsPerSec: 700, StreamRecordsPerSec: 900, GOMAXPROCS: 1}, false, true},
-		{"stream fail", Report{RecordsPerSec: 1000, StreamRecordsPerSec: 600, GOMAXPROCS: 1}, false, true},
-		// 4000 rec/s on 4 procs is 1000/proc — equal after normalization.
-		{"normalized", Report{RecordsPerSec: 4000, StreamRecordsPerSec: 3600, GOMAXPROCS: 4}, false, false},
+		{"unchanged", Report{RecordsPerSec: 1000, StreamRecordsPerSec: 900, GOMAXPROCS: 1}, opt, false, false},
+		{"improved", Report{RecordsPerSec: 1500, StreamRecordsPerSec: 1400, GOMAXPROCS: 1}, opt, false, false},
+		{"small drop", Report{RecordsPerSec: 950, StreamRecordsPerSec: 870, GOMAXPROCS: 1}, opt, false, false},
+		{"warn drop", Report{RecordsPerSec: 850, StreamRecordsPerSec: 900, GOMAXPROCS: 1}, opt, true, false},
+		{"fail drop", Report{RecordsPerSec: 700, StreamRecordsPerSec: 900, GOMAXPROCS: 1}, opt, false, true},
+		// The collapsed stream throughput fails outright and also trips
+		// the ratio warning.
+		{"stream fail", Report{RecordsPerSec: 1000, StreamRecordsPerSec: 600, GOMAXPROCS: 1}, opt, true, true},
+		// Both throughputs inside tolerance, but the streamed one slipped
+		// 11% against the materialized one: ratio warning only.
+		{"ratio warn", Report{RecordsPerSec: 1050, StreamRecordsPerSec: 840, GOMAXPROCS: 1}, opt, true, false},
+		// Same ratio slip with the ratio guard disabled stays silent.
+		{"ratio guard off", Report{RecordsPerSec: 1050, StreamRecordsPerSec: 840, GOMAXPROCS: 1},
+			CompareOptions{WarnFrac: 0.10, FailFrac: 0.20}, false, false},
+		// Differing environments are refused outright...
+		{"env refused", Report{RecordsPerSec: 4000, StreamRecordsPerSec: 3600, GOMAXPROCS: 4}, opt, false, true},
+		// ...and compare per-proc (with an explanatory warning) when
+		// normalization is requested: 4000 rec/s on 4 procs is 1000/proc.
+		{"normalized", Report{RecordsPerSec: 4000, StreamRecordsPerSec: 3600, GOMAXPROCS: 4}, normOpt, true, false},
 		// 2000 rec/s on 4 procs is 500/proc — a 50% normalized drop.
-		{"normalized fail", Report{RecordsPerSec: 2000, StreamRecordsPerSec: 3600, GOMAXPROCS: 4}, false, true},
-		// Baseline without a stream metric skips that comparison.
-		{"no stream metric", Report{RecordsPerSec: 1000, GOMAXPROCS: 1}, false, false},
+		{"normalized fail", Report{RecordsPerSec: 2000, StreamRecordsPerSec: 3600, GOMAXPROCS: 4}, normOpt, true, true},
+		// Baseline without a stream metric skips stream and ratio checks.
+		{"no stream metric", Report{RecordsPerSec: 1000, GOMAXPROCS: 1}, opt, false, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			warnings, err := CompareReports(base, &tc.fresh, 0.10, 0.20)
+			warnings, err := CompareReports(base, &tc.fresh, tc.opt)
 			if tc.wantFail != (err != nil) {
 				t.Fatalf("err = %v, wantFail = %v", err, tc.wantFail)
 			}
-			if tc.wantFail && !strings.Contains(err.Error(), "regression") {
-				t.Fatalf("error does not name the regression: %v", err)
+			if tc.wantFail && !strings.Contains(err.Error(), "regression") && !strings.Contains(err.Error(), "environments") {
+				t.Fatalf("error does not explain itself: %v", err)
 			}
 			if tc.wantWarn != (len(warnings) > 0) {
 				t.Fatalf("warnings = %v, wantWarn = %v", warnings, tc.wantWarn)
 			}
 		})
+	}
+}
+
+func TestCompareReportsRefusesScaleMismatch(t *testing.T) {
+	base := &Report{RecordsPerSec: 1000, SuiteScale: 1.0 / 16, GOMAXPROCS: 1}
+	fresh := &Report{RecordsPerSec: 1000, SuiteScale: 1.0 / 4, GOMAXPROCS: 1}
+	if _, err := CompareReports(base, fresh, CompareOptions{WarnFrac: 0.10, FailFrac: 0.20}); err == nil {
+		t.Fatal("suite_scale mismatch accepted without NormalizeEnv")
+	}
+	warnings, err := CompareReports(base, fresh, CompareOptions{WarnFrac: 0.10, FailFrac: 0.20, NormalizeEnv: true})
+	if err != nil {
+		t.Fatalf("NormalizeEnv comparison failed: %v", err)
+	}
+	if len(warnings) == 0 {
+		t.Fatal("normalized cross-environment comparison produced no explanatory warning")
 	}
 }

@@ -20,6 +20,13 @@ import (
 )
 
 // Level is a single set-associative cache.
+//
+// The tag store is flat: set si owns tags[si*ways : si*ways+lens[si]],
+// each way a 16-byte {addr, lru} record so a probe's tag compare and its
+// LRU re-stamp share one host cache line, while dirty bits live in a
+// small per-set bitmask array. That keeps the simulated LLC's tag state
+// compact (the structure is walked randomly and is far bigger than the
+// host L2) and makes residency scans stride 16 bytes, not a full record.
 type Level struct {
 	name    string
 	sets    int
@@ -27,19 +34,24 @@ type Level struct {
 	latency sim.Cycles
 	stats   *sim.Stats
 
-	// tags[set] is an LRU-ordered slice (front = MRU) of resident lines.
-	// Set slices are allocated with ways capacity on first touch so
-	// steady-state fills never reallocate.
-	tags  [][]line
-	clock uint64 // LRU timestamp source
+	tags      []way    // flat sets*ways tag store
+	dirtyBits []uint32 // dirty bitmask per set (bit = way index)
+	lens      []int32  // valid ways per set
+	clock     uint64   // LRU timestamp source
+
+	setMask uint64 // sets-1 when sets is a power of two, else 0 (use modulo)
+
+	// mru[set] is the way index of the set's last hit or fill — a probe
+	// hint only, always verified against the tag before use.
+	mru    []int32
+	mruOff bool // disables the MRU fast probe (equivalence testing)
 
 	evicts *sim.Counter // "cache.<name>.evict", resolved once
 }
 
-type line struct {
-	addr  mem.PhysAddr // line base address
-	dirty bool
-	lru   uint64
+type way struct {
+	addr mem.PhysAddr // line base address
+	lru  uint64       // LRU timestamp
 }
 
 // Config describes one cache level.
@@ -54,54 +66,81 @@ type Config struct {
 // Ways*LineSize.
 func NewLevel(cfg Config, stats *sim.Stats) *Level {
 	linesTotal := int(cfg.Size / mem.LineSize)
-	if cfg.Ways <= 0 || linesTotal%cfg.Ways != 0 {
+	if cfg.Ways <= 0 || cfg.Ways > 32 || linesTotal%cfg.Ways != 0 {
 		panic(fmt.Sprintf("cache: bad geometry for %s: %d lines, %d ways", cfg.Name, linesTotal, cfg.Ways))
 	}
 	sets := linesTotal / cfg.Ways
 	l := &Level{
-		name:    cfg.Name,
-		sets:    sets,
-		ways:    cfg.Ways,
-		latency: cfg.Latency,
-		stats:   stats,
-		tags:    make([][]line, sets),
-		evicts:  stats.Counter("cache." + cfg.Name + ".evict"),
+		name:      cfg.Name,
+		sets:      sets,
+		ways:      cfg.Ways,
+		latency:   cfg.Latency,
+		stats:     stats,
+		tags:      make([]way, sets*cfg.Ways),
+		dirtyBits: make([]uint32, sets),
+		lens:      make([]int32, sets),
+		mru:       make([]int32, sets),
+		evicts:    stats.Counter("cache." + cfg.Name + ".evict"),
+	}
+	if sets&(sets-1) == 0 {
+		l.setMask = uint64(sets - 1)
 	}
 	return l
 }
 
 func (l *Level) setIndex(addr mem.PhysAddr) int {
+	if l.setMask != 0 || l.sets == 1 {
+		return int((uint64(addr) / mem.LineSize) & l.setMask)
+	}
 	return int((uint64(addr) / mem.LineSize) % uint64(l.sets))
 }
 
-// lookup returns the way index of addr in its set, or -1.
-func (l *Level) lookup(addr mem.PhysAddr) int {
-	set := l.tags[l.setIndex(addr)]
+// lookup returns the set index and way index of addr, or way -1.
+func (l *Level) lookup(addr mem.PhysAddr) (si, w int) {
+	si = l.setIndex(addr)
+	b := si * l.ways
+	set := l.tags[b : b+int(l.lens[si])]
 	for i := range set {
 		if set[i].addr == addr {
-			return i
+			return si, i
 		}
 	}
-	return -1
+	return si, -1
 }
 
 // Probe reports residency without touching LRU state or stats.
 func (l *Level) Probe(addr mem.PhysAddr) bool {
-	return l.lookup(mem.LineBase(addr)) >= 0
+	_, w := l.lookup(mem.LineBase(addr))
+	return w >= 0
 }
 
 // access touches addr; returns hit. On hit, LRU is refreshed and the line
 // is marked dirty when write.
 func (l *Level) access(addr mem.PhysAddr, write bool) bool {
 	si := l.setIndex(addr)
-	set := l.tags[si]
+	b := si * l.ways
+	set := l.tags[b : b+int(l.lens[si])]
+	if !l.mruOff {
+		// Probe the last-hit way before scanning the set; the hint is
+		// verified against the tag, and the hit-side effects are identical
+		// to a scan hit, so simulated state cannot diverge.
+		if m := int(l.mru[si]); m < len(set) && set[m].addr == addr {
+			l.clock++
+			set[m].lru = l.clock
+			if write {
+				l.dirtyBits[si] |= 1 << uint(m)
+			}
+			return true
+		}
+	}
 	for i := range set {
 		if set[i].addr == addr {
 			l.clock++
 			set[i].lru = l.clock
 			if write {
-				set[i].dirty = true
+				l.dirtyBits[si] |= 1 << uint(i)
 			}
+			l.mru[si] = int32(i)
 			return true
 		}
 	}
@@ -112,59 +151,73 @@ func (l *Level) access(addr mem.PhysAddr, write bool) bool {
 // line (if any, with its dirty bit) is returned.
 func (l *Level) fill(addr mem.PhysAddr, dirty bool) (victim mem.PhysAddr, victimDirty, evicted bool) {
 	si := l.setIndex(addr)
-	set := l.tags[si]
+	b := si * l.ways
+	n := int(l.lens[si])
 	l.clock++
-	if len(set) < l.ways {
-		if set == nil {
-			set = make([]line, 0, l.ways)
-		}
-		l.tags[si] = append(set, line{addr: addr, dirty: dirty, lru: l.clock})
+	if n < l.ways {
+		l.tags[b+n] = way{addr: addr, lru: l.clock}
+		l.setDirty(si, n, dirty)
+		l.lens[si] = int32(n + 1)
+		l.mru[si] = int32(n)
 		return 0, false, false
 	}
 	// Evict LRU.
+	set := l.tags[b : b+n]
 	lruIdx := 0
 	for i := 1; i < len(set); i++ {
 		if set[i].lru < set[lruIdx].lru {
 			lruIdx = i
 		}
 	}
-	victim, victimDirty = set[lruIdx].addr, set[lruIdx].dirty
-	set[lruIdx] = line{addr: addr, dirty: dirty, lru: l.clock}
+	victim = set[lruIdx].addr
+	victimDirty = l.dirtyBits[si]&(1<<uint(lruIdx)) != 0
+	set[lruIdx] = way{addr: addr, lru: l.clock}
+	l.setDirty(si, lruIdx, dirty)
+	l.mru[si] = int32(lruIdx)
 	return victim, victimDirty, true
 }
 
-// invalidate removes addr, returning whether it was present and dirty.
-func (l *Level) invalidate(addr mem.PhysAddr) (present, dirty bool) {
-	si := l.setIndex(addr)
-	set := l.tags[si]
-	for i := range set {
-		if set[i].addr == addr {
-			dirty = set[i].dirty
-			set[i] = set[len(set)-1]
-			l.tags[si] = set[:len(set)-1]
-			return true, dirty
-		}
+// setDirty writes way w's dirty bit in set si.
+func (l *Level) setDirty(si, w int, dirty bool) {
+	if dirty {
+		l.dirtyBits[si] |= 1 << uint(w)
+	} else {
+		l.dirtyBits[si] &^= 1 << uint(w)
 	}
-	return false, false
+}
+
+// invalidate removes addr (swap-remove with the set's last way),
+// returning whether it was present and dirty.
+func (l *Level) invalidate(addr mem.PhysAddr) (present, dirty bool) {
+	si, w := l.lookup(addr)
+	if w < 0 {
+		return false, false
+	}
+	b := si * l.ways
+	last := int(l.lens[si]) - 1
+	dirty = l.dirtyBits[si]&(1<<uint(w)) != 0
+	l.tags[b+w] = l.tags[b+last]
+	l.setDirty(si, w, l.dirtyBits[si]&(1<<uint(last)) != 0)
+	l.setDirty(si, last, false)
+	l.lens[si] = int32(last)
+	return true, dirty
 }
 
 // clean clears the dirty bit of addr if resident; reports prior dirtiness.
 func (l *Level) clean(addr mem.PhysAddr) (present, wasDirty bool) {
-	si := l.setIndex(addr)
-	set := l.tags[si]
-	for i := range set {
-		if set[i].addr == addr {
-			wasDirty = set[i].dirty
-			set[i].dirty = false
-			return true, wasDirty
-		}
+	si, w := l.lookup(addr)
+	if w < 0 {
+		return false, false
 	}
-	return false, false
+	wasDirty = l.dirtyBits[si]&(1<<uint(w)) != 0
+	l.dirtyBits[si] &^= 1 << uint(w)
+	return true, wasDirty
 }
 
-// reset empties the level.
+// reset empties the level, keeping the backing arrays.
 func (l *Level) reset() {
-	for i := range l.tags {
-		l.tags[i] = nil
+	for i := range l.lens {
+		l.lens[i] = 0
+		l.dirtyBits[i] = 0
 	}
 }

@@ -1,0 +1,84 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+
+	"kindle/internal/mem"
+	"kindle/internal/sim"
+)
+
+// TestMRUProbeEquivalenceRandomized runs two full hierarchies — MRU-way
+// probe on and off — through the same randomized access/clwb/flush/
+// invalidate sequence and requires identical per-op latencies, clocks and
+// statistics. The probe must be an invisible host-side shortcut: if it
+// perturbs hit detection, LRU state, dirty bits or writeback timing, the
+// two runs diverge here at the exact operation that broke.
+func TestMRUProbeEquivalenceRandomized(t *testing.T) {
+	for _, seed := range []uint64{2, 11, 0xC0FFEE} {
+		onH, _, onClock, onStats := newTestHier(t)
+		offH, _, offClock, offStats := newTestHier(t)
+		offH.SetMRUProbe(false)
+
+		// Lines drawn from a working set larger than L2 but well inside
+		// the LLC, straddling the DRAM/NVM boundary so both memory paths
+		// (and dirty writebacks to each) stay exercised. Repeated lines
+		// keep MRU-way hits frequent — that is the path under test.
+		const span = 4 * mem.MiB
+		base := mem.PhysAddr(64*mem.MiB - span/2)
+		rng := sim.NewRNG(seed)
+		for i := 0; i < 30_000; i++ {
+			pa := base + mem.PhysAddr(rng.Uint64n(span/mem.LineSize)*mem.LineSize)
+			var latOn, latOff sim.Cycles
+			var what string
+			switch op := rng.Intn(100); {
+			case op < 80:
+				write := rng.Intn(3) == 0
+				what = "access"
+				latOn = onH.Access(pa, write)
+				latOff = offH.Access(pa, write)
+			case op < 88:
+				what = "clwb"
+				latOn = onH.Clwb(pa)
+				latOff = offH.Clwb(pa)
+			case op < 94:
+				what = "flush"
+				latOn = onH.Flush(pa)
+				latOff = offH.Flush(pa)
+			case op < 99:
+				what = "invalidate"
+				onH.InvalidateLine(pa)
+				offH.InvalidateLine(pa)
+			default:
+				what = "reset"
+				onH.Reset()
+				offH.Reset()
+			}
+			if latOn != latOff {
+				t.Fatalf("seed %d op %d: %s(%#x) latency %d with probe, %d without",
+					seed, i, what, pa, latOn, latOff)
+			}
+			// Advance time the way a core would, so clock-dependent
+			// machinery (the NVM write-buffer drain) stays live.
+			onClock.Advance(latOn + 1)
+			offClock.Advance(latOff + 1)
+			if onH.Resident(pa) != offH.Resident(pa) {
+				t.Fatalf("seed %d op %d: %s(%#x) residency disagrees", seed, i, what, pa)
+			}
+			if onClock.Now() != offClock.Now() {
+				t.Fatalf("seed %d op %d: %s(%#x) clock %d with probe, %d without",
+					seed, i, what, pa, onClock.Now(), offClock.Now())
+			}
+		}
+		var dumpOn, dumpOff bytes.Buffer
+		if err := onStats.WriteStatsFile(&dumpOn); err != nil {
+			t.Fatal(err)
+		}
+		if err := offStats.WriteStatsFile(&dumpOff); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dumpOn.Bytes(), dumpOff.Bytes()) {
+			t.Fatalf("seed %d: stats dumps differ with/without MRU probe", seed)
+		}
+	}
+}

@@ -273,9 +273,13 @@ func (r *Replay) fill() (bool, error) {
 
 // Step replays up to n records, firing machine events along the way. It
 // returns done=true when the trace is exhausted.
+//
+// Dispatch is batched: records are consumed in contiguous runs bounded by
+// the decoded batch, the remaining budget and the next tick boundary, so
+// the per-record path carries none of the refill, tick-modulo or field
+// re-resolution work — stepBatch hoists it all per run.
 func (r *Replay) Step(n int) (done bool, err error) {
 	k := r.f.K
-	m := r.f.M
 	if k.Current() != r.P {
 		k.Switch(r.P)
 	}
@@ -283,7 +287,7 @@ func (r *Replay) Step(n int) (done bool, err error) {
 	if tickEvery <= 0 {
 		tickEvery = 32
 	}
-	for i := 0; i < n; i++ {
+	for remaining := n; remaining > 0; {
 		if r.pos >= len(r.batch) {
 			ok, err := r.fill()
 			if err != nil {
@@ -293,23 +297,54 @@ func (r *Replay) Step(n int) (done bool, err error) {
 				break
 			}
 		}
-		rec := r.batch[r.pos]
-		r.pos++
-		r.consumed++
-		if rec.Period > r.lastPeriod {
-			m.Clock.Advance(sim.Cycles(rec.Period-r.lastPeriod) * r.ComputeCyclesPerPeriod)
-			r.lastPeriod = rec.Period
+		run := len(r.batch) - r.pos
+		if run > remaining {
+			run = remaining
 		}
-		va := r.bases[rec.Area] + rec.Offset
-		if _, err := m.Core.Access(va, rec.Op == trace.Write, int(rec.Size)); err != nil {
-			return false, fmt.Errorf("core: replaying record %d: %w", r.consumed-1, err)
+		if until := tickEvery - r.consumed%tickEvery; run > until {
+			run = until
 		}
+		if err := r.stepBatch(r.batch[r.pos : r.pos+run]); err != nil {
+			return false, err
+		}
+		remaining -= run
 		if r.consumed%tickEvery == 0 {
 			k.Tick()
 		}
 	}
 	k.Tick()
 	return r.Done(), nil
+}
+
+// stepBatch replays one contiguous run of records with the loop-invariant
+// state (clock, core, area bases, compute-cycle rate) resolved once. The
+// caller has already sized recs so no tick boundary falls inside the run.
+func (r *Replay) stepBatch(recs []trace.Record) error {
+	m := r.f.M
+	clock := m.Clock
+	core := m.Core
+	bases := r.bases
+	ccp := r.ComputeCyclesPerPeriod
+	lastPeriod := r.lastPeriod
+	for j := range recs {
+		rec := &recs[j]
+		if rec.Period > lastPeriod {
+			clock.Advance(sim.Cycles(rec.Period-lastPeriod) * ccp)
+			lastPeriod = rec.Period
+		}
+		va := bases[rec.Area] + rec.Offset
+		if _, err := core.Access(va, rec.Op == trace.Write, int(rec.Size)); err != nil {
+			// The failing record counts as consumed, exactly as before.
+			r.pos += j + 1
+			r.consumed += j + 1
+			r.lastPeriod = lastPeriod
+			return fmt.Errorf("core: replaying record %d: %w", r.consumed-1, err)
+		}
+	}
+	r.pos += len(recs)
+	r.consumed += len(recs)
+	r.lastPeriod = lastPeriod
+	return nil
 }
 
 // Run replays the whole remaining trace.

@@ -80,6 +80,21 @@ type Hooks interface {
 	OnLLCMiss(e *tlb.Entry, va uint64, write bool)
 }
 
+// tcSlots sizes the core's software translation cache. 64 direct-mapped
+// entries cover the hot pages between TLB structural changes; the array is
+// small enough that the whole cache stays in the host's L1.
+const tcSlots = 64
+
+// tcEntry is one translation-cache slot: a VPN, the TLB entry it resolved
+// to, and the TLB structural generation at fill time. The slot hits only
+// while the generation is unchanged, which guarantees the pointer still
+// names a live L1 TLB slot holding the same translation.
+type tcEntry struct {
+	vpn uint64
+	gen uint64
+	e   *tlb.Entry
+}
+
 // Core is a single simulated CPU.
 type Core struct {
 	clock *sim.Clock
@@ -104,14 +119,15 @@ type Core struct {
 
 	llcMissed bool // scratch flag set by the hierarchy miss observer
 
-	// Last-translation cache: the entry returned by the previous
-	// successful translate, valid while the TLB's structural generation is
-	// unchanged. Consecutive accesses to the same page (the common replay
-	// pattern) skip the TLB set scan entirely; FastHit keeps LRU state,
-	// stats and timing identical to the full lookup it replaces.
-	lastVPN   uint64
-	lastEntry *tlb.Entry
-	lastGen   uint64
+	// Software translation cache: the entries returned by recent
+	// successful translates, direct-mapped on VPN, each valid while the
+	// TLB's structural generation is unchanged since it was cached.
+	// Accesses that alternate among a working set of hot pages (the
+	// common replay pattern) skip the TLB set scan entirely; FastHit
+	// keeps LRU state, stats and timing identical to the L1 lookup hit
+	// it replaces, so the cache is semantically invisible.
+	tc      [tcSlots]tcEntry
+	fastOff bool // disables the tc and Access fast path (equivalence testing)
 
 	tr *obs.Tracer // nil when tracing is off
 
@@ -172,6 +188,18 @@ func (c *Core) SetTracer(tr *obs.Tracer) { c.tr = tr }
 // SetHooks installs prototype observation hooks (nil clears).
 func (c *Core) SetHooks(h Hooks) { c.hooks = h }
 
+// SetFastPaths enables or disables the core's software fast paths (on by
+// default): the N-entry translation cache and the single-line Access
+// shortcut. Both are exact specializations of the slow path — simulated
+// time, stats and hook firings are bit-identical either way — so the
+// switch exists only for the equivalence tests that pin that claim.
+func (c *Core) SetFastPaths(on bool) {
+	c.fastOff = !on
+	if !on {
+		c.tc = [tcSlots]tcEntry{}
+	}
+}
+
 // SetAddressSpace points the core's PTBR at table and flushes the TLB
 // (firing eviction hooks, as a real context switch would let the prototype
 // hardware write back metadata first).
@@ -219,23 +247,24 @@ func (c *Core) charge(lat sim.Cycles) {
 // needed. The returned entry is live TLB state.
 func (c *Core) translate(va uint64, write bool) (*tlb.Entry, error) {
 	vpn := va / mem.PageSize
-	if c.lastEntry != nil && c.lastVPN == vpn && c.lastGen == c.TLB.Gen() {
-		// Same page as the previous translation and the TLB has not been
-		// structurally touched since: the entry is still resident in L1.
-		// FastHit charges and counts exactly what the full lookup would.
-		lat := c.TLB.FastHit(c.lastEntry)
-		c.charge(lat)
-		c.tlbLookupLat.ObserveCycles(lat)
-		return c.lastEntry, nil
+	if !c.fastOff {
+		if s := &c.tc[vpn&(tcSlots-1)]; s.vpn == vpn && s.gen == c.TLB.Gen() && s.e != nil {
+			// The translation was cached while it sat in the TLB's L1 and
+			// the TLB has not been structurally touched since, so it still
+			// does. FastHit charges and counts exactly what the full
+			// lookup would.
+			lat := c.TLB.FastHit(s.e)
+			c.charge(lat)
+			c.tlbLookupLat.ObserveCycles(lat)
+			return s.e, nil
+		}
 	}
 	for attempt := 0; attempt < 3; attempt++ {
 		e, lat := c.TLB.Lookup(vpn)
 		c.charge(lat)
 		c.tlbLookupLat.ObserveCycles(lat)
 		if e != nil {
-			c.lastVPN = vpn
-			c.lastEntry = e
-			c.lastGen = c.TLB.Gen()
+			c.tc[vpn&(tcSlots-1)] = tcEntry{vpn: vpn, gen: c.TLB.Gen(), e: e}
 			return e, nil
 		}
 		if c.tr.Enabled(obs.CatTLB) {
@@ -254,13 +283,18 @@ func (c *Core) translate(va uint64, write bool) (*tlb.Entry, error) {
 			c.tr.Span(obs.CatPTWalk, "ptwalk", walkStart, c.clock.Now()-walkStart, "va", va)
 		}
 		if ok {
-			c.TLB.Insert(tlb.Entry{
+			// Complete the translation from the walk result, as the
+			// hardware fill path does. Charging a fresh Lookup here (the
+			// pre-fix behavior) double-charged every TLB fill with an L1
+			// probe the real machine never issues.
+			e := c.TLB.InsertAndGet(tlb.Entry{
 				VPN:      vpn,
 				PFN:      leaf.PFN(),
 				Writable: leaf.Writable(),
 				NVM:      leaf.NVM(),
 			})
-			continue // re-lookup returns the live entry
+			c.tc[vpn&(tcSlots-1)] = tcEntry{vpn: vpn, gen: c.TLB.Gen(), e: e}
+			return e, nil
 		}
 		if c.fault == nil {
 			return nil, &PageFaultError{VA: va, Write: write, Cause: "no fault handler"}
@@ -285,6 +319,35 @@ func (c *Core) Access(va uint64, write bool, size int) (sim.Cycles, error) {
 		return 0, fmt.Errorf("cpu: access size %d", size)
 	}
 	start := c.clock.Now()
+	if !c.fastOff && va^(va+uint64(size)-1) < mem.LineSize {
+		// Fast path: the access stays inside one cache line (and therefore
+		// one page) — the overwhelmingly common replay shape. This is the
+		// general loop below specialized to a single iteration; every
+		// charge, stat and hook fires identically.
+		e, err := c.translate(va, write)
+		if err != nil {
+			return c.clock.Now() - start, err
+		}
+		if write && !e.Writable {
+			return c.clock.Now() - start, &PageFaultError{VA: va, Write: true, Cause: "write to read-only page"}
+		}
+		if c.hooks != nil {
+			c.hooks.OnTranslate(e, va, write)
+		}
+		pa := mem.FrameBase(e.PFN) + mem.PhysAddr(va%mem.PageSize)
+		c.llcMissed = false
+		lat := c.Hier.Access(pa, write)
+		c.charge(lat)
+		if c.llcMissed && c.hooks != nil {
+			c.hooks.OnLLCMiss(e, va, write)
+		}
+		if write {
+			c.stores.Inc()
+		} else {
+			c.loads.Inc()
+		}
+		return c.clock.Now() - start, nil
+	}
 	end := va + uint64(size)
 	for cur := va; cur < end; {
 		e, err := c.translate(cur, write)
@@ -363,7 +426,7 @@ func (c *Core) VirtToPhys(va uint64) (mem.PhysAddr, bool) {
 // Reset models the core losing volatile state at power failure.
 func (c *Core) Reset() {
 	c.Regs = Registers{}
-	c.lastEntry = nil
+	c.tc = [tcSlots]tcEntry{} // release stale TLB pointers
 	c.msrs = make(map[uint32]uint64)
 	c.TLB.Reset()
 	c.table = nil

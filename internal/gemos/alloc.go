@@ -60,7 +60,10 @@ func NewFrameAllocator(m *machine.Machine, layout mem.Layout, reservedNVM uint64
 		nvmMax:       mem.FrameNumber(layout.NVMBase + mem.PhysAddr(layout.NVMSize)),
 		nvmPoolStart: poolStart,
 		bitmapBase:   bitmapBase,
-		allocated:    make(map[uint64]bool),
+		// Modestly presized: enough to skip the first few grow/rehash
+		// rounds on the fault path without paying a large up-front bucket
+		// array at every machine construction.
+		allocated: make(map[uint64]bool, 1<<9),
 	}
 }
 

@@ -23,6 +23,13 @@ type Config struct {
 	TLB2   tlb.Config
 	Seed   uint64
 
+	// DisableFastPaths turns off the semantically invisible software fast
+	// paths (the core's translation cache and single-line access shortcut,
+	// the cache and TLB MRU-way probes). Simulated output is bit-identical
+	// either way — the switch exists for the equivalence tests and for
+	// isolating fast-path bugs.
+	DisableFastPaths bool
+
 	// Trace enables the structured event tracer. Zero-value Categories
 	// leaves tracing off (Machine.Tracer stays nil; emission sites are
 	// nil-safe and allocation-free in that state).
@@ -79,6 +86,11 @@ func New(cfg Config) *Machine {
 	hier := cache.NewHierarchy(cfg.Caches, ctrl, clock, stats)
 	t := tlb.New(cfg.TLB1, cfg.TLB2, stats)
 	core := cpu.New(clock, stats, t, hier, ctrl)
+	if cfg.DisableFastPaths {
+		core.SetFastPaths(false)
+		hier.SetMRUProbe(false)
+		t.SetMRUProbe(false)
+	}
 	m := &Machine{
 		Cfg:    cfg,
 		Clock:  clock,

@@ -78,14 +78,14 @@ func (c *Controller) AccessLine(pa PhysAddr, write bool) sim.Cycles {
 		} else {
 			c.nvmReadLat.ObserveCycles(lat)
 		}
-		c.nvmWbufOcc.Observe(uint64(len(c.nvm.drainHead)))
+		c.nvmWbufOcc.Observe(uint64(c.nvm.buffered()))
 		if c.tr.Enabled(obs.CatMem) {
 			name := "nvm.read"
 			if write {
 				name = "nvm.write"
 			}
 			c.tr.Span(obs.CatMem, name, c.clock.Now(), lat, "pa", uint64(pa))
-			c.tr.Counter(obs.CatMem, "nvm.wbuf", uint64(len(c.nvm.drainHead)))
+			c.tr.Counter(obs.CatMem, "nvm.wbuf", uint64(c.nvm.buffered()))
 		}
 		return lat
 	default:

@@ -51,8 +51,13 @@ type NVMSim struct {
 
 	// Write buffer: each entry is the line address and its drain deadline.
 	// drainFree is the cycle at which the device can start the next drain.
+	// The FIFO's live entries are drainHead[drainAt:]; expired entries are
+	// skipped by advancing drainAt and the storage is compacted in place
+	// when full, so the buffer reaches a steady capacity and never
+	// reallocates again (the replay step must stay allocation-free).
 	wbuf      map[PhysAddr]sim.Cycles // line -> drain completion
-	drainHead []wbufEntry             // FIFO of (line, completion)
+	drainHead []wbufEntry             // FIFO storage; live from drainAt
+	drainAt   int
 	drainFree sim.Cycles
 }
 
@@ -80,9 +85,12 @@ func NewNVMSim(t NVMTiming, clock *sim.Clock, stats *sim.Stats) *NVMSim {
 	}
 }
 
+// buffered reports the live write-buffer occupancy.
+func (n *NVMSim) buffered() int { return len(n.drainHead) - n.drainAt }
+
 // expire drops buffer entries whose programming completed by now.
 func (n *NVMSim) expire(now sim.Cycles) {
-	i := 0
+	i := n.drainAt
 	for ; i < len(n.drainHead); i++ {
 		e := n.drainHead[i]
 		if e.done > now {
@@ -92,8 +100,10 @@ func (n *NVMSim) expire(now sim.Cycles) {
 			delete(n.wbuf, e.line)
 		}
 	}
-	if i > 0 {
-		n.drainHead = n.drainHead[i:]
+	n.drainAt = i
+	if n.drainAt == len(n.drainHead) {
+		n.drainHead = n.drainHead[:0]
+		n.drainAt = 0
 	}
 }
 
@@ -106,8 +116,8 @@ func (n *NVMSim) Access(pa PhysAddr, write bool) sim.Cycles {
 		n.writes.Inc()
 		lat := n.burstCycles
 		// If the buffer is full, stall until the oldest entry drains.
-		if len(n.drainHead) >= n.timing.WriteBuf {
-			oldest := n.drainHead[0]
+		if n.buffered() >= n.timing.WriteBuf {
+			oldest := n.drainHead[n.drainAt]
 			if oldest.done > now {
 				stall := oldest.done - now
 				lat += stall
@@ -126,6 +136,12 @@ func (n *NVMSim) Access(pa PhysAddr, write bool) sim.Cycles {
 		done := start + n.writeCycles
 		n.drainFree = done
 		n.wbuf[line] = done
+		if n.drainAt > 0 && len(n.drainHead) == cap(n.drainHead) {
+			// Slide the live tail to the front instead of growing.
+			live := copy(n.drainHead, n.drainHead[n.drainAt:])
+			n.drainHead = n.drainHead[:live]
+			n.drainAt = 0
+		}
 		n.drainHead = append(n.drainHead, wbufEntry{line: line, done: done})
 		return lat
 	}
@@ -152,7 +168,7 @@ func (n *NVMSim) DrainLatency() sim.Cycles {
 // Pending reports the number of writes still in the buffer.
 func (n *NVMSim) Pending() int {
 	n.expire(n.clock.Now())
-	return len(n.drainHead)
+	return n.buffered()
 }
 
 // Reset clears the write buffer (power-up after crash; buffered writes that
@@ -160,6 +176,7 @@ func (n *NVMSim) Pending() int {
 // loss, this models the timing state).
 func (n *NVMSim) Reset() {
 	n.wbuf = make(map[PhysAddr]sim.Cycles)
-	n.drainHead = nil
+	n.drainHead = n.drainHead[:0]
+	n.drainAt = 0
 	n.drainFree = n.clock.Now()
 }

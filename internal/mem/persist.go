@@ -29,6 +29,11 @@ type PersistDomain struct {
 	// hold the committed image until commit time.
 	pending map[PhysAddr]*[LineSize]byte
 
+	// freeBufs recycles line buffers between pending cycles (a line going
+	// dirty → committed → dirty again is the common case and should not
+	// allocate each round trip).
+	freeBufs []*[LineSize]byte
+
 	// hook, when non-nil, observes (and may intercept) every line commit.
 	// Fault injection installs one; nil costs a single branch.
 	hook CommitHook
@@ -98,6 +103,16 @@ func NewPersistDomain(layout Layout, backing *Backing, stats *sim.Stats) *Persis
 // isNVM reports whether pa belongs to the persistent region.
 func (p *PersistDomain) isNVM(pa PhysAddr) bool { return p.layout.KindOf(pa) == NVM }
 
+// pendingNVM returns the pending buffer for line if pa is NVM and the line
+// has one.
+func (p *PersistDomain) pendingNVM(pa, line PhysAddr) (*[LineSize]byte, bool) {
+	if !p.isNVM(pa) {
+		return nil, false
+	}
+	buf, ok := p.pending[line]
+	return buf, ok
+}
+
 // Read copies the *cache-visible* bytes at pa into dst: pending data where
 // it exists, committed data elsewhere. Accesses may span lines.
 func (p *PersistDomain) Read(pa PhysAddr, dst []byte) {
@@ -108,7 +123,10 @@ func (p *PersistDomain) Read(pa PhysAddr, dst []byte) {
 		if uint64(len(dst)) < n {
 			n = uint64(len(dst))
 		}
-		if buf, ok := p.pending[line]; ok && p.isNVM(pa) {
+		// Test the region before probing the pending map: DRAM reads (the
+		// page-walk path issues many) never have pending data, and the
+		// layout check is two compares against a map lookup.
+		if buf, ok := p.pendingNVM(pa, line); ok {
 			copy(dst[:n], buf[off:off+n])
 		} else {
 			p.backing.Read(pa, dst[:n])
@@ -132,7 +150,12 @@ func (p *PersistDomain) Write(pa PhysAddr, src []byte) {
 		if p.isNVM(pa) {
 			buf, ok := p.pending[line]
 			if !ok {
-				buf = new([LineSize]byte)
+				if n := len(p.freeBufs); n > 0 {
+					buf = p.freeBufs[n-1]
+					p.freeBufs = p.freeBufs[:n-1]
+				} else {
+					buf = new([LineSize]byte)
+				}
 				p.backing.Read(line, buf[:]) // start from committed image
 				p.pending[line] = buf
 			}
@@ -183,15 +206,24 @@ func (p *PersistDomain) CommitLine(pa PhysAddr) {
 				// Full commit, then power loss: the line is durable but
 				// nothing after it is.
 				p.backing.Write(line, buf[:])
-				delete(p.pending, line)
+				p.release(line, buf)
 				p.commits.Inc()
 				panic(CommitCrash{Line: line})
 			}
 		}
 	}
 	p.backing.Write(line, buf[:])
-	delete(p.pending, line)
+	p.release(line, buf)
 	p.commits.Inc()
+}
+
+// release retires a no-longer-pending line's buffer into the recycle pool
+// (bounded so one huge dirty burst cannot pin buffers forever).
+func (p *PersistDomain) release(line PhysAddr, buf *[LineSize]byte) {
+	delete(p.pending, line)
+	if len(p.freeBufs) < 1<<14 {
+		p.freeBufs = append(p.freeBufs, buf)
+	}
 }
 
 // CommitRange commits every pending line overlapping [pa, pa+size).
@@ -244,6 +276,9 @@ func (p *PersistDomain) PendingInRange(pa PhysAddr, size uint64) int {
 // all DRAM contents disappear. The committed NVM image survives untouched.
 func (p *PersistDomain) Crash() {
 	dropped := len(p.pending)
+	for line, buf := range p.pending {
+		p.release(line, buf)
+	}
 	p.pending = make(map[PhysAddr]*[LineSize]byte)
 	p.stats.Add("persist.crash_lost_lines", uint64(dropped))
 	p.backing.DropRange(p.layout.DRAMBase, p.layout.DRAMSize)

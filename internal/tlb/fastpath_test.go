@@ -1,0 +1,81 @@
+package tlb
+
+import (
+	"bytes"
+	"testing"
+
+	"kindle/internal/sim"
+)
+
+// TestMRUProbeEquivalenceRandomized drives two TLBs — MRU-way probe on and
+// off — through the same randomized lookup/insert/invalidate sequence and
+// requires identical results, latencies, eviction streams and statistics.
+// The probe is a host-side shortcut over the set scan; if it ever changes
+// which entry hits, which victim leaves, or what gets charged, the two
+// runs diverge here long before an end-to-end test would notice.
+func TestMRUProbeEquivalenceRandomized(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 0xDECAF} {
+		statsOn, statsOff := sim.NewStats(), sim.NewStats()
+		on := NewDefault(statsOn)
+		off := NewDefault(statsOff)
+		off.SetMRUProbe(false)
+
+		var evOn, evOff []uint64
+		on.SetEvictHook(func(e *Entry) { evOn = append(evOn, e.VPN) })
+		off.SetEvictHook(func(e *Entry) { evOff = append(evOff, e.VPN) })
+
+		// A VPN space a few times the L1 reach keeps all three regimes
+		// live: L1 hits, L2 promotions and full misses with evictions.
+		const vpns = 512
+		rng := sim.NewRNG(seed)
+		for i := 0; i < 20_000; i++ {
+			vpn := rng.Uint64n(vpns)
+			switch op := rng.Intn(100); {
+			case op < 70: // lookup
+				eOn, latOn := on.Lookup(vpn)
+				eOff, latOff := off.Lookup(vpn)
+				if (eOn == nil) != (eOff == nil) {
+					t.Fatalf("seed %d op %d: lookup(%d) hit disagrees", seed, i, vpn)
+				}
+				if latOn != latOff {
+					t.Fatalf("seed %d op %d: lookup(%d) latency %d vs %d", seed, i, vpn, latOn, latOff)
+				}
+				if eOn != nil && (eOn.PFN != eOff.PFN || eOn.Writable != eOff.Writable) {
+					t.Fatalf("seed %d op %d: lookup(%d) entry %+v vs %+v", seed, i, vpn, *eOn, *eOff)
+				}
+			case op < 90: // insert (gen bump on both)
+				e := Entry{VPN: vpn, PFN: vpn + 1000, Writable: vpn%2 == 0, NVM: vpn%3 == 0}
+				on.Insert(e)
+				off.Insert(e)
+			case op < 97: // single invalidation
+				on.Invalidate(vpn)
+				off.Invalidate(vpn)
+			default: // structural flush
+				on.InvalidateAll()
+				off.InvalidateAll()
+			}
+			if on.Gen() != off.Gen() {
+				t.Fatalf("seed %d op %d: generation %d vs %d", seed, i, on.Gen(), off.Gen())
+			}
+		}
+		if len(evOn) != len(evOff) {
+			t.Fatalf("seed %d: %d evictions with probe, %d without", seed, len(evOn), len(evOff))
+		}
+		for i := range evOn {
+			if evOn[i] != evOff[i] {
+				t.Fatalf("seed %d: eviction %d is vpn %d with probe, %d without", seed, i, evOn[i], evOff[i])
+			}
+		}
+		var dumpOn, dumpOff bytes.Buffer
+		if err := statsOn.WriteStatsFile(&dumpOn); err != nil {
+			t.Fatal(err)
+		}
+		if err := statsOff.WriteStatsFile(&dumpOff); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dumpOn.Bytes(), dumpOff.Bytes()) {
+			t.Fatalf("seed %d: stats dumps differ with/without MRU probe:\n%s\n----\n%s",
+				seed, dumpOn.String(), dumpOff.String())
+		}
+	}
+}

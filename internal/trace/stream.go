@@ -411,28 +411,32 @@ func (s *v1Source) Next() ([]Record, error) {
 	}
 	batch := s.batch[:n]
 	c := s.c
+	// Field labels are static: formatting the record index into every
+	// context string allocated four strings per record on the happy path.
+	// The error's byte offset (and validateRecord's index) still localize
+	// any failure.
 	for i := range batch {
 		idx := s.read + i
-		d, err := c.uvarint(fmt.Sprintf("record %d period delta", idx))
+		d, err := c.uvarint("record period delta")
 		if err != nil {
 			return nil, err
 		}
 		s.lastPeriod += d
 		batch[i].Period = s.lastPeriod
-		if batch[i].Offset, err = c.uvarint(fmt.Sprintf("record %d offset", idx)); err != nil {
+		if batch[i].Offset, err = c.uvarint("record offset"); err != nil {
 			return nil, err
 		}
 		op, err := c.ReadByte()
 		if err != nil {
-			return nil, c.fail(fmt.Sprintf("record %d op", idx), err)
+			return nil, c.fail("record op", err)
 		}
 		batch[i].Op = Op(op)
-		sz, err := c.uvarint(fmt.Sprintf("record %d size", idx))
+		sz, err := c.uvarint("record size")
 		if err != nil {
 			return nil, err
 		}
 		batch[i].Size = uint32(sz)
-		ar, err := c.uvarint(fmt.Sprintf("record %d area", idx))
+		ar, err := c.uvarint("record area")
 		if err != nil {
 			return nil, err
 		}
@@ -501,14 +505,24 @@ func (s *v2Source) Close() error {
 // ends, on the first error, or when Close fires, and always closes out.
 func (s *v2Source) run(c *countingReader) {
 	defer close(s.out)
+	// Everything the per-chunk loop needs lives outside it and is reused:
+	// disk/raw grow to the largest chunk and stay there, the inflater and
+	// its bytes.Reader reset in place, and the overrun scratch byte is
+	// hoisted so the steady-state loop performs no heap allocation at all
+	// (the zero-alloc CI guard pins this).
 	var (
 		recIndex   int
 		lastPeriod uint64
 		disk, raw  []byte
 		inflate    io.ReadCloser
+		diskRd     bytes.Reader
+		overrun    [1]byte
 		seenChunks []chunkIndexEntry
 		lastOffs   = make([]uint64, len(s.h.areas))
 	)
+	if s.total >= 0 {
+		seenChunks = make([]chunkIndexEntry, 0, s.total/DefaultChunkRecords+1)
+	}
 	emitErr := func(err error) {
 		select {
 		case s.out <- v2Batch{err: err}:
@@ -580,9 +594,10 @@ func (s *v2Source) run(c *countingReader) {
 				raw = make([]byte, rawLen)
 			}
 			raw = raw[:rawLen]
+			diskRd.Reset(disk)
 			if inflate == nil {
-				inflate = flate.NewReader(bytes.NewReader(disk))
-			} else if err := inflate.(flate.Resetter).Reset(bytes.NewReader(disk), nil); err != nil {
+				inflate = flate.NewReader(&diskRd)
+			} else if err := inflate.(flate.Resetter).Reset(&diskRd, nil); err != nil {
 				emitErr(fmt.Errorf("trace: offset %d: resetting inflater: %w", payloadStart, err))
 				return
 			}
@@ -590,7 +605,7 @@ func (s *v2Source) run(c *countingReader) {
 				emitErr(fmt.Errorf("trace: offset %d: inflating chunk: %w: %w", payloadStart, err, ErrCorrupt))
 				return
 			}
-			if n, _ := inflate.Read(make([]byte, 1)); n != 0 {
+			if n, _ := inflate.Read(overrun[:]); n != 0 {
 				emitErr(fmt.Errorf("trace: offset %d: chunk inflates past its declared %d bytes: %w", payloadStart, rawLen, ErrCorrupt))
 				return
 			}
@@ -672,6 +687,14 @@ func (s *v2Source) checkFooter(c *countingReader, seen []chunkIndexEntry, totalR
 // replay pipeline's decode hot path, and one-byte varints (the common case
 // for period deltas, tags and sizes) must not pay binary.Uvarint's full
 // loop or a closure call per field.
+// chunkFieldErr reports a malformed varint field. It is a plain function
+// rather than a closure so the decode loop's byte cursor stays in a
+// register instead of being spilled for capture.
+func chunkFieldErr(fileOff int64, rec int, what string, pos int) error {
+	return fmt.Errorf("trace: offset %d: record %d %s (chunk byte %d): %w",
+		fileOff, rec, what, pos, ErrCorrupt)
+}
+
 func decodeChunkPayload(payload []byte, count int, basePeriod uint64, areas []Area, lastOff []uint64, buf []Record, recBase int, fileOff int64) ([]Record, uint64, error) {
 	if cap(buf) < count {
 		buf = make([]Record, count)
@@ -680,10 +703,6 @@ func decodeChunkPayload(payload []byte, count int, basePeriod uint64, areas []Ar
 	nAreas := uint64(len(areas))
 	lastPeriod := basePeriod
 	pos := 0
-	fail := func(i int, what string) error {
-		return fmt.Errorf("trace: offset %d: record %d %s (chunk byte %d): %w",
-			fileOff, recBase+i, what, pos, ErrCorrupt)
-	}
 	for i := 0; i < count; i++ {
 		// Field 1: period delta.
 		var v uint64
@@ -693,7 +712,7 @@ func decodeChunkPayload(payload []byte, count int, basePeriod uint64, areas []Ar
 		} else {
 			var n int
 			if v, n = binary.Uvarint(payload[pos:]); n <= 0 {
-				return nil, 0, fail(i, "period delta")
+				return nil, 0, chunkFieldErr(fileOff, recBase+i, "period delta", pos)
 			} else {
 				pos += n
 			}
@@ -707,7 +726,7 @@ func decodeChunkPayload(payload []byte, count int, basePeriod uint64, areas []Ar
 		} else {
 			var n int
 			if v, n = binary.Uvarint(payload[pos:]); n <= 0 {
-				return nil, 0, fail(i, "tag")
+				return nil, 0, chunkFieldErr(fileOff, recBase+i, "tag", pos)
 			} else {
 				pos += n
 			}
@@ -726,7 +745,7 @@ func decodeChunkPayload(payload []byte, count int, basePeriod uint64, areas []Ar
 		} else {
 			var n int
 			if v, n = binary.Uvarint(payload[pos:]); n <= 0 {
-				return nil, 0, fail(i, "offset delta")
+				return nil, 0, chunkFieldErr(fileOff, recBase+i, "offset delta", pos)
 			} else {
 				pos += n
 			}
@@ -741,14 +760,14 @@ func decodeChunkPayload(payload []byte, count int, basePeriod uint64, areas []Ar
 		} else {
 			var n int
 			if v, n = binary.Uvarint(payload[pos:]); n <= 0 {
-				return nil, 0, fail(i, "size")
+				return nil, 0, chunkFieldErr(fileOff, recBase+i, "size", pos)
 			} else {
 				pos += n
 			}
 		}
 		size := uint32(v)
 		if v == 0 || v > uint64(^uint32(0)) {
-			return nil, 0, fail(i, "size (zero or oversized)")
+			return nil, 0, chunkFieldErr(fileOff, recBase+i, "size (zero or oversized)", pos)
 		}
 		if end := off + uint64(size); end > areas[area].Size || end < off {
 			return nil, 0, fmt.Errorf("trace: offset %d: record %d overruns area %q (%d+%d > %d): %w",

@@ -59,6 +59,16 @@ type Image struct {
 	Benchmark string
 	Areas     []Area
 	Records   []Record
+
+	// validated memoizes a successful Validate of the current Records
+	// slice (identified by backing pointer and length), so repeated
+	// launches of the same write-once image skip the full record scan.
+	// Replacing or appending to Records invalidates the memo; editing a
+	// record in place does not, so treat a validated image as immutable.
+	validated struct {
+		first *Record
+		n     int
+	}
 }
 
 // Validate checks internal consistency.
@@ -66,12 +76,26 @@ func (img *Image) Validate() error {
 	if err := ValidateHeader(img.Benchmark, img.Areas); err != nil {
 		return err
 	}
+	if len(img.Records) > 0 && img.validated.first == &img.Records[0] && img.validated.n == len(img.Records) {
+		return nil
+	}
+	// The record loop runs once per image over the whole trace, so the
+	// happy path is a handful of branches inline; only a failing record
+	// drops to validateRecord for the precise error text.
+	areas := img.Areas
 	var lastPeriod uint64
-	for i, r := range img.Records {
-		if err := validateRecord(r, img.Areas, lastPeriod, i); err != nil {
-			return err
+	for i := range img.Records {
+		r := &img.Records[i]
+		end := r.Offset + uint64(r.Size)
+		if int(r.Area) >= len(areas) || r.Size == 0 || r.Period < lastPeriod || r.Op > Write ||
+			end > areas[r.Area].Size || end < r.Offset {
+			return validateRecord(*r, areas, lastPeriod, i)
 		}
 		lastPeriod = r.Period
+	}
+	if len(img.Records) > 0 {
+		img.validated.first = &img.Records[0]
+		img.validated.n = len(img.Records)
 	}
 	return nil
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package kindle_test
+
+// raceEnabled reports whether the race detector instruments this build; the
+// allocation guards skip under it because instrumentation changes (and
+// inflates) allocation counts.
+const raceEnabled = true
