@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench benchsmoke crashsweep fuzzsmoke allocguard profile
+.PHONY: all build test check fmt vet race bench benchsmoke crashsweep fuzzsmoke allocguard monitorsmoke profile
 
 all: build test
 
@@ -14,8 +14,9 @@ test:
 # the race detector, the zero-allocation guards (which the race build must
 # skip, hence the separate non-race run), a one-iteration pass over every
 # benchmark so the perf harness can't silently rot, a bounded commit-point
-# crash sweep, and a short fuzz of the trace decoders.
-check: fmt vet race allocguard benchsmoke crashsweep fuzzsmoke
+# crash sweep, a short fuzz of the trace decoders, and the live-monitor
+# smoke (real kindle binary scraped over HTTP mid-run).
+check: fmt vet race allocguard benchsmoke crashsweep fuzzsmoke monitorsmoke
 
 # allocguard pins the replay fast path's zero-allocation steady state (see
 # allocguard_test.go); it needs a non-race build because race instrumentation
@@ -46,6 +47,12 @@ crashsweep:
 # the v1/v2 binary trace decoders (see internal/trace/fuzz_test.go).
 fuzzsmoke:
 	$(GO) test -run XXX -fuzz FuzzDecode -fuzztime 10s ./internal/trace
+
+# monitorsmoke builds the real kindle binary, runs a tiny replay with
+# -monitor, and asserts over HTTP that /metrics parses as Prometheus text
+# exposition and /progress reaches 100% (see monitor_smoke_test.go).
+monitorsmoke:
+	$(GO) test -run TestMonitorSmoke .
 
 # profile records CPU and allocation profiles for both replay benchmarks
 # under profiles/ (gitignored). See "Recipe: profiling the replay engine"

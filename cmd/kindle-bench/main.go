@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"kindle/internal/bench"
+	"kindle/internal/obs/monitor"
 )
 
 // writeFileSafe writes data through a buffered writer, propagating flush
@@ -52,10 +54,35 @@ func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run")
 	check := flag.Bool("check", false, "verify the published shapes")
 	csvPath := flag.String("csv", "", "also write all data points as CSV (with -experiment all)")
+	monitorAddr := flag.String("monitor", "", "serve live telemetry on this HTTP address (e.g. :8090): /metrics, /progress, /debug/pprof/")
+	liveProgress := flag.Bool("progress", true, "render a live progress/ETA line on stderr")
 	flag.Parse()
 
-	opt := bench.Options{Scale: *scale, Parallel: *parallel}
-	progress := func(s string) { fmt.Fprintln(os.Stderr, "[kindle-bench] "+s) }
+	tracker := bench.NewTracker()
+	opt := bench.Options{Scale: *scale, Parallel: *parallel, Progress: tracker}
+	progress := func(s string) {
+		if stderrIsTTY() {
+			fmt.Fprint(os.Stderr, "\r\x1b[K")
+		}
+		fmt.Fprintln(os.Stderr, "[kindle-bench] "+s)
+	}
+
+	if *monitorAddr != "" {
+		mon, err := monitor.Listen(*monitorAddr, monitor.Options{
+			Progress: func() any { return tracker.Snapshot() },
+			Gauges:   tracker.Gauges,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kindle-bench:", err)
+			os.Exit(1)
+		}
+		defer mon.Close()
+		fmt.Fprintf(os.Stderr, "monitor: listening on http://%s\n", mon.Addr())
+	}
+	if *liveProgress {
+		stop := startProgressLine(tracker)
+		defer stop()
+	}
 
 	run := func(e bench.Experiment, err error) {
 		if err != nil {
@@ -176,4 +203,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kindle-bench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
+}
+
+// stderrIsTTY reports whether stderr is a character device (a terminal
+// that supports in-place line rewriting).
+func stderrIsTTY() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// startProgressLine renders the tracker's progress/ETA line on stderr —
+// rewritten in place once a second on a terminal, appended every ten
+// seconds otherwise (so CI logs stay readable). The returned stop function
+// ends the feed and terminates an in-place line with a newline.
+func startProgressLine(tr *bench.Tracker) (stop func()) {
+	tty := stderrIsTTY()
+	period := time.Second
+	if !tty {
+		period = 10 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		wrote := false
+		for {
+			select {
+			case <-done:
+				if tty && wrote {
+					fmt.Fprintln(os.Stderr)
+				}
+				return
+			case <-tick.C:
+				line := "[kindle-bench] " + tr.Snapshot().Line()
+				wrote = true
+				if tty {
+					fmt.Fprintf(os.Stderr, "\r\x1b[K%s", line)
+				} else {
+					fmt.Fprintln(os.Stderr, line)
+				}
+			}
+		}
+	}()
+	return func() { close(done); <-finished }
 }

@@ -39,7 +39,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("base:  %.0f rec/s (stream %.0f, ratio %.2f) on %d procs\n", b.RecordsPerSec, b.StreamRecordsPerSec, b.Ratio(), b.GOMAXPROCS)
+	fmt.Printf("       %s\n", b.Env)
 	fmt.Printf("fresh: %.0f rec/s (stream %.0f, ratio %.2f) on %d procs\n", f.RecordsPerSec, f.StreamRecordsPerSec, f.Ratio(), f.GOMAXPROCS)
+	fmt.Printf("       %s\n", f.Env)
 	warnings, err := bench.CompareReports(b, f, bench.CompareOptions{
 		WarnFrac:      *warn,
 		FailFrac:      *fail,

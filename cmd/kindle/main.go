@@ -18,12 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"kindle/internal/core"
 	"kindle/internal/hscc"
 	"kindle/internal/machine"
 	"kindle/internal/obs"
+	"kindle/internal/obs/monitor"
 	"kindle/internal/persist"
 	"kindle/internal/prep"
 	"kindle/internal/sim"
@@ -45,6 +47,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON here (open in chrome://tracing)")
 	traceCats := flag.String("trace-categories", "all", "comma-separated trace categories: mem,cache,tlb,ptwalk,checkpoint,recovery,syscall or all")
 	statsInterval := flag.Duration("stats-interval", 0, "dump gem5 interval stat blocks every simulated duration (0 = off)")
+	monitorAddr := flag.String("monitor", "", "serve live telemetry on this HTTP address (e.g. :8090): /metrics, /events, /progress, /debug/pprof/")
+	monitorHold := flag.Duration("monitor-hold", 0, "keep the monitor endpoint serving this long after the run completes")
 	flag.Parse()
 
 	src, err := openSource(*image, *benchmark, *small)
@@ -66,6 +70,42 @@ func main() {
 	}
 	f := core.New(cfg)
 
+	// Live monitor: an optional HTTP endpoint over the running simulation.
+	// With -monitor unset nothing below runs — no hub, no goroutines, no
+	// hot-path cost.
+	var hub *monitor.Hub
+	var mon *monitor.Server
+	var progConsumed, progTotal atomic.Int64
+	var progDone atomic.Bool
+	if *monitorAddr != "" {
+		hub = monitor.NewHub()
+		f.M.Tracer.SetSink(hub)
+		progTotal.Store(-1)
+		mon, err = monitor.Listen(*monitorAddr, monitor.Options{
+			Stats: f.M.Stats,
+			Hub:   hub,
+			Progress: func() any {
+				p := replayProgress{
+					RecordsReplayed: progConsumed.Load(),
+					RecordsTotal:    progTotal.Load(),
+					Done:            progDone.Load(),
+				}
+				switch {
+				case p.Done:
+					p.Fraction = 1
+				case p.RecordsTotal > 0:
+					p.Fraction = float64(p.RecordsReplayed) / float64(p.RecordsTotal)
+				}
+				return p
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer mon.Close()
+		fmt.Fprintf(os.Stderr, "monitor: listening on http://%s\n", mon.Addr())
+	}
+
 	// Interval stats: a recurring simulated-time event snapshots counter
 	// deltas à la `m5 dumpstats`. Crash drains the event queue, so the
 	// post-recovery path re-arms it below.
@@ -75,8 +115,14 @@ func main() {
 		iv := sim.FromDuration(*statsInterval)
 		armIntervalDump = func() {
 			f.M.Events.Schedule(f.M.Clock.Now()+iv, "stats.interval", func(sim.Cycles) {
+				mark := intervalBuf.Len()
 				if err := f.M.Stats.DumpInterval(&intervalBuf); err != nil {
 					fatal(err)
+				}
+				if hub != nil {
+					// Hand the hub its own copy: intervalBuf keeps growing.
+					block := append([]byte(nil), intervalBuf.Bytes()[mark:]...)
+					hub.PublishInterval(f.M.Stats.IntervalCount(), block)
 				}
 				armIntervalDump()
 			})
@@ -101,6 +147,10 @@ func main() {
 	p, rep, err := f.LaunchStream(src)
 	if err != nil {
 		fatal(err)
+	}
+	if mon != nil {
+		progTotal.Store(int64(rep.Total()))
+		rep.OnStep = func(consumed, _ int) { progConsumed.Store(int64(consumed)) }
 	}
 
 	var sspCtl *ssp.Controller
@@ -173,6 +223,11 @@ func main() {
 		fmt.Println("note: post-crash replay stopped:", err)
 	}
 
+	if mon != nil {
+		progConsumed.Store(int64(rep.Consumed()))
+		progDone.Store(true)
+	}
+
 	if sspCtl != nil {
 		sspCtl.Disable()
 	}
@@ -214,6 +269,11 @@ func main() {
 		fmt.Print(intervalBuf.String())
 	}
 	if *traceOut != "" {
+		if d := f.M.Tracer.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr,
+				"kindle: warning: trace ring wrapped: %d events dropped (ring holds %d; the written trace is the most recent window of the run)\n",
+				d, f.M.Tracer.Cap())
+		}
 		tf, err := os.Create(*traceOut)
 		if err != nil {
 			fatal(err)
@@ -227,6 +287,18 @@ func main() {
 		}
 		fmt.Printf("trace written to %s (%d events, %d dropped)\n", *traceOut, f.M.Tracer.Len(), f.M.Tracer.Dropped())
 	}
+	if mon != nil && *monitorHold > 0 {
+		fmt.Fprintf(os.Stderr, "monitor: run complete; holding endpoint for %s\n", *monitorHold)
+		time.Sleep(*monitorHold)
+	}
+}
+
+// replayProgress is the /progress payload of a single kindle run.
+type replayProgress struct {
+	RecordsReplayed int64   `json:"records_replayed"`
+	RecordsTotal    int64   `json:"records_total"` // -1: source cannot tell
+	Fraction        float64 `json:"fraction"`
+	Done            bool    `json:"done"`
 }
 
 // openSource yields the replay's record stream: a disk image (either

@@ -83,7 +83,14 @@ func CrashSweep(opt Options) (*CrashSweepResult, error) {
 		// Each replay owns a whole machine; failures land in by-index
 		// slots so the report is independent of goroutine scheduling.
 		failures := make([]string, len(jobs))
-		if err := forEachIndexed(opt.workers(), len(jobs), func(i int) error {
+		label := func(i int) string {
+			j := jobs[i]
+			if j.torn {
+				return fmt.Sprintf("crash-sweep/%v/torn-%dw/k=%d", scheme, j.words, j.k)
+			}
+			return fmt.Sprintf("crash-sweep/%v/k=%d", scheme, j.k)
+		}
+		if err := forEachTask(opt, len(jobs), label, func(i int) error {
 			j := jobs[i]
 			var inj *fault.Injector
 			mode := "crash-before"

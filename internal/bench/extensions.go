@@ -75,6 +75,7 @@ func ExtConsolidation(opt Options) (*ExtConsolidationResult, error) {
 		if err := rep.Run(); err != nil {
 			return nil, err
 		}
+		opt.Progress.AddRecords(rep.Consumed())
 		ctl.Disable()
 		res.Rows = append(res.Rows, ExtConsolidationRow{
 			Interval:     iv,
@@ -174,6 +175,7 @@ func ExtNVMTech(opt Options) (*ExtNVMTechResult, error) {
 		if err := rep.Run(); err != nil {
 			return nil, err
 		}
+		opt.Progress.AddRecords(rep.Consumed())
 		execMs := (f.M.Clock.Now() - start).Millis()
 
 		// Persistent-scheme micro: NVM latency hits page-table hosting.

@@ -47,6 +47,7 @@ func runHSCC(img *trace.Image, threshold uint32, chargeOS bool, opt Options) (hs
 	if err := rep.Run(); err != nil {
 		return hsccRun{}, err
 	}
+	opt.Progress.AddRecords(rep.Consumed())
 	ctl.Stop()
 	return hsccRun{
 		execMs:         (f.M.Clock.Now() - start).Millis(),
@@ -87,7 +88,8 @@ func runHSCCStudy(opt Options) (*hsccStudy, error) {
 		hwOnly:     map[string]map[uint32]hsccRun{},
 	}
 	imgs := make([]*trace.Image, len(st.benchmarks))
-	if err := forEachIndexed(opt.workers(), len(st.benchmarks), func(i int) error {
+	traceLabel := func(i int) string { return "hscc/trace/" + st.benchmarks[i] }
+	if err := forEachTask(opt, len(st.benchmarks), traceLabel, func(i int) error {
 		var err error
 		imgs[i], err = workloadImage(st.benchmarks[i], opt)
 		return err
@@ -97,7 +99,16 @@ func runHSCCStudy(opt Options) (*hsccStudy, error) {
 
 	// Even index = OS time charged, odd = hardware-only baseline.
 	runs := make([]hsccRun, len(st.benchmarks)*len(hsccThresholds)*2)
-	err := forEachIndexed(opt.workers(), len(runs), func(idx int) error {
+	label := func(idx int) string {
+		cell := idx / 2
+		l := fmt.Sprintf("hscc/%s/th-%d",
+			st.benchmarks[cell/len(hsccThresholds)], hsccThresholds[cell%len(hsccThresholds)])
+		if idx%2 != 0 {
+			l += "/hw-only"
+		}
+		return l
+	}
+	err := forEachTask(opt, len(runs), label, func(idx int) error {
 		cell, chargeOS := idx/2, idx%2 == 0
 		bi, ti := cell/len(hsccThresholds), cell%len(hsccThresholds)
 		r, err := runHSCC(imgs[bi], hsccThresholds[ti], chargeOS, opt)

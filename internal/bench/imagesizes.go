@@ -37,7 +37,8 @@ func (w *countWriter) Write(p []byte) (int, error) {
 func ImageSizes(opt Options) (*ImageSizesResult, error) {
 	benchmarks := []string{core.BenchPageRank, core.BenchSSSP, core.BenchYCSB}
 	res := &ImageSizesResult{Rows: make([]ImageSizeRow, len(benchmarks))}
-	err := forEachIndexed(opt.workers(), len(benchmarks), func(i int) error {
+	label := func(i int) string { return "image-sizes/" + benchmarks[i] }
+	err := forEachTask(opt, len(benchmarks), label, func(i int) error {
 		img, err := workloadImage(benchmarks[i], opt)
 		if err != nil {
 			return err

@@ -23,6 +23,23 @@ func (o Options) workers() int {
 // Every index runs even when another fails (simulations have no shared
 // state to corrupt); the returned error is the lowest-index failure, so
 // the outcome is independent of goroutine scheduling.
+// forEachTask is forEachIndexed plus progress accounting: the n grid cells
+// are registered with opt.Progress up front, and each one is tracked
+// (label, wall-clock duration) while it runs — the feed behind /progress
+// and the live ETA. Grid fan-outs should prefer this over forEachIndexed
+// whenever the indices are meaningful units of work; with no Tracker
+// attached it degenerates to forEachIndexed.
+func forEachTask(opt Options, n int, label func(i int) string, fn func(i int) error) error {
+	tr := opt.Progress
+	tr.AddTasks(n)
+	tr.SetWorkers(opt.workers())
+	return forEachIndexed(opt.workers(), n, func(i int) error {
+		id := tr.taskStarted(label(i))
+		defer tr.taskFinished(id)
+		return fn(i)
+	})
+}
+
 func forEachIndexed(workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil

@@ -21,6 +21,12 @@ type Options struct {
 	// machine (clock, stats, RNG), so parallelism cannot perturb
 	// simulated timing: results are byte-identical to a sequential run.
 	Parallel int
+
+	// Progress, when non-nil, receives live progress as the run executes:
+	// experiment start/finish, grid-task completions (with labels and
+	// durations, the ETA basis) and replayed-record counts. Purely
+	// observational — attaching it never changes scheduling or results.
+	Progress *Tracker
 }
 
 func (o Options) scale() float64 {
@@ -79,7 +85,10 @@ var persistSchemes = [2]persist.Scheme{persist.Persistent, persist.Rebuild}
 func Fig4a(opt Options) (*Fig4aResult, error) {
 	sizes := []int{64, 128, 256, 512}
 	ms := make([]float64, len(sizes)*2)
-	err := forEachIndexed(opt.workers(), len(ms), func(idx int) error {
+	label := func(idx int) string {
+		return fmt.Sprintf("fig4a/%dMB/%v", sizes[idx/2], persistSchemes[idx%2])
+	}
+	err := forEachTask(opt, len(ms), label, func(idx int) error {
 		sizeMB, scheme := sizes[idx/2], persistSchemes[idx%2]
 		size := opt.scaleBytes(uint64(sizeMB) << 20)
 		f, p, err := newPersistenceRun(scheme, opt.scaleInterval(ckptInterval))
@@ -180,7 +189,10 @@ func Fig4b(opt Options) (*Fig4bResult, error) {
 	// machine, then fix the same round count for both schemes.
 	rounds := calibrateStrideRounds(pages, interval)
 	ms := make([]float64, len(strides)*2)
-	err := forEachIndexed(opt.workers(), len(ms), func(idx int) error {
+	label := func(idx int) string {
+		return fmt.Sprintf("fig4b/%s/%v", strides[idx/2].Stride, persistSchemes[idx%2])
+	}
+	err := forEachTask(opt, len(ms), label, func(idx int) error {
 		row, scheme := strides[idx/2], persistSchemes[idx%2]
 		f, p, err := newPersistenceRun(scheme, opt.scaleInterval(ckptInterval))
 		if err != nil {
@@ -259,7 +271,10 @@ func TableIII(opt Options) (*TableIIIResult, error) {
 	total := opt.scaleBytes(512 << 20)
 	sizes := []int{64, 128, 256}
 	ms := make([]float64, len(sizes)*2)
-	err := forEachIndexed(opt.workers(), len(ms), func(idx int) error {
+	label := func(idx int) string {
+		return fmt.Sprintf("tableIII/%dMB/%v", sizes[idx/2], persistSchemes[idx%2])
+	}
+	err := forEachTask(opt, len(ms), label, func(idx int) error {
 		sizeMB, scheme := sizes[idx/2], persistSchemes[idx%2]
 		chunk := opt.scaleBytes(uint64(sizeMB) << 20)
 		if chunk > total/2 {
@@ -341,7 +356,12 @@ func TableIV(opt Options) (*TableIVResult, error) {
 	intervals := []time.Duration{10 * time.Millisecond, 100 * time.Millisecond, time.Second}
 	sizes := []int{64, 128, 256}
 	ms := make([]float64, len(sizes)*len(intervals)*2)
-	err := forEachIndexed(opt.workers(), len(ms), func(idx int) error {
+	label := func(idx int) string {
+		cell := idx / 2
+		return fmt.Sprintf("tableIV/%dMB/%v/%v",
+			sizes[cell/len(intervals)], intervals[cell%len(intervals)], persistSchemes[idx%2])
+	}
+	err := forEachTask(opt, len(ms), label, func(idx int) error {
 		cell := idx / 2
 		sizeMB, iv := sizes[cell/len(intervals)], intervals[cell%len(intervals)]
 		scheme := persistSchemes[idx%2]

@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracker accumulates live progress for a bench run: which experiments are
+// running or done, how many grid tasks have completed out of the plan, how
+// many trace records the replayers have consumed, and an ETA derived from
+// the wall-clock durations of completed tasks. It is purely observational
+// — attaching one never changes scheduling or results — and every method
+// is safe on a nil receiver, so call sites need no guards.
+//
+// Snapshot is the read side; it is what the monitor's /progress endpoint
+// serves and what kindle-bench's live stderr line renders.
+type Tracker struct {
+	mu      sync.Mutex
+	now     func() time.Time
+	start   time.Time
+	workers int
+	planned int
+	done    int
+	doneDur time.Duration
+	records uint64
+	nextID  int
+	active  map[int]activeTask
+	expSeq  []string
+	exps    map[string]*expInfo
+}
+
+type activeTask struct {
+	label string
+	since time.Time
+}
+
+type expInfo struct {
+	state   string // "running" | "done"
+	started time.Time
+	dur     time.Duration
+}
+
+// NewTracker returns an empty tracker with its start time pinned to now.
+func NewTracker() *Tracker { return newTrackerAt(time.Now) }
+
+// newTrackerAt injects the clock (tests).
+func newTrackerAt(now func() time.Time) *Tracker {
+	return &Tracker{
+		now:    now,
+		start:  now(),
+		active: map[int]activeTask{},
+		exps:   map[string]*expInfo{},
+	}
+}
+
+// SetWorkers records the worker-pool width the ETA divides by.
+func (t *Tracker) SetWorkers(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.workers = n
+	t.mu.Unlock()
+}
+
+// ExperimentStarted marks a top-level experiment as running.
+func (t *Tracker) ExperimentStarted(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.exps[name]; !ok {
+		t.expSeq = append(t.expSeq, name)
+	}
+	t.exps[name] = &expInfo{state: "running", started: t.now()}
+}
+
+// ExperimentFinished marks a top-level experiment as done.
+func (t *Tracker) ExperimentFinished(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.exps[name]
+	if !ok {
+		e = &expInfo{started: t.now()}
+		t.exps[name] = e
+		t.expSeq = append(t.expSeq, name)
+	}
+	e.state = "done"
+	e.dur = t.now().Sub(e.started)
+}
+
+// AddTasks grows the planned-task total (called once per grid fan-out).
+func (t *Tracker) AddTasks(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.planned += n
+	t.mu.Unlock()
+}
+
+// AddRecords counts trace records consumed by a finished replay.
+func (t *Tracker) AddRecords(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.records += uint64(n)
+	t.mu.Unlock()
+}
+
+// taskStarted registers one in-flight grid task and returns its handle.
+func (t *Tracker) taskStarted(label string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	t.active[t.nextID] = activeTask{label: label, since: t.now()}
+	return t.nextID
+}
+
+// taskFinished retires an in-flight task, folding its wall-clock duration
+// into the ETA basis.
+func (t *Tracker) taskFinished(id int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.active[id]
+	if !ok {
+		return
+	}
+	delete(t.active, id)
+	t.done++
+	t.doneDur += t.now().Sub(a.since)
+}
+
+// ActiveTask is one currently-running grid task in a Snapshot.
+type ActiveTask struct {
+	Label      string  `json:"label"`
+	RunningSec float64 `json:"running_seconds"`
+}
+
+// ExperimentStatus is one top-level experiment's state in a Snapshot.
+type ExperimentStatus struct {
+	Name       string  `json:"name"`
+	State      string  `json:"state"`
+	ElapsedSec float64 `json:"elapsed_seconds"`
+}
+
+// TrackerSnapshot is one consistent view of the run's progress; it is the
+// /progress JSON payload.
+type TrackerSnapshot struct {
+	StartedUTC      string             `json:"started_utc"`
+	ElapsedSec      float64            `json:"elapsed_seconds"`
+	Workers         int                `json:"workers"`
+	TasksDone       int                `json:"tasks_done"`
+	TasksPlanned    int                `json:"tasks_planned"`
+	Fraction        float64            `json:"fraction"`
+	ETASec          float64            `json:"eta_seconds"`
+	RecordsReplayed uint64             `json:"records_replayed"`
+	Experiments     []ExperimentStatus `json:"experiments,omitempty"`
+	Active          []ActiveTask       `json:"active,omitempty"`
+}
+
+// Snapshot returns the current progress. ETASec is the average completed-
+// task duration times the remaining task count, divided across the worker
+// pool; -1 until at least one task has completed (no basis yet).
+func (t *Tracker) Snapshot() TrackerSnapshot {
+	if t == nil {
+		return TrackerSnapshot{ETASec: -1}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	s := TrackerSnapshot{
+		StartedUTC:      t.start.UTC().Format(time.RFC3339),
+		ElapsedSec:      now.Sub(t.start).Seconds(),
+		Workers:         t.workers,
+		TasksDone:       t.done,
+		TasksPlanned:    t.planned,
+		ETASec:          -1,
+		RecordsReplayed: t.records,
+	}
+	if t.planned > 0 {
+		s.Fraction = float64(t.done) / float64(t.planned)
+	}
+	if t.done > 0 && t.planned > t.done {
+		avg := t.doneDur / time.Duration(t.done)
+		workers := t.workers
+		if workers <= 0 {
+			workers = 1
+		}
+		s.ETASec = (avg * time.Duration(t.planned-t.done) / time.Duration(workers)).Seconds()
+	} else if t.done >= t.planned && t.planned > 0 && len(t.active) == 0 {
+		s.ETASec = 0
+	}
+	for _, name := range t.expSeq {
+		e := t.exps[name]
+		el := e.dur
+		if e.state == "running" {
+			el = now.Sub(e.started)
+		}
+		s.Experiments = append(s.Experiments, ExperimentStatus{
+			Name: name, State: e.state, ElapsedSec: el.Seconds(),
+		})
+	}
+	for _, a := range t.active {
+		s.Active = append(s.Active, ActiveTask{
+			Label: a.label, RunningSec: now.Sub(a.since).Seconds(),
+		})
+	}
+	sort.Slice(s.Active, func(i, j int) bool { return s.Active[i].Label < s.Active[j].Label })
+	return s
+}
+
+// Gauges renders the snapshot's numeric core as /metrics gauges; it has
+// the monitor.Options.Gauges signature.
+func (t *Tracker) Gauges() map[string]float64 {
+	s := t.Snapshot()
+	return map[string]float64{
+		"kindle_bench_tasks_done":       float64(s.TasksDone),
+		"kindle_bench_tasks_planned":    float64(s.TasksPlanned),
+		"kindle_bench_fraction":         s.Fraction,
+		"kindle_bench_eta_seconds":      s.ETASec,
+		"kindle_bench_active_tasks":     float64(len(s.Active)),
+		"kindle_bench_records_replayed": float64(s.RecordsReplayed),
+	}
+}
+
+// Line renders the snapshot as kindle-bench's one-line stderr progress
+// report.
+func (s TrackerSnapshot) Line() string {
+	eta := "eta --"
+	switch {
+	case s.ETASec == 0 && s.TasksPlanned > 0 && s.TasksDone >= s.TasksPlanned:
+		eta = "eta 0s"
+	case s.ETASec > 0:
+		eta = "eta " + (time.Duration(s.ETASec * float64(time.Second))).Round(time.Second).String()
+	}
+	running := ""
+	for _, e := range s.Experiments {
+		if e.State == "running" {
+			if running != "" {
+				running += ", "
+			}
+			running += e.Name
+		}
+	}
+	if running != "" {
+		running = "  [" + running + "]"
+	}
+	return fmt.Sprintf("%3.0f%% (%d/%d tasks, %d records, %s)%s",
+		100*s.Fraction, s.TasksDone, s.TasksPlanned, s.RecordsReplayed, eta, running)
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 )
 
 // Report is the machine-readable performance snapshot `make bench` writes
@@ -30,6 +32,36 @@ type Report struct {
 	SuiteWallClockSec float64 `json:"suite_wall_clock_sec"`
 	SuiteScale        float64 `json:"suite_scale"`
 	GOMAXPROCS        int     `json:"gomaxprocs"`
+	// Env records the toolchain, platform and UTC time the report was
+	// measured under. WriteFile stamps it automatically; it is printed by
+	// kindle-benchdiff for provenance, never gated on. Nil in reports
+	// written before env stamping.
+	Env *ReportEnv `json:"env,omitempty"`
+}
+
+// ReportEnv is the provenance block stamped into every written report.
+type ReportEnv struct {
+	GoVersion    string `json:"go_version"`
+	OSArch       string `json:"os_arch"`
+	TimestampUTC string `json:"timestamp_utc"`
+}
+
+// CurrentEnv describes the running toolchain/platform at the current time.
+func CurrentEnv() *ReportEnv {
+	return &ReportEnv{
+		GoVersion:    runtime.Version(),
+		OSArch:       runtime.GOOS + "/" + runtime.GOARCH,
+		TimestampUTC: time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// String renders the block for log lines; a nil receiver (pre-stamping
+// report) says so instead of crashing.
+func (e *ReportEnv) String() string {
+	if e == nil {
+		return "(env unrecorded)"
+	}
+	return fmt.Sprintf("%s %s @ %s", e.GoVersion, e.OSArch, e.TimestampUTC)
 }
 
 // LoadReport reads a bench report JSON file.
@@ -48,9 +80,11 @@ func LoadReport(path string) (*Report, error) {
 	return &r, nil
 }
 
-// WriteFile writes the report as indented JSON.
+// WriteFile writes the report as indented JSON, stamping the derived
+// ratio and the measurement environment.
 func (r *Report) WriteFile(path string) error {
 	r.StreamVsMaterialized = r.Ratio()
+	r.Env = CurrentEnv()
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
@@ -103,8 +137,9 @@ type CompareOptions struct {
 // says so in a warning.
 func CompareReports(base, fresh *Report, opt CompareOptions) (warnings []string, err error) {
 	if base.GOMAXPROCS != fresh.GOMAXPROCS || base.SuiteScale != fresh.SuiteScale {
-		desc := fmt.Sprintf("gomaxprocs %d vs %d, suite_scale %g vs %g",
-			base.GOMAXPROCS, fresh.GOMAXPROCS, base.SuiteScale, fresh.SuiteScale)
+		desc := fmt.Sprintf("gomaxprocs %d vs %d, suite_scale %g vs %g; base %s, fresh %s",
+			base.GOMAXPROCS, fresh.GOMAXPROCS, base.SuiteScale, fresh.SuiteScale,
+			base.Env, fresh.Env)
 		if !opt.NormalizeEnv {
 			return nil, fmt.Errorf("bench: reports measured in different environments (%s); rerun with env normalization enabled (-normalize-env) to compare per-proc throughput anyway", desc)
 		}

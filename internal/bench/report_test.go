@@ -3,8 +3,10 @@ package bench
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestReportRoundTrip(t *testing.T) {
@@ -18,8 +20,31 @@ func TestReportRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if got.Env == nil || got.Env.GoVersion != runtime.Version() ||
+		got.Env.OSArch != runtime.GOOS+"/"+runtime.GOARCH {
+		t.Fatalf("WriteFile did not stamp env: %+v", got.Env)
+	}
+	if ts, err := time.Parse(time.RFC3339, got.Env.TimestampUTC); err != nil || ts.Location() != time.UTC {
+		t.Fatalf("env timestamp %q not RFC3339 UTC: %v", got.Env.TimestampUTC, err)
+	}
+	got.Env, r.Env = nil, nil
 	if *got != *r {
 		t.Fatalf("round trip: got %+v want %+v", got, r)
+	}
+}
+
+// TestReportEnvString: pre-stamping reports (nil env) print a placeholder
+// instead of crashing kindle-benchdiff.
+func TestReportEnvString(t *testing.T) {
+	var e *ReportEnv
+	if e.String() != "(env unrecorded)" {
+		t.Fatalf("nil env String = %q", e.String())
+	}
+	s := (&ReportEnv{GoVersion: "go1.24.0", OSArch: "linux/amd64", TimestampUTC: "2026-08-09T00:00:00Z"}).String()
+	for _, want := range []string{"go1.24.0", "linux/amd64", "2026-08-09"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("env String %q missing %q", s, want)
+		}
 	}
 }
 

@@ -63,7 +63,8 @@ func Fig5(opt Options) (*Fig5Result, error) {
 	res := &Fig5Result{Intervals: intervals}
 
 	imgs := make([]*trace.Image, len(benchmarks))
-	if err := forEachIndexed(opt.workers(), len(benchmarks), func(i int) error {
+	traceLabel := func(i int) string { return "fig5/trace/" + benchmarks[i] }
+	if err := forEachTask(opt, len(benchmarks), traceLabel, func(i int) error {
 		var err error
 		imgs[i], err = workloadImage(benchmarks[i], opt)
 		return err
@@ -74,7 +75,14 @@ func Fig5(opt Options) (*Fig5Result, error) {
 	// Column 0 of each benchmark is the no-consistency baseline.
 	cols := len(intervals) + 1
 	times := make([]float64, len(benchmarks)*cols)
-	err := forEachIndexed(opt.workers(), len(times), func(idx int) error {
+	label := func(idx int) string {
+		bi, ci := idx/cols, idx%cols
+		if ci == 0 {
+			return "fig5/" + benchmarks[bi] + "/baseline"
+		}
+		return fmt.Sprintf("fig5/%s/%v", benchmarks[bi], intervals[ci-1])
+	}
+	err := forEachTask(opt, len(times), label, func(idx int) error {
 		bi, ci := idx/cols, idx%cols
 		if ci == 0 {
 			t, err := runSSP(imgs[bi], 0, 0, opt)
@@ -135,6 +143,7 @@ func runSSP(img *trace.Image, interval, consolidation time.Duration, opt Options
 	if err := rep.Run(); err != nil {
 		return 0, err
 	}
+	opt.Progress.AddRecords(rep.Consumed())
 	if ctl != nil {
 		ctl.Disable()
 	}

@@ -79,7 +79,8 @@ type TableIIResult struct {
 func TableII(opt Options) (*TableIIResult, error) {
 	benchmarks := []string{core.BenchPageRank, core.BenchSSSP, core.BenchYCSB}
 	res := &TableIIResult{Rows: make([]TableIIRow, len(benchmarks))}
-	err := forEachIndexed(opt.workers(), len(benchmarks), func(i int) error {
+	label := func(i int) string { return "tableII/" + benchmarks[i] }
+	err := forEachTask(opt, len(benchmarks), label, func(i int) error {
 		img, err := workloadImage(benchmarks[i], opt)
 		if err != nil {
 			return err
@@ -220,10 +221,13 @@ func RunAll(opt Options, progress func(string)) (*Results, error) {
 		{"Interval stats", func() (err error) { res.Intervals, err = Intervals(opt); return }},
 		{"Image sizes", func() (err error) { res.ImageSizes, err = ImageSizes(opt); return }},
 	}
+	opt.Progress.SetWorkers(opt.workers())
 	err := forEachIndexed(opt.workers(), len(tasks), func(i int) error {
+		opt.Progress.ExperimentStarted(tasks[i].name)
 		if err := tasks[i].run(); err != nil {
 			return err
 		}
+		opt.Progress.ExperimentFinished(tasks[i].name)
 		note(tasks[i].name + " done")
 		return nil
 	})

@@ -136,6 +136,13 @@ type Replay struct {
 	// TickEvery fires machine events every N records (default 32).
 	TickEvery int
 
+	// OnStep, when set, observes replay progress: it is called once per
+	// Step call (not per record — Run steps in 64Ki-record slabs, so the
+	// hook costs nothing measurable) with the consumed count and the trace
+	// total (-1 when the source cannot tell). The monitor's /progress
+	// endpoint hangs off this.
+	OnStep func(consumed, total int)
+
 	lastPeriod uint64
 }
 
@@ -313,6 +320,9 @@ func (r *Replay) Step(n int) (done bool, err error) {
 		}
 	}
 	k.Tick()
+	if r.OnStep != nil {
+		r.OnStep(r.consumed, r.total)
+	}
 	return r.Done(), nil
 }
 

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"kindle/internal/sim"
@@ -78,6 +79,20 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		if err := appendJSON(chromeMeta{
 			Name: "thread_name", Ph: "M", PID: chromePID, TID: i + 1,
 			Args: map[string]string{"name": cn.name},
+		}); err != nil {
+			return err
+		}
+	}
+	// The ring is a flight recorder: when it wrapped, this export is the
+	// most recent window, not the whole run. Say so inside the trace itself
+	// so a shared JSON file carries the caveat along.
+	if d := t.Dropped(); d > 0 {
+		if err := appendJSON(chromeMeta{
+			Name: "kindle_tracer_dropped", Ph: "M", PID: chromePID, TID: 0,
+			Args: map[string]string{
+				"dropped_events": fmt.Sprintf("%d", d),
+				"note":           "ring buffer wrapped; oldest events overwritten — this trace is the most recent window of the run",
+			},
 		}); err != nil {
 			return err
 		}

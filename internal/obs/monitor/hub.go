@@ -1,0 +1,149 @@
+package monitor
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"kindle/internal/obs"
+)
+
+// MessageKind distinguishes the live-telemetry message shapes the hub fans
+// out to SSE subscribers.
+type MessageKind uint8
+
+const (
+	// KindInterval carries one gem5-format interval-stats delta block.
+	KindInterval MessageKind = iota
+	// KindTrace carries one obs trace event.
+	KindTrace
+)
+
+// Message is one unit of live telemetry. It is a plain value: fanning it
+// out to subscriber channels copies it without allocating.
+type Message struct {
+	Kind MessageKind
+
+	// Interval fields (KindInterval). Block is immutable once published.
+	Index int
+	Block []byte
+
+	// Event is the trace event (KindTrace).
+	Event obs.Event
+}
+
+// DefaultSubscriberQueue is the per-subscriber bounded queue depth used
+// when Subscribe is given a non-positive size.
+const DefaultSubscriberQueue = 1024
+
+// Subscriber is one bounded fan-out queue. The hub never blocks on a
+// subscriber: when its queue is full, new messages are dropped and
+// counted, so a stalled SSE client can never stall the simulation.
+type Subscriber struct {
+	ch      chan Message
+	dropped atomic.Uint64
+}
+
+// C is the receive side of the subscriber's queue.
+func (s *Subscriber) C() <-chan Message { return s.ch }
+
+// Dropped reports how many messages were discarded because this
+// subscriber's queue was full when they were published.
+func (s *Subscriber) Dropped() uint64 { return s.dropped.Load() }
+
+// Hub fans live telemetry out to any number of subscribers. Publishing is
+// wait-free for the simulation goroutine: the subscriber list is an
+// immutable slice behind an atomic pointer (copy-on-write on the rare
+// subscribe/unsubscribe), and each delivery is a non-blocking channel send
+// that drops-and-counts on overflow. With no subscribers a publish is one
+// atomic load and a length check.
+type Hub struct {
+	mu   sync.Mutex // serializes subscribe/unsubscribe
+	subs atomic.Pointer[[]*Subscriber]
+
+	intervals atomic.Uint64 // interval blocks ever published
+	events    atomic.Uint64 // trace events ever published
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub { return &Hub{} }
+
+// Subscribe registers a new subscriber with the given queue depth
+// (DefaultSubscriberQueue when <= 0).
+func (h *Hub) Subscribe(queue int) *Subscriber {
+	if queue <= 0 {
+		queue = DefaultSubscriberQueue
+	}
+	s := &Subscriber{ch: make(chan Message, queue)}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var next []*Subscriber
+	if cur := h.subs.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, s)
+	h.subs.Store(&next)
+	return s
+}
+
+// Unsubscribe removes a subscriber. Its channel is left open (a publish
+// racing the removal may still deliver into it); the subscriber simply
+// stops receiving afterwards.
+func (h *Hub) Unsubscribe(s *Subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cur := h.subs.Load()
+	if cur == nil {
+		return
+	}
+	next := make([]*Subscriber, 0, len(*cur))
+	for _, have := range *cur {
+		if have != s {
+			next = append(next, have)
+		}
+	}
+	h.subs.Store(&next)
+}
+
+// NumSubscribers reports the current subscriber count.
+func (h *Hub) NumSubscribers() int {
+	if cur := h.subs.Load(); cur != nil {
+		return len(*cur)
+	}
+	return 0
+}
+
+// IntervalsPublished and EventsPublished report how many messages of each
+// kind the hub has fanned out (delivered or dropped).
+func (h *Hub) IntervalsPublished() uint64 { return h.intervals.Load() }
+func (h *Hub) EventsPublished() uint64    { return h.events.Load() }
+
+// publish fans m out to every subscriber without ever blocking.
+func (h *Hub) publish(m Message) {
+	subs := h.subs.Load()
+	if subs == nil {
+		return
+	}
+	for _, s := range *subs {
+		select {
+		case s.ch <- m:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+}
+
+// PublishInterval fans out one interval-stats delta block. The caller must
+// not modify block after publishing (hand over a private copy).
+func (h *Hub) PublishInterval(index int, block []byte) {
+	h.intervals.Add(1)
+	h.publish(Message{Kind: KindInterval, Index: index, Block: block})
+}
+
+// TraceEvent fans out one trace event; it satisfies obs.EventSink so a hub
+// plugs directly into Tracer.SetSink. Called on the simulation goroutine
+// for every recorded event — it must stay non-blocking and
+// allocation-free, which Message-by-value delivery guarantees.
+func (h *Hub) TraceEvent(e obs.Event) {
+	h.events.Add(1)
+	h.publish(Message{Kind: KindTrace, Event: e})
+}

@@ -1,0 +1,96 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"kindle/internal/obs"
+	"kindle/internal/sim"
+)
+
+// TestStalledSubscriberDropsWithoutBlocking: a subscriber that never
+// drains its queue loses exactly the overflow, with an accurate count,
+// and publishing returns promptly instead of waiting on it.
+func TestStalledSubscriberDropsWithoutBlocking(t *testing.T) {
+	h := NewHub()
+	stalled := h.Subscribe(4)
+	const published = 10
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < published; i++ {
+			h.PublishInterval(i+1, []byte("block"))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish blocked on a stalled subscriber")
+	}
+	if got, want := stalled.Dropped(), uint64(published-4); got != want {
+		t.Fatalf("Dropped = %d, want %d", got, want)
+	}
+	if got := len(stalled.ch); got != 4 {
+		t.Fatalf("queued = %d, want 4", got)
+	}
+	// The retained messages are the oldest four, in order.
+	for i := 0; i < 4; i++ {
+		m := <-stalled.ch
+		if m.Kind != KindInterval || m.Index != i+1 {
+			t.Fatalf("message %d = %+v", i, m)
+		}
+	}
+	if h.IntervalsPublished() != published {
+		t.Fatalf("IntervalsPublished = %d, want %d", h.IntervalsPublished(), published)
+	}
+}
+
+// TestHubFanoutAndUnsubscribe: every subscriber gets every message;
+// removal stops delivery without disturbing the others.
+func TestHubFanoutAndUnsubscribe(t *testing.T) {
+	h := NewHub()
+	a := h.Subscribe(16)
+	b := h.Subscribe(16)
+	if h.NumSubscribers() != 2 {
+		t.Fatalf("NumSubscribers = %d, want 2", h.NumSubscribers())
+	}
+	clock := sim.NewClock()
+	tr := obs.New(clock, 16, obs.CatMem)
+	tr.SetSink(h)
+	tr.Instant(obs.CatMem, "hit", "pa", 0x40)
+	if len(a.ch) != 1 || len(b.ch) != 1 {
+		t.Fatalf("fanout delivered %d/%d, want 1/1", len(a.ch), len(b.ch))
+	}
+	m := <-a.ch
+	if m.Kind != KindTrace || m.Event.Name != "hit" || m.Event.Val != 0x40 {
+		t.Fatalf("trace message = %+v", m)
+	}
+	h.Unsubscribe(a)
+	h.PublishInterval(1, []byte("x"))
+	if len(a.ch) != 0 {
+		t.Fatal("unsubscribed subscriber still receives")
+	}
+	if len(b.ch) != 2 {
+		t.Fatalf("remaining subscriber has %d queued, want 2", len(b.ch))
+	}
+	if h.EventsPublished() != 1 {
+		t.Fatalf("EventsPublished = %d, want 1", h.EventsPublished())
+	}
+}
+
+// TestPublishWithoutSubscribersIsCheapAndSafe: no subscribers, no panic,
+// counters still advance.
+func TestPublishWithoutSubscribersIsCheapAndSafe(t *testing.T) {
+	h := NewHub()
+	h.PublishInterval(1, nil)
+	h.TraceEvent(obs.Event{Name: "x"})
+	if h.IntervalsPublished() != 1 || h.EventsPublished() != 1 {
+		t.Fatalf("publish counters = %d/%d", h.IntervalsPublished(), h.EventsPublished())
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.TraceEvent(obs.Event{Name: "x", Val: 1})
+	})
+	if allocs != 0 {
+		t.Fatalf("subscriber-less TraceEvent allocates %v per publish", allocs)
+	}
+}

@@ -1,0 +1,256 @@
+package monitor
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"kindle/internal/obs"
+	"kindle/internal/sim"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestMetricsExposesEveryDumpStat: every stat line of the end-of-run dump
+// (counters, histogram ::samples/::min_value/::max_value and each log2
+// bucket) has a 1:1 image in /metrics modulo Prometheus sanitization, and
+// the whole exposition parses.
+func TestMetricsExposesEveryDumpStat(t *testing.T) {
+	stats := sim.NewStats()
+	stats.Counter("cache.l1d.miss").Add(41)
+	stats.Counter("nvm.write.drained").Add(7)
+	stats.Counter("os.fault_demand").Add(3)
+	h := stats.Hist("mem.lat.dram_read")
+	for _, v := range []uint64{0, 1, 2, 5, 900} {
+		h.Observe(v)
+	}
+
+	srv, err := Listen("127.0.0.1:0", Options{Stats: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if n, err := ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("exposition invalid after %d samples: %v\n%s", n, err, body)
+	}
+
+	// Map each dump line onto the metric name it must appear under.
+	for _, line := range strings.Split(strings.TrimSpace(stats.Dump("")), "\n") {
+		name := strings.Fields(line)[0]
+		var want string
+		switch {
+		case strings.HasSuffix(name, "::mean"):
+			continue // float stat: carried by _sum/_count
+		case strings.HasSuffix(name, "::samples"):
+			want = "kindle_" + sanitizeMetricName(strings.TrimSuffix(name, "::samples")) + "_count "
+		case strings.HasSuffix(name, "::min_value"):
+			want = "kindle_" + sanitizeMetricName(strings.TrimSuffix(name, "::min_value")) + "_min_value "
+		case strings.HasSuffix(name, "::max_value"):
+			want = "kindle_" + sanitizeMetricName(strings.TrimSuffix(name, "::max_value")) + "_max_value "
+		case strings.Contains(name, "::"):
+			base, rng, _ := strings.Cut(name, "::")
+			_, hi, _ := strings.Cut(rng, "-")
+			want = fmt.Sprintf("kindle_%s_bucket{le=\"%s\"} ", sanitizeMetricName(base), hi)
+		default:
+			want = "kindle_" + sanitizeMetricName(name) + " "
+		}
+		if !strings.Contains(body, "\n"+want) && !strings.HasPrefix(body, want) {
+			t.Errorf("dump stat %q has no exposition image (looked for %q)", name, want)
+		}
+	}
+	// Quiescent registry: sampled values must equal the dump values.
+	if !strings.Contains(body, "kindle_cache_l1d_miss 41") {
+		t.Errorf("counter value not exported:\n%s", body)
+	}
+	if !strings.Contains(body, "kindle_mem_lat_dram_read_sum 908") {
+		t.Errorf("histogram sum not exported")
+	}
+	// Process gauges ride along.
+	if !strings.Contains(body, "kindle_process_goroutines ") {
+		t.Errorf("process gauges missing")
+	}
+}
+
+// TestMetricsExtraGauges: caller-provided gauges are rendered and
+// sanitized.
+func TestMetricsExtraGauges(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", Options{
+		Gauges: func() map[string]float64 {
+			return map[string]float64{"kindle_bench.tasks_done": 3}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if !strings.Contains(body, "kindle_bench_tasks_done 3") {
+		t.Fatalf("extra gauge missing:\n%s", body)
+	}
+	if _, err := ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSSEStreamsIntervalsAndTraceEvents: an /events subscriber receives
+// published interval blocks and trace events as SSE frames.
+func TestSSEStreamsIntervalsAndTraceEvents(t *testing.T) {
+	hub := NewHub()
+	srv, err := Listen("127.0.0.1:0", Options{Hub: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/events?queue=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	// Publish only once the handler has registered its subscriber.
+	deadline := time.Now().Add(5 * time.Second)
+	for hub.NumSubscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	block := "---------- Begin Simulation Statistics ----------\ninterval.index 1\n---------- End Simulation Statistics   ----------\n"
+	hub.PublishInterval(1, []byte(block))
+	hub.TraceEvent(obs.Event{Cat: obs.CatCheckpoint, Kind: obs.KindSpan, Name: "checkpoint", Ts: 3000, Dur: 1500, Arg: "slot", Val: 2})
+
+	sc := bufio.NewScanner(resp.Body)
+	var event string
+	frames := map[string]string{}
+	for sc.Scan() && len(frames) < 2 {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			frames[event] = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	var iv sseInterval
+	if err := json.Unmarshal([]byte(frames["interval"]), &iv); err != nil {
+		t.Fatalf("interval frame %q: %v", frames["interval"], err)
+	}
+	if iv.Index != 1 || iv.Block != block {
+		t.Fatalf("interval frame = %+v", iv)
+	}
+	var te sseTraceEvent
+	if err := json.Unmarshal([]byte(frames["trace"]), &te); err != nil {
+		t.Fatalf("trace frame %q: %v", frames["trace"], err)
+	}
+	if te.Cat != "checkpoint" || te.Kind != "span" || te.Name != "checkpoint" || te.Val != 2 || te.Arg != "slot" {
+		t.Fatalf("trace frame = %+v", te)
+	}
+
+	// Disconnecting unsubscribes.
+	resp.Body.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for hub.NumSubscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never unregistered after disconnect")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestProgressEndpoint: /progress marshals the source's snapshot; without
+// a source it answers 404.
+func TestProgressEndpoint(t *testing.T) {
+	type snap struct {
+		Done  int     `json:"done"`
+		Total int     `json:"total"`
+		Frac  float64 `json:"fraction"`
+	}
+	srv, err := Listen("127.0.0.1:0", Options{
+		Progress: func() any { return snap{Done: 3, Total: 4, Frac: 0.75} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, "http://"+srv.Addr()+"/progress")
+	if code != http.StatusOK {
+		t.Fatalf("GET /progress = %d", code)
+	}
+	var got snap
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != (snap{3, 4, 0.75}) {
+		t.Fatalf("progress = %+v", got)
+	}
+
+	bare, err := Listen("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if code, _ := get(t, "http://"+bare.Addr()+"/progress"); code != http.StatusNotFound {
+		t.Fatalf("progress without source = %d, want 404", code)
+	}
+	if code, _ := get(t, "http://"+bare.Addr()+"/events"); code != http.StatusNotFound {
+		t.Fatalf("events without hub = %d, want 404", code)
+	}
+}
+
+// TestPprofMounted: the profiling endpoints share the monitor mux.
+func TestPprofMounted(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, "http://"+srv.Addr()+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index = %d", code)
+	}
+}
+
+// TestValidateExpositionRejectsGarbage: the validator is a real gate, not
+// a rubber stamp.
+func TestValidateExpositionRejectsGarbage(t *testing.T) {
+	good := "# TYPE a counter\na 1\nb{le=\"2\"} 3\nc 1.5e3\n"
+	if n, err := ValidateExposition(strings.NewReader(good)); err != nil || n != 3 {
+		t.Fatalf("good exposition: n=%d err=%v", n, err)
+	}
+	for _, bad := range []string{
+		"",                      // no samples
+		"1metric 3\n",           // bad name
+		"a b c\n",               // non-numeric value
+		"a{unterminated 1\n",    // broken labels
+		"# TYPE 9bad counter\n", // bad declaration
+	} {
+		if _, err := ValidateExposition(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ValidateExposition accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package monitor
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+
+	"kindle/internal/sim"
+)
+
+// metricPrefix namespaces every exported simulator stat.
+const metricPrefix = "kindle_"
+
+// sanitizeMetricName maps a dotted Kindle stat name onto the Prometheus
+// metric-name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*: every disallowed rune
+// becomes '_'. The mapping keeps names 1:1 for Kindle's stat vocabulary
+// (dots and dashes are the only offenders in practice).
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// writeMetrics renders one Prometheus text-exposition (version 0.0.4)
+// scrape: every registered counter and histogram of stats (read through
+// the lock-cheap snapshot API — the simulation is never paused), the
+// process/host gauges, and any caller-provided extra gauges.
+func writeMetrics(w io.Writer, stats *sim.Stats, extra map[string]float64, uptimeSec float64) error {
+	bw := bufio.NewWriter(w)
+
+	if stats != nil {
+		idx := stats.Registered()
+		for _, c := range idx.Counters {
+			name := metricPrefix + sanitizeMetricName(c.Name())
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, c.Sample())
+		}
+		for _, h := range idx.Hists {
+			hs := h.Sample()
+			base := metricPrefix + sanitizeMetricName(h.Name())
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", base)
+			var cum uint64
+			for _, bk := range hs.Buckets() {
+				cum += bk.Count
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", base, bk.Hi, cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", base, hs.Count)
+			fmt.Fprintf(bw, "%s_sum %d\n", base, hs.Sum)
+			fmt.Fprintf(bw, "%s_count %d\n", base, hs.Count)
+			// The gem5 dump's ::min_value / ::max_value lines keep their own
+			// series so the exposition stays 1:1 with the stats file.
+			fmt.Fprintf(bw, "# TYPE %s_min_value gauge\n%s_min_value %d\n", base, base, hs.Min)
+			fmt.Fprintf(bw, "# TYPE %s_max_value gauge\n%s_max_value %d\n", base, base, hs.Max)
+		}
+	}
+
+	// Process/host gauges: enough to spot a wedged or thrashing run from
+	// the scrape alone.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	writeGauge(bw, "kindle_process_uptime_seconds", uptimeSec)
+	writeGauge(bw, "kindle_process_goroutines", float64(runtime.NumGoroutine()))
+	writeGauge(bw, "kindle_process_gomaxprocs", float64(runtime.GOMAXPROCS(0)))
+	writeGauge(bw, "kindle_process_cpus", float64(runtime.NumCPU()))
+	writeGauge(bw, "kindle_process_heap_alloc_bytes", float64(ms.HeapAlloc))
+	writeGauge(bw, "kindle_process_sys_bytes", float64(ms.Sys))
+	fmt.Fprintf(bw, "# TYPE kindle_process_gc_total counter\nkindle_process_gc_total %d\n", ms.NumGC)
+
+	if len(extra) > 0 {
+		names := make([]string, 0, len(extra))
+		for k := range extra {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			writeGauge(bw, sanitizeMetricName(k), extra[k])
+		}
+	}
+	return bw.Flush()
+}
+
+func writeGauge(w io.Writer, name string, v float64) {
+	fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, v)
+}
+
+var (
+	promCommentRe = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ?.*$`)
+	promSampleRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (?:[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|[-+]?Inf|NaN)(?: [0-9]+)?$`)
+)
+
+// ValidateExposition checks that r is well-formed Prometheus text
+// exposition (format 0.0.4): every line is a comment, a HELP/TYPE
+// declaration, blank, or a sample with a legal metric name, optional
+// labels, and a numeric value. It returns the number of sample lines.
+// This is the parser the monitor smoke test (and CI) gates /metrics with.
+func ValidateExposition(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "#"):
+			if strings.HasPrefix(line, "# HELP") || strings.HasPrefix(line, "# TYPE") {
+				if !promCommentRe.MatchString(line) {
+					return samples, fmt.Errorf("monitor: exposition line %d: malformed declaration %q", lineNo, line)
+				}
+			}
+			continue
+		default:
+			if !promSampleRe.MatchString(line) {
+				return samples, fmt.Errorf("monitor: exposition line %d: malformed sample %q", lineNo, line)
+			}
+			samples++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("monitor: exposition contains no samples")
+	}
+	return samples, nil
+}

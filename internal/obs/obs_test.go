@@ -159,6 +159,88 @@ func TestWriteChromeValidJSON(t *testing.T) {
 	}
 }
 
+// collectSink records forwarded events for the sink tests.
+type collectSink struct{ events []Event }
+
+func (s *collectSink) TraceEvent(e Event) { s.events = append(s.events, e) }
+
+// TestSinkReceivesEmittedEvents: an attached sink sees exactly the events
+// the ring records (category-gated, emission order), and detaching stops
+// the forwarding.
+func TestSinkReceivesEmittedEvents(t *testing.T) {
+	clock := sim.NewClock()
+	tr := New(clock, 4, CatCheckpoint|CatMem)
+	sink := &collectSink{}
+	tr.SetSink(sink)
+	tr.Instant(CatTLB, "gated_out", "", 0)
+	tr.Instant(CatMem, "a", "", 1)
+	tr.Span(CatCheckpoint, "b", 10, 5, "slot", 2)
+	// Wrap the tiny ring: the sink still sees every emission, not just the
+	// retained window.
+	for i := 0; i < 6; i++ {
+		tr.Instant(CatMem, "wrap", "", uint64(i))
+	}
+	if got := len(sink.events); got != 8 {
+		t.Fatalf("sink saw %d events, want 8", got)
+	}
+	if sink.events[0].Name != "a" || sink.events[1].Name != "b" || sink.events[1].Val != 2 {
+		t.Fatalf("sink order/fields wrong: %+v", sink.events[:2])
+	}
+	tr.SetSink(nil)
+	tr.Instant(CatMem, "after_detach", "", 0)
+	if len(sink.events) != 8 {
+		t.Fatal("detached sink still receives events")
+	}
+	var nilTr *Tracer
+	nilTr.SetSink(sink) // must not panic
+}
+
+// TestWriteChromeDroppedMetadata: a wrapped ring exports a metadata event
+// carrying the drop count; an unwrapped ring exports none.
+func TestWriteChromeDroppedMetadata(t *testing.T) {
+	clock := sim.NewClock()
+	tr := New(clock, 4, CatAll)
+	for i := 0; i < 9; i++ {
+		tr.Instant(CatMem, "e", "", uint64(i))
+	}
+	if tr.Dropped() != 5 {
+		t.Fatalf("Dropped = %d, want 5", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e["name"] == "kindle_tracer_dropped" {
+			found = true
+			args := e["args"].(map[string]any)
+			if args["dropped_events"] != "5" {
+				t.Fatalf("dropped_events = %v, want \"5\"", args["dropped_events"])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("wrapped ring exported no kindle_tracer_dropped metadata event")
+	}
+
+	fresh := New(clock, 16, CatAll)
+	fresh.Instant(CatMem, "e", "", 0)
+	buf.Reset()
+	if err := fresh.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("kindle_tracer_dropped")) {
+		t.Fatal("unwrapped ring exported a dropped metadata event")
+	}
+}
+
 func TestEmitDoesNotAllocate(t *testing.T) {
 	clock := sim.NewClock()
 	tr := New(clock, 1024, CatAll)

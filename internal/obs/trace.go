@@ -153,6 +153,14 @@ type Config struct {
 // DefaultBufferCap is the ring capacity used when Config.BufferCap is 0.
 const DefaultBufferCap = 1 << 16
 
+// EventSink receives a copy of every event the tracer records, in emission
+// order, on the emitting (simulation) goroutine. Sinks power live fan-out —
+// the monitor endpoint's SSE stream — and must never block: do bounded
+// hand-off and drop-and-count, or the hot path stalls with them.
+type EventSink interface {
+	TraceEvent(Event)
+}
+
 // Tracer records events into a ring buffer. A nil *Tracer is a valid,
 // permanently-disabled tracer: every method is nil-safe, so components
 // hold a plain pointer and need no wiring when tracing is off.
@@ -161,6 +169,7 @@ type Tracer struct {
 	clock *sim.Clock
 	ring  []Event
 	head  uint64 // total events ever emitted
+	sink  EventSink
 }
 
 // New builds a tracer over the machine clock. capacity <= 0 selects
@@ -178,10 +187,24 @@ func (t *Tracer) Enabled(c Category) bool {
 	return t != nil && t.mask&c != 0
 }
 
-// emit stores e in the ring, overwriting the oldest event when full.
+// SetSink installs (nil removes) a live event sink. Install before the run
+// starts: the sink is read on the emission path without synchronization.
+// A nil tracer ignores the call (there is nothing to stream).
+func (t *Tracer) SetSink(s EventSink) {
+	if t != nil {
+		t.sink = s
+	}
+}
+
+// emit stores e in the ring, overwriting the oldest event when full, and
+// forwards it to the live sink when one is attached (one nil check when
+// not — and emit only runs for enabled categories in the first place).
 func (t *Tracer) emit(e Event) {
 	t.ring[t.head%uint64(len(t.ring))] = e
 	t.head++
+	if t.sink != nil {
+		t.sink.TraceEvent(e)
+	}
 }
 
 // Instant records a point event at the current simulated time. arg may be
@@ -217,6 +240,14 @@ func (t *Tracer) Len() int {
 	}
 	if t.head < uint64(len(t.ring)) {
 		return int(t.head)
+	}
+	return len(t.ring)
+}
+
+// Cap reports the ring capacity in events.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
 	}
 	return len(t.ring)
 }

@@ -1,5 +1,7 @@
 package sim
 
+import "sync/atomic"
+
 // Counter is a handle to one named counter in a Stats registry, resolved
 // once at component construction — the counter analogue of Stats.Hist.
 // Inc/Add on the handle are plain field increments with no map lookup, so
@@ -25,3 +27,12 @@ func (c *Counter) Set(v uint64) { c.v = v }
 
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v }
+
+// Sample reads the counter from a goroutine other than the simulation's —
+// the monitor endpoint's snapshot primitive. The load is atomic, so a
+// concurrent observer can never see a torn value, but it deliberately does
+// not synchronize with the simulation's plain increments: a scrape taken
+// mid-run sees a value at most one increment stale, which is exactly the
+// freshness a metrics endpoint needs and costs the hot path nothing.
+// Simulation code should keep using Value.
+func (c *Counter) Sample() uint64 { return atomic.LoadUint64(&c.v) }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 )
 
 // Histogram is a log2-bucketed distribution of uint64 samples (latencies
@@ -76,8 +77,12 @@ type Bucket struct {
 
 // Buckets returns the non-empty buckets in ascending value order.
 func (h *Histogram) Buckets() []Bucket {
+	return bucketsOf(&h.buckets)
+}
+
+func bucketsOf(buckets *[65]uint64) []Bucket {
 	var out []Bucket
-	for i, c := range h.buckets {
+	for i, c := range buckets {
 		if c == 0 {
 			continue
 		}
@@ -89,6 +94,46 @@ func (h *Histogram) Buckets() []Bucket {
 		out = append(out, Bucket{Lo: lo, Hi: hi, Count: c})
 	}
 	return out
+}
+
+// HistSample is a concurrent observer's copy of a histogram: the scalar
+// summary fields plus the raw log2 buckets. See Histogram.Sample.
+type HistSample struct {
+	Count, Sum, Min, Max uint64
+	RawBuckets           [65]uint64
+}
+
+// Buckets returns the sample's non-empty buckets in ascending value order,
+// with the same ranges as Histogram.Buckets.
+func (s *HistSample) Buckets() []Bucket { return bucketsOf(&s.RawBuckets) }
+
+// Mean returns the sample's arithmetic mean (0 when empty).
+func (s *HistSample) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Sample reads the histogram from a goroutine other than the simulation's,
+// the counterpart of Counter.Sample. Each field is loaded atomically (no
+// torn words) but the fields are read at slightly different instants, so a
+// scrape taken mid-run can be internally skewed by the samples observed
+// while it walked the buckets; counts are monotonic, so the skew is bounded
+// by that in-flight window. Simulation code should keep using the plain
+// accessors.
+func (h *Histogram) Sample() HistSample {
+	var s HistSample
+	s.Count = atomic.LoadUint64(&h.count)
+	s.Sum = atomic.LoadUint64(&h.sum)
+	s.Max = atomic.LoadUint64(&h.max)
+	if s.Count > 0 {
+		s.Min = atomic.LoadUint64(&h.min)
+	}
+	for i := range h.buckets {
+		s.RawBuckets[i] = atomic.LoadUint64(&h.buckets[i])
+	}
+	return s
 }
 
 // ForEachStat visits the histogram's gem5-style stat lines in render

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegisteredIndexSorted: the published index lists every registered
+// counter and histogram in name order, and registrations republish it.
+func TestRegisteredIndexSorted(t *testing.T) {
+	s := NewStats()
+	if idx := s.Registered(); len(idx.Counters) != 0 || len(idx.Hists) != 0 {
+		t.Fatalf("fresh stats publish a non-empty index: %+v", idx)
+	}
+	s.Counter("cpu.load")
+	s.Counter("cache.l1d.miss")
+	s.Hist("mem.lat")
+	s.Counter("cpu.store")
+	idx := s.Registered()
+	var names []string
+	for _, c := range idx.Counters {
+		names = append(names, c.Name())
+	}
+	if got, want := strings.Join(names, ","), "cache.l1d.miss,cpu.load,cpu.store"; got != want {
+		t.Fatalf("counter index = %s, want %s", got, want)
+	}
+	if len(idx.Hists) != 1 || idx.Hists[0].Name() != "mem.lat" {
+		t.Fatalf("hist index = %+v", idx.Hists)
+	}
+	// A later registration must not mutate the already-returned index.
+	s.Counter("aaa.first")
+	if len(idx.Counters) != 3 {
+		t.Fatalf("published index mutated in place: %d counters", len(idx.Counters))
+	}
+	if got := len(s.Registered().Counters); got != 4 {
+		t.Fatalf("republished index has %d counters, want 4", got)
+	}
+}
+
+// TestRegisteredIndexConcurrentReaders: observers may load the index and
+// sample handles while the registering goroutine keeps adding stats.
+// (Values sampled here are only written before the readers start or by
+// Sample itself, so the test is race-detector clean; live value scrapes
+// are the documented benign race.)
+func TestRegisteredIndexConcurrentReaders(t *testing.T) {
+	s := NewStats()
+	s.Counter("seed").Add(7)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				idx := s.Registered()
+				for _, c := range idx.Counters {
+					c.Sample()
+				}
+				for _, h := range idx.Hists {
+					h.Sample()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		s.Counter(strings.Repeat("c", 1+i%8) + string(rune('a'+i%26)))
+		s.Hist("h" + string(rune('a'+i%26)))
+	}
+	close(stop)
+	wg.Wait()
+	if got := s.Counter("seed").Sample(); got != 7 {
+		t.Fatalf("seed sample = %d, want 7", got)
+	}
+}
+
+// TestCounterSampleMatchesValue: Sample and Value alias the same cell.
+func TestCounterSampleMatchesValue(t *testing.T) {
+	s := NewStats()
+	c := s.Counter("x")
+	c.Add(41)
+	c.Inc()
+	if c.Sample() != 42 || c.Value() != 42 {
+		t.Fatalf("sample %d / value %d, want 42/42", c.Sample(), c.Value())
+	}
+}
+
+// TestHistSample: the sampled summary and buckets match the live
+// histogram, and an empty histogram samples as zeroes.
+func TestHistSample(t *testing.T) {
+	s := NewStats()
+	h := s.Hist("lat")
+	empty := h.Sample()
+	if empty.Count != 0 || empty.Min != 0 || empty.Max != 0 || len(empty.Buckets()) != 0 {
+		t.Fatalf("empty histogram sample = %+v", empty)
+	}
+	for _, v := range []uint64{0, 1, 2, 3, 900, 17} {
+		h.Observe(v)
+	}
+	hs := h.Sample()
+	if hs.Count != h.Count() || hs.Sum != h.Sum() || hs.Min != h.Min() || hs.Max != h.Max() {
+		t.Fatalf("sample summary %+v disagrees with live histogram (count %d sum %d min %d max %d)",
+			hs, h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if hs.Mean() != h.Mean() {
+		t.Fatalf("sample mean %v, live mean %v", hs.Mean(), h.Mean())
+	}
+	live, snap := h.Buckets(), hs.Buckets()
+	if len(live) != len(snap) {
+		t.Fatalf("bucket count %d vs %d", len(snap), len(live))
+	}
+	for i := range live {
+		if live[i] != snap[i] {
+			t.Fatalf("bucket %d: sample %+v, live %+v", i, snap[i], live[i])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Stats is a flat registry of named counters and histograms, mirroring
@@ -19,10 +20,55 @@ type Stats struct {
 	counters map[string]*Counter
 	hists    map[string]*Histogram
 
+	// index is the immutable registered-stat view republished on every
+	// registration (copy-on-write), so concurrent observers — the monitor
+	// endpoint — can walk the registry without touching the maps the
+	// simulation goroutine may be inserting into. See Registered.
+	index atomic.Pointer[StatIndex]
+
 	// intervalSnap is the counter baseline of the current interval
 	// (DumpInterval); nil until the first interval dump.
 	intervalSnap map[string]uint64
 	intervals    int
+}
+
+// StatIndex is an immutable snapshot of everything registered in a Stats:
+// the counter and histogram handles in name-sorted order. The slices are
+// never mutated after publication; the handles themselves stay live (read
+// them with Counter.Sample / Histogram.Sample from other goroutines).
+type StatIndex struct {
+	Counters []*Counter
+	Hists    []*Histogram
+}
+
+// Registered returns the current registered-stat index. The call is one
+// atomic pointer load, safe from any goroutine at any time; registrations
+// that race with it appear in a later index. The returned value must be
+// treated as read-only.
+func (s *Stats) Registered() *StatIndex {
+	if idx := s.index.Load(); idx != nil {
+		return idx
+	}
+	return &StatIndex{}
+}
+
+// publishIndex rebuilds and republishes the registered-stat index. Called
+// on the registration (cold) path only; cost is O(n log n) in the registry
+// size, never on a simulation hot path.
+func (s *Stats) publishIndex() {
+	idx := &StatIndex{
+		Counters: make([]*Counter, 0, len(s.counters)),
+		Hists:    make([]*Histogram, 0, len(s.hists)),
+	}
+	for _, c := range s.counters {
+		idx.Counters = append(idx.Counters, c)
+	}
+	for _, h := range s.hists {
+		idx.Hists = append(idx.Hists, h)
+	}
+	sort.Slice(idx.Counters, func(i, j int) bool { return idx.Counters[i].name < idx.Counters[j].name })
+	sort.Slice(idx.Hists, func(i, j int) bool { return idx.Hists[i].name < idx.Hists[j].name })
+	s.index.Store(idx)
 }
 
 // NewStats returns an empty registry.
@@ -44,6 +90,7 @@ func (s *Stats) Counter(name string) *Counter {
 		}
 		c = &Counter{name: name}
 		s.counters[name] = c
+		s.publishIndex()
 	}
 	return c
 }
@@ -75,6 +122,7 @@ func (s *Stats) Hist(name string) *Histogram {
 		}
 		h = &Histogram{name: name}
 		s.hists[name] = h
+		s.publishIndex()
 	}
 	return h
 }
