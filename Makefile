@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench benchsmoke crashsweep fuzzsmoke allocguard monitorsmoke profile
+.PHONY: all build test check fmt vet race bench benchsmoke crashsweep fuzzsmoke allocguard monitorsmoke shardsmoke profile
 
 all: build test
 
@@ -14,9 +14,10 @@ test:
 # the race detector, the zero-allocation guards (which the race build must
 # skip, hence the separate non-race run), a one-iteration pass over every
 # benchmark so the perf harness can't silently rot, a bounded commit-point
-# crash sweep, a short fuzz of the trace decoders, and the live-monitor
-# smoke (real kindle binary scraped over HTTP mid-run).
-check: fmt vet race allocguard benchsmoke crashsweep fuzzsmoke monitorsmoke
+# crash sweep, a short fuzz of the trace decoders, the live-monitor smoke
+# (real kindle binary scraped over HTTP mid-run), and the sharded-replay
+# smoke (real binary, -shards 1 vs 4 stats dumps diffed).
+check: fmt vet race allocguard benchsmoke crashsweep fuzzsmoke monitorsmoke shardsmoke
 
 # allocguard pins the replay fast path's zero-allocation steady state (see
 # allocguard_test.go); it needs a non-race build because race instrumentation
@@ -53,6 +54,13 @@ fuzzsmoke:
 # exposition and /progress reaches 100% (see monitor_smoke_test.go).
 monitorsmoke:
 	$(GO) test -run TestMonitorSmoke .
+
+# shardsmoke builds the real kindle binary, writes a tiny v2 image, and
+# requires `-shards 1` and `-shards 4` to produce byte-identical stats
+# dumps — the sharded determinism contract, end to end (see
+# shard_smoke_test.go).
+shardsmoke:
+	$(GO) test -run TestShardSmoke .
 
 # profile records CPU and allocation profiles for both replay benchmarks
 # under profiles/ (gitignored). See "Recipe: profiling the replay engine"

@@ -103,3 +103,57 @@ func TestStreamNextZeroAlloc(t *testing.T) {
 		t.Fatalf("steady-state stream decode allocates %.1f times per chunk, want 0", avg)
 	}
 }
+
+// TestStreamNextZeroAllocPipelined: the same guard for the pipelined
+// decoder. AllocsPerRun counts mallocs across ALL goroutines, so this pins
+// the whole pool — reader framing, worker inflate+decode, emitter reorder —
+// to recycled buffers once the pools are warm.
+func TestStreamNextZeroAllocPipelined(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	const (
+		chunkRecs = 1024
+		nChunks   = 128
+	)
+	img := &trace.Image{
+		Benchmark: "allocguard",
+		Areas:     []trace.Area{{Name: "heap0", Size: 1 << 20, Write: true}},
+	}
+	for i := 0; i < chunkRecs*nChunks; i++ {
+		img.Records = append(img.Records, trace.Record{
+			Period: uint64(i),
+			Offset: uint64(i*61) % ((1 << 20) - 8),
+			Op:     trace.Op(i & 1),
+			Size:   8,
+		})
+	}
+	var buf bytes.Buffer
+	if err := trace.EncodeV2(&buf, img, trace.StreamOptions{ChunkRecords: chunkRecs}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := trace.OpenStreamConfig(bytes.NewReader(buf.Bytes()), trace.StreamConfig{DecodeWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	// Warm-up: let every pooled disk and record buffer cycle through the
+	// pipeline and grow to chunk size.
+	for i := 0; i < 16; i++ {
+		if _, err := src.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		batch, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) != chunkRecs {
+			t.Fatalf("batch of %d records, want %d", len(batch), chunkRecs)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state pipelined decode allocates %.1f times per chunk, want 0", avg)
+	}
+}

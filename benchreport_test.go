@@ -23,12 +23,22 @@ func TestWriteBenchReport(t *testing.T) {
 	if *benchReportPath == "" {
 		t.Skip("enabled by -bench-report <path> (see `make bench`)")
 	}
-	rep := bench.Report{SuiteScale: 1.0 / 16, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep := bench.Report{
+		SuiteScale: 1.0 / 16,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		// Environment knobs behind the stream/sharded metrics: benchdiff
+		// refuses comparisons across differing values without
+		// -normalize-env, like gomaxprocs.
+		Shards:        benchShards,
+		DecodeWorkers: runtime.GOMAXPROCS(0),
+	}
 
 	br := testing.Benchmark(BenchmarkReplayThroughput)
 	rep.RecordsPerSec = br.Extra["records/sec"]
 	bs := testing.Benchmark(BenchmarkStreamReplayThroughput)
 	rep.StreamRecordsPerSec = bs.Extra["records/sec"]
+	bh := testing.Benchmark(BenchmarkShardedReplayThroughput)
+	rep.ShardedRecordsPerSec = bh.Extra["records/sec"]
 
 	start := time.Now()
 	if _, err := bench.RunAll(bench.Options{Scale: rep.SuiteScale}, nil); err != nil {
@@ -39,7 +49,8 @@ func TestWriteBenchReport(t *testing.T) {
 	if err := rep.WriteFile(*benchReportPath); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s: %.0f records/sec (stream %.0f), suite %.1fs at scale %g on %d procs",
-		*benchReportPath, rep.RecordsPerSec, rep.StreamRecordsPerSec, rep.SuiteWallClockSec,
+	t.Logf("wrote %s: %.0f records/sec (stream %.0f at %d workers, sharded %.0f at %d shards), suite %.1fs at scale %g on %d procs",
+		*benchReportPath, rep.RecordsPerSec, rep.StreamRecordsPerSec, rep.DecodeWorkers,
+		rep.ShardedRecordsPerSec, rep.Shards, rep.SuiteWallClockSec,
 		rep.SuiteScale, rep.GOMAXPROCS)
 }

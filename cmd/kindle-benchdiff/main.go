@@ -23,7 +23,9 @@ func main() {
 	warn := flag.Float64("warn", 0.10, "warn when a metric drops more than this fraction")
 	fail := flag.Float64("fail", 0.20, "fail when a metric drops more than this fraction")
 	ratioWarn := flag.Float64("ratio-warn", 0.10, "warn when the stream/materialized throughput ratio drops more than this fraction (0 disables)")
-	normEnv := flag.Bool("normalize-env", false, "compare reports from different gomaxprocs/suite_scale environments, normalizing throughput per proc (refused otherwise)")
+	ratioFail := flag.Float64("ratio-fail", 0.20, "fail when the stream/materialized throughput ratio drops more than this fraction (0 disables)")
+	minRatio := flag.Float64("min-ratio", 1.0, "fail when the fresh stream/materialized ratio is below this absolute floor; set 0 on hosts without a spare core, where the pipelined decoder cannot hide decode cost")
+	normEnv := flag.Bool("normalize-env", false, "compare reports from different gomaxprocs/suite_scale/shards/decode_workers environments, normalizing throughput per proc (refused otherwise)")
 	flag.Parse()
 
 	if *fresh == "" {
@@ -46,6 +48,8 @@ func main() {
 		WarnFrac:      *warn,
 		FailFrac:      *fail,
 		RatioWarnFrac: *ratioWarn,
+		RatioFailFrac: *ratioFail,
+		MinRatio:      *minRatio,
 		NormalizeEnv:  *normEnv,
 	})
 	for _, w := range warnings {

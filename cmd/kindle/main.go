@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -49,9 +50,39 @@ func main() {
 	statsInterval := flag.Duration("stats-interval", 0, "dump gem5 interval stat blocks every simulated duration (0 = off)")
 	monitorAddr := flag.String("monitor", "", "serve live telemetry on this HTTP address (e.g. :8090): /metrics, /events, /progress, /debug/pprof/")
 	monitorHold := flag.Duration("monitor-hold", 0, "keep the monitor endpoint serving this long after the run completes")
+	decodeWorkers := flag.Int("decode-workers", 0, "v2 chunk-decode worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	shards := flag.Int("shards", 0, "replay the trace sharded across N machine instances (0 = off); requires a v2 -image")
+	segmentChunks := flag.Int("segment-chunks", 0, "sharded partition grain in chunks (0 = default); affects results, unlike -shards")
+	shardStatsDir := flag.String("shard-stats-dir", "", "with -shards, also write each segment's stats file into this directory")
 	flag.Parse()
 
-	src, err := openSource(*image, *benchmark, *small)
+	if *shards > 0 {
+		// Sharded mode runs N independent machines; the single-machine
+		// features cannot meaningfully span them.
+		switch {
+		case *benchmark != "":
+			fatal(fmt.Errorf("-shards replays an on-disk v2 image; use -image, not -benchmark"))
+		case *persistMode != "" || *crashAt > 0:
+			fatal(fmt.Errorf("-shards is incompatible with -persist/-crash-at (persistence is per-machine)"))
+		case *sspInterval > 0 || *hsccThreshold > 0:
+			fatal(fmt.Errorf("-shards is incompatible with -ssp/-hscc (prototypes attach to one machine)"))
+		case *traceOut != "" || *statsInterval > 0:
+			fatal(fmt.Errorf("-shards is incompatible with -trace-out/-stats-interval"))
+		}
+		runSharded(shardedFlags{
+			image:       *image,
+			shards:      *shards,
+			segChunks:   *segmentChunks,
+			statsDir:    *shardStatsDir,
+			stats:       *stats,
+			statsOut:    *statsOut,
+			monitorAddr: *monitorAddr,
+			monitorHold: *monitorHold,
+		})
+		return
+	}
+
+	src, err := openSource(*image, *benchmark, *small, *decodeWorkers)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,8 +113,9 @@ func main() {
 		f.M.Tracer.SetSink(hub)
 		progTotal.Store(-1)
 		mon, err = monitor.Listen(*monitorAddr, monitor.Options{
-			Stats: f.M.Stats,
-			Hub:   hub,
+			Stats:  f.M.Stats,
+			Hub:    hub,
+			Gauges: decodeGauges(src),
 			Progress: func() any {
 				p := replayProgress{
 					RecordsReplayed: progConsumed.Load(),
@@ -304,10 +336,10 @@ type replayProgress struct {
 // openSource yields the replay's record stream: a disk image (either
 // binary format, sniffed from the header, decoded chunk-by-chunk) or an
 // on-the-fly traced benchmark.
-func openSource(path, benchmark string, small bool) (trace.RecordSource, error) {
+func openSource(path, benchmark string, small bool, decodeWorkers int) (trace.RecordSource, error) {
 	switch {
 	case path != "":
-		return prep.OpenImageStream(path)
+		return prep.OpenImageStreamConfig(path, trace.StreamConfig{DecodeWorkers: decodeWorkers})
 	case benchmark != "":
 		img, err := core.Prepare(benchmark, small)
 		if err != nil {
@@ -316,6 +348,163 @@ func openSource(path, benchmark string, small bool) (trace.RecordSource, error) 
 		return trace.NewImageSource(img), nil
 	default:
 		return nil, fmt.Errorf("one of -image or -benchmark is required")
+	}
+}
+
+// decodeGauges returns a /metrics gauge source for the decode pool's stall
+// counters, or nil when the source has no pool (serial or materialized).
+func decodeGauges(src trace.RecordSource) func() map[string]float64 {
+	if is, ok := src.(*prep.ImageStream); ok {
+		src = is.DecodeSource()
+	}
+	ds, ok := src.(trace.DecodeStatsSource)
+	if !ok {
+		return nil
+	}
+	return func() map[string]float64 {
+		st := ds.DecodeStats()
+		return map[string]float64{
+			"kindle_decode_workers":               float64(st.Workers),
+			"kindle_decode_chunks":                float64(st.Chunks),
+			"kindle_decode_reorder_stalls":        float64(st.ReorderStalls),
+			"kindle_decode_reorder_stall_seconds": float64(st.ReorderStallNs) / 1e9,
+			"kindle_decode_buffer_stalls":         float64(st.BufferStalls),
+			"kindle_decode_buffer_stall_seconds":  float64(st.BufferStallNs) / 1e9,
+		}
+	}
+}
+
+// shardedFlags carries the flag subset the sharded mode consumes.
+type shardedFlags struct {
+	image       string
+	shards      int
+	segChunks   int
+	statsDir    string
+	stats       bool
+	statsOut    string
+	monitorAddr string
+	monitorHold time.Duration
+}
+
+// shardProgress is the /progress payload of a sharded run.
+type shardProgress struct {
+	RecordsReplayed int64   `json:"records_replayed"`
+	RecordsTotal    int64   `json:"records_total"`
+	Fraction        float64 `json:"fraction"`
+	Shards          int     `json:"shards"`
+	Done            bool    `json:"done"`
+}
+
+// runSharded replays a v2 image partitioned across independent machine
+// instances (core.ReplaySharded) and reports the deterministically merged
+// stats. Persistence, crash injection, SSP/HSCC and event tracing apply to
+// a single machine and are not available here.
+func runSharded(fl shardedFlags) {
+	if fl.image == "" {
+		fatal(fmt.Errorf("-shards requires -image (a v2 disk image)"))
+	}
+	var progDone, progTotal atomic.Int64
+	var finished atomic.Bool
+	var mon *monitor.Server
+	if fl.monitorAddr != "" {
+		progTotal.Store(-1)
+		var err error
+		mon, err = monitor.Listen(fl.monitorAddr, monitor.Options{
+			Progress: func() any {
+				p := shardProgress{
+					RecordsReplayed: progDone.Load(),
+					RecordsTotal:    progTotal.Load(),
+					Shards:          fl.shards,
+					Done:            finished.Load(),
+				}
+				switch {
+				case p.Done:
+					p.Fraction = 1
+				case p.RecordsTotal > 0:
+					p.Fraction = float64(p.RecordsReplayed) / float64(p.RecordsTotal)
+				}
+				return p
+			},
+			Gauges: func() map[string]float64 {
+				done, total := progDone.Load(), progTotal.Load()
+				frac := 0.0
+				if total > 0 {
+					frac = float64(done) / float64(total)
+				}
+				return map[string]float64{
+					"kindle_shard_records_replayed": float64(done),
+					"kindle_shard_records_total":    float64(total),
+					"kindle_shard_fraction":         frac,
+					"kindle_shards":                 float64(fl.shards),
+				}
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer mon.Close()
+		fmt.Fprintf(os.Stderr, "monitor: listening on http://%s\n", mon.Addr())
+	}
+
+	start := time.Now()
+	res, err := core.ReplayShardedFile(fl.image, core.ShardedOptions{
+		Shards:        fl.shards,
+		SegmentChunks: fl.segChunks,
+		OnProgress: func(done, total int) {
+			progDone.Store(int64(done))
+			progTotal.Store(int64(total))
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	finished.Store(true)
+	progDone.Store(int64(res.Records))
+	elapsed := time.Since(start)
+	fmt.Printf("sharded replay: %d records, %d segments across %d shards in %.2fs (%.2fM records/sec)\n",
+		res.Records, len(res.Segments), res.Shards, elapsed.Seconds(),
+		float64(res.Records)/elapsed.Seconds()/1e6)
+
+	if fl.stats {
+		fmt.Print(res.Stats.Dump(""))
+	}
+	if fl.statsOut != "" {
+		sf, err := os.Create(fl.statsOut)
+		if err != nil {
+			fatal(err)
+		}
+		werr := res.Stats.WriteStatsFile(sf)
+		if cerr := sf.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatal(werr)
+		}
+		fmt.Printf("merged stats written to %s\n", fl.statsOut)
+	}
+	if fl.statsDir != "" {
+		if err := os.MkdirAll(fl.statsDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for i, seg := range res.Segments {
+			path := filepath.Join(fl.statsDir, fmt.Sprintf("segment-%04d.stats", i))
+			sf, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			werr := seg.Stats.WriteStatsFile(sf)
+			if cerr := sf.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fatal(werr)
+			}
+		}
+		fmt.Printf("%d segment stats files written to %s\n", len(res.Segments), fl.statsDir)
+	}
+	if mon != nil && fl.monitorHold > 0 {
+		fmt.Fprintf(os.Stderr, "monitor: run complete; holding endpoint for %s\n", fl.monitorHold)
+		time.Sleep(fl.monitorHold)
 	}
 }
 

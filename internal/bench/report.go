@@ -27,6 +27,16 @@ type Report struct {
 	// comparisons recompute it from the throughputs (see Ratio), so a
 	// hand-edited value cannot skew the gate.
 	StreamVsMaterialized float64 `json:"stream_vs_materialized,omitempty"`
+	// ShardedRecordsPerSec is BenchmarkShardedReplayThroughput's metric:
+	// records per host second through core.ReplaySharded at Shards shards.
+	// Zero in reports from before sharded replay existed.
+	ShardedRecordsPerSec float64 `json:"sharded_records_per_sec,omitempty"`
+	// Shards is the shard count ShardedRecordsPerSec was measured at;
+	// DecodeWorkers the decode pool size behind StreamRecordsPerSec. Both
+	// are environment knobs: reports measured at different values are
+	// refused without normalization, like gomaxprocs.
+	Shards        int `json:"shards,omitempty"`
+	DecodeWorkers int `json:"decode_workers,omitempty"`
 	// SuiteWallClockSec is the wall-clock time of one full RunAll at
 	// SuiteScale with the default worker pool.
 	SuiteWallClockSec float64 `json:"suite_wall_clock_sec"`
@@ -118,11 +128,20 @@ type CompareOptions struct {
 	// drop: beyond WarnFrac (e.g. 0.10) a warning, beyond FailFrac (e.g.
 	// 0.20) an error. Improvements never fail.
 	WarnFrac, FailFrac float64
-	// RatioWarnFrac separately guards the streamed-to-materialized
-	// throughput ratio (Report.Ratio): both absolute throughputs can pass
-	// while the streamed path quietly loses ground on the materialized
-	// one, so the ratio gets its own warn-only threshold. Zero disables.
-	RatioWarnFrac float64
+	// RatioWarnFrac and RatioFailFrac separately guard the streamed-to-
+	// materialized throughput ratio (Report.Ratio): both absolute
+	// throughputs can pass while the streamed path quietly loses ground on
+	// the materialized one, so the ratio gets its own thresholds — a
+	// fractional drop beyond RatioWarnFrac warns, beyond RatioFailFrac
+	// fails. Zero disables either.
+	RatioWarnFrac, RatioFailFrac float64
+	// MinRatio is an absolute floor on the fresh report's ratio: with the
+	// pipelined decoder the streamed path should at least match the
+	// materialized one (ratio >= 1.0) wherever a spare core exists. Hosts
+	// without one (single-core CI runners, laptops on battery) cannot meet
+	// that regardless of code quality — set 0 there to disable the floor
+	// (kindle-benchdiff -min-ratio 0). Zero disables.
+	MinRatio float64
 	// NormalizeEnv permits comparing reports recorded under different
 	// gomaxprocs or suite_scale. Without it such comparisons are refused:
 	// per-proc normalization is a coarse correction (the replay itself is
@@ -136,9 +155,11 @@ type CompareOptions struct {
 // unless opt.NormalizeEnv, which normalizes throughput per gomaxprocs and
 // says so in a warning.
 func CompareReports(base, fresh *Report, opt CompareOptions) (warnings []string, err error) {
-	if base.GOMAXPROCS != fresh.GOMAXPROCS || base.SuiteScale != fresh.SuiteScale {
-		desc := fmt.Sprintf("gomaxprocs %d vs %d, suite_scale %g vs %g; base %s, fresh %s",
+	if base.GOMAXPROCS != fresh.GOMAXPROCS || base.SuiteScale != fresh.SuiteScale ||
+		base.Shards != fresh.Shards || base.DecodeWorkers != fresh.DecodeWorkers {
+		desc := fmt.Sprintf("gomaxprocs %d vs %d, suite_scale %g vs %g, shards %d vs %d, decode_workers %d vs %d; base %s, fresh %s",
 			base.GOMAXPROCS, fresh.GOMAXPROCS, base.SuiteScale, fresh.SuiteScale,
+			base.Shards, fresh.Shards, base.DecodeWorkers, fresh.DecodeWorkers,
 			base.Env, fresh.Env)
 		if !opt.NormalizeEnv {
 			return nil, fmt.Errorf("bench: reports measured in different environments (%s); rerun with env normalization enabled (-normalize-env) to compare per-proc throughput anyway", desc)
@@ -160,6 +181,13 @@ func CompareReports(base, fresh *Report, opt CompareOptions) (warnings []string,
 			fresh.StreamRecordsPerSec / fresh.normProcs(),
 		})
 	}
+	if base.ShardedRecordsPerSec > 0 && fresh.ShardedRecordsPerSec > 0 {
+		metrics = append(metrics, metric{
+			"sharded_records_per_sec",
+			base.ShardedRecordsPerSec / base.normProcs(),
+			fresh.ShardedRecordsPerSec / fresh.normProcs(),
+		})
+	}
 	var failures []string
 	for _, m := range metrics {
 		if m.base <= 0 {
@@ -177,12 +205,22 @@ func CompareReports(base, fresh *Report, opt CompareOptions) (warnings []string,
 	}
 	// The ratio is recomputed from the throughputs, never read from the
 	// stored stream_vs_materialized field.
-	if rb, rf := base.Ratio(), fresh.Ratio(); opt.RatioWarnFrac > 0 && rb > 0 && rf > 0 {
-		if drop := (rb - rf) / rb; drop > opt.RatioWarnFrac {
-			warnings = append(warnings, fmt.Sprintf(
-				"stream_vs_materialized: base %.2f, fresh %.2f (%+.1f%%) — streamed decode losing ground on materialized replay",
-				rb, rf, -100*drop))
+	if rb, rf := base.Ratio(), fresh.Ratio(); rb > 0 && rf > 0 {
+		drop := (rb - rf) / rb
+		line := fmt.Sprintf(
+			"stream_vs_materialized: base %.2f, fresh %.2f (%+.1f%%) — streamed decode losing ground on materialized replay",
+			rb, rf, -100*drop)
+		switch {
+		case opt.RatioFailFrac > 0 && drop > opt.RatioFailFrac:
+			failures = append(failures, line)
+		case opt.RatioWarnFrac > 0 && drop > opt.RatioWarnFrac:
+			warnings = append(warnings, line)
 		}
+	}
+	if rf := fresh.Ratio(); opt.MinRatio > 0 && rf > 0 && rf < opt.MinRatio {
+		failures = append(failures, fmt.Sprintf(
+			"stream_vs_materialized: fresh %.2f below floor %.2f — pipelined decode should keep the streamed path at parity where a spare core exists (disable on constrained hosts with -min-ratio 0)",
+			rf, opt.MinRatio))
 	}
 	if len(failures) > 0 {
 		return warnings, fmt.Errorf("bench regression beyond %.0f%%:\n  %s",

@@ -120,6 +120,92 @@ func TestCompareReports(t *testing.T) {
 	}
 }
 
+// TestCompareReportsRatioGate pins the promoted ratio gate: a ratio drop
+// beyond RatioFailFrac or a fresh ratio under the MinRatio floor is an
+// error, not a warning, and the floor is independently disabled by zero.
+func TestCompareReportsRatioGate(t *testing.T) {
+	base := &Report{RecordsPerSec: 1000, StreamRecordsPerSec: 1100, GOMAXPROCS: 1}
+	gate := CompareOptions{WarnFrac: 0.10, FailFrac: 0.20, RatioWarnFrac: 0.05, RatioFailFrac: 0.10, MinRatio: 1.0}
+	cases := []struct {
+		name     string
+		fresh    Report
+		opt      CompareOptions
+		wantWarn bool
+		wantFail bool
+	}{
+		{"ratio holds", Report{RecordsPerSec: 1000, StreamRecordsPerSec: 1100, GOMAXPROCS: 1}, gate, false, false},
+		// Ratio slips 8%: past RatioWarnFrac, inside RatioFailFrac, still
+		// above the floor (1.10 -> 1.01) — warning only.
+		{"ratio warn band", Report{RecordsPerSec: 1000, StreamRecordsPerSec: 1012, GOMAXPROCS: 1}, gate, true, false},
+		// Ratio collapses 18% and lands under the 1.0 floor — both failure
+		// paths fire (the stream throughput drop also warns on its own).
+		{"ratio fail", Report{RecordsPerSec: 1000, StreamRecordsPerSec: 900, GOMAXPROCS: 1}, gate, true, true},
+		// Floor alone: ratio drop below RatioFailFrac but fresh ratio 0.99.
+		{"floor fail", Report{RecordsPerSec: 1000, StreamRecordsPerSec: 990, GOMAXPROCS: 1},
+			CompareOptions{WarnFrac: 0.10, FailFrac: 0.20, RatioFailFrac: 0.15, MinRatio: 1.0}, false, true},
+		// Constrained-host override: MinRatio 0 disables the floor and the
+		// same report passes with only the ratio-drop warning.
+		{"floor disabled", Report{RecordsPerSec: 1000, StreamRecordsPerSec: 990, GOMAXPROCS: 1},
+			CompareOptions{WarnFrac: 0.10, FailFrac: 0.20, RatioWarnFrac: 0.05, MinRatio: 0}, true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			warnings, err := CompareReports(base, &tc.fresh, tc.opt)
+			if tc.wantFail != (err != nil) {
+				t.Fatalf("err = %v, wantFail = %v", err, tc.wantFail)
+			}
+			if tc.wantWarn != (len(warnings) > 0) {
+				t.Fatalf("warnings = %v, wantWarn = %v", warnings, tc.wantWarn)
+			}
+		})
+	}
+}
+
+// TestCompareReportsShardedMetric: the sharded throughput is gated like the
+// others when both reports carry it, and skipped when either lacks it.
+func TestCompareReportsShardedMetric(t *testing.T) {
+	opt := CompareOptions{WarnFrac: 0.10, FailFrac: 0.20}
+	base := &Report{RecordsPerSec: 1000, ShardedRecordsPerSec: 2000, Shards: 4, GOMAXPROCS: 1}
+	bad := &Report{RecordsPerSec: 1000, ShardedRecordsPerSec: 1400, Shards: 4, GOMAXPROCS: 1}
+	if _, err := CompareReports(base, bad, opt); err == nil {
+		t.Fatal("30% sharded throughput drop passed the gate")
+	}
+	missing := &Report{RecordsPerSec: 1000, GOMAXPROCS: 1, Shards: 4}
+	if _, err := CompareReports(base, missing, opt); err != nil {
+		t.Fatalf("report without sharded metric should skip that gate: %v", err)
+	}
+}
+
+// TestCompareReportsRefusesShardMismatch: shards and decode_workers are
+// environment knobs — reports measured at different values are refused
+// without -normalize-env, like gomaxprocs.
+func TestCompareReportsRefusesShardMismatch(t *testing.T) {
+	opt := CompareOptions{WarnFrac: 0.10, FailFrac: 0.20}
+	base := &Report{RecordsPerSec: 1000, Shards: 4, DecodeWorkers: 4, GOMAXPROCS: 1}
+	for _, tc := range []struct {
+		name  string
+		fresh Report
+	}{
+		{"shards differ", Report{RecordsPerSec: 1000, Shards: 8, DecodeWorkers: 4, GOMAXPROCS: 1}},
+		{"decode workers differ", Report{RecordsPerSec: 1000, Shards: 4, DecodeWorkers: 2, GOMAXPROCS: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := CompareReports(base, &tc.fresh, opt); err == nil {
+				t.Fatal("cross-shard-count comparison accepted without NormalizeEnv")
+			}
+			norm := opt
+			norm.NormalizeEnv = true
+			warnings, err := CompareReports(base, &tc.fresh, norm)
+			if err != nil {
+				t.Fatalf("NormalizeEnv comparison failed: %v", err)
+			}
+			if len(warnings) == 0 {
+				t.Fatal("normalized comparison produced no explanatory warning")
+			}
+		})
+	}
+}
+
 func TestCompareReportsRefusesScaleMismatch(t *testing.T) {
 	base := &Report{RecordsPerSec: 1000, SuiteScale: 1.0 / 16, GOMAXPROCS: 1}
 	fresh := &Report{RecordsPerSec: 1000, SuiteScale: 1.0 / 4, GOMAXPROCS: 1}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"kindle/internal/machine"
 	"kindle/internal/trace"
 )
 
@@ -26,6 +27,53 @@ func replayDump(img *trace.Image) (string, uint64, error) {
 // run to match a solo run bit-for-bit: concurrent machines must share no
 // clock, stats, RNG or backing state. This pins the property the parallel
 // experiment runner relies on.
+// TestConcurrentShardedIsolated runs several sharded replays of the same
+// image at once (under -race in make check), each itself fanning segments
+// across workers, and requires every merged dump to match a solo sharded
+// run bit-for-bit — the two levels of concurrency (replays × shards) must
+// share nothing.
+func TestConcurrentShardedIsolated(t *testing.T) {
+	path := shardedImageFile(t, smallImage(t), 1024)
+	cfg := machine.TestConfig()
+	opt := ShardedOptions{Shards: 2, SegmentChunks: 3, Config: &cfg}
+
+	solo, err := ReplayShardedFile(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloDump := solo.Stats.Dump("")
+	if soloDump == "" {
+		t.Fatal("solo sharded run produced an empty stats dump")
+	}
+
+	const n = 3
+	dumps := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := ReplayShardedFile(path, opt)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			dumps[i] = res.Stats.Dump("")
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent sharded run %d: %v", i, errs[i])
+		}
+		if dumps[i] != soloDump {
+			t.Errorf("concurrent sharded run %d stats diverged from the solo run", i)
+		}
+	}
+}
+
 func TestConcurrentFrameworksIsolated(t *testing.T) {
 	img := smallImage(t)
 

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kindle/internal/machine"
+	"kindle/internal/trace"
+)
+
+// shardedImageFile encodes img as a v2 file with small chunks so even the
+// test trace splits into plenty of segments.
+func shardedImageFile(t *testing.T, img *trace.Image, chunkRecords int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.kt2")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.EncodeV2(f, img, trace.StreamOptions{ChunkRecords: chunkRecords}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestShardedStatsIdentity pins the tentpole determinism claim: N-shard
+// merged stats dumps are byte-identical to the 1-shard run, with the fast
+// paths both on and off. The shard count must select concurrency only —
+// never results.
+func TestShardedStatsIdentity(t *testing.T) {
+	path := shardedImageFile(t, smallImage(t), 1024)
+	for _, disable := range []bool{false, true} {
+		name := "fastpaths"
+		if disable {
+			name = "slowpaths"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := machine.TestConfig()
+			cfg.DisableFastPaths = disable
+			opt := ShardedOptions{SegmentChunks: 3, Config: &cfg}
+
+			opt.Shards = 1
+			base, err := ReplayShardedFile(path, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseDump := base.Stats.Dump("")
+			if baseDump == "" {
+				t.Fatal("1-shard run produced an empty stats dump")
+			}
+			var baseFile bytes.Buffer
+			if err := base.Stats.WriteStatsFile(&baseFile); err != nil {
+				t.Fatal(err)
+			}
+
+			for _, shards := range []int{2, 4} {
+				opt.Shards = shards
+				got, err := ReplayShardedFile(path, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Records != base.Records {
+					t.Fatalf("%d shards replayed %d records, 1 shard %d", shards, got.Records, base.Records)
+				}
+				if dump := got.Stats.Dump(""); dump != baseDump {
+					t.Fatalf("%d-shard merged dump diverged from 1-shard", shards)
+				}
+				var gotFile bytes.Buffer
+				if err := got.Stats.WriteStatsFile(&gotFile); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(gotFile.Bytes(), baseFile.Bytes()) {
+					t.Fatalf("%d-shard stats file diverged from 1-shard", shards)
+				}
+				// Per-segment registries must be N-independent too.
+				if len(got.Segments) != len(base.Segments) {
+					t.Fatalf("%d shards produced %d segments, 1 shard %d", shards, len(got.Segments), len(base.Segments))
+				}
+				for i := range got.Segments {
+					if got.Segments[i].Stats.Dump("") != base.Segments[i].Stats.Dump("") {
+						t.Fatalf("%d shards: segment %d stats diverged", shards, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedSegmentation checks the partition covers the trace exactly
+// once at the configured grain.
+func TestShardedSegmentation(t *testing.T) {
+	img := smallImage(t)
+	path := shardedImageFile(t, img, 1024)
+	cfg := machine.TestConfig()
+	res, err := ReplayShardedFile(path, ShardedOptions{Shards: 2, SegmentChunks: 4, Config: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != len(img.Records) {
+		t.Fatalf("replayed %d records, trace holds %d", res.Records, len(img.Records))
+	}
+	nChunks := (len(img.Records) + 1023) / 1024
+	wantSegs := (nChunks + 3) / 4
+	if len(res.Segments) != wantSegs {
+		t.Fatalf("%d segments, want %d", len(res.Segments), wantSegs)
+	}
+	next := 0
+	total := 0
+	for i, seg := range res.Segments {
+		if seg.Lo != next {
+			t.Fatalf("segment %d starts at chunk %d, want %d", i, seg.Lo, next)
+		}
+		if seg.Hi <= seg.Lo {
+			t.Fatalf("segment %d empty range [%d, %d)", i, seg.Lo, seg.Hi)
+		}
+		next = seg.Hi
+		total += seg.Records
+	}
+	if next != nChunks {
+		t.Fatalf("segments cover %d chunks, trace holds %d", next, nChunks)
+	}
+	if total != res.Records {
+		t.Fatalf("segment records sum to %d, result says %d", total, res.Records)
+	}
+}
+
+// TestShardedProgress checks OnProgress reports monotonically to the exact
+// total.
+func TestShardedProgress(t *testing.T) {
+	path := shardedImageFile(t, smallImage(t), 1024)
+	cfg := machine.TestConfig()
+	var mu = make(chan struct{}, 1)
+	maxDone, calls, lastTotal := 0, 0, 0
+	_, err := ReplayShardedFile(path, ShardedOptions{
+		Shards: 2, SegmentChunks: 2, Config: &cfg,
+		OnProgress: func(done, total int) {
+			mu <- struct{}{}
+			if done > maxDone {
+				maxDone = done
+			}
+			calls++
+			lastTotal = total
+			<-mu
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("OnProgress never called")
+	}
+	if maxDone != 20_000 || lastTotal != 20_000 {
+		t.Fatalf("progress peaked at %d/%d, want 20000/20000", maxDone, lastTotal)
+	}
+}
+
+// TestShardedRejectsCorruptTrace checks scan-time and replay-time failures
+// surface as errors, not hangs or partial results.
+func TestShardedRejectsCorruptTrace(t *testing.T) {
+	path := shardedImageFile(t, smallImage(t), 1024)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(t.TempDir(), "torn.kt2")
+	if err := os.WriteFile(torn, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.TestConfig()
+	if _, err := ReplayShardedFile(torn, ShardedOptions{Shards: 2, Config: &cfg}); err == nil {
+		t.Fatal("sharded replay of a torn trace succeeded")
+	}
+	if _, err := ReplayShardedFile(filepath.Join(t.TempDir(), "missing.kt2"), ShardedOptions{Config: &cfg}); err == nil {
+		t.Fatal("sharded replay of a missing file succeeded")
+	}
+}

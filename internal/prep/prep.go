@@ -340,19 +340,31 @@ func (s *ImageStream) Close() error {
 }
 
 // OpenImageStream opens a disk image (either format) for bounded-memory
-// streamed replay. The caller must Close the returned stream.
+// streamed replay with the default decode configuration. The caller must
+// Close the returned stream.
 func OpenImageStream(path string) (*ImageStream, error) {
+	return OpenImageStreamConfig(path, trace.StreamConfig{})
+}
+
+// OpenImageStreamConfig is OpenImageStream with an explicit stream
+// configuration (decode worker count).
+func OpenImageStreamConfig(path string, cfg trace.StreamConfig) (*ImageStream, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("prep: %w", err)
 	}
-	src, err := trace.OpenStream(f)
+	src, err := trace.OpenStreamConfig(f, cfg)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("prep: opening %s: %w", path, err)
 	}
 	return &ImageStream{RecordSource: src, f: f}, nil
 }
+
+// DecodeSource returns the stream's underlying record source — the target
+// for trace.DecodeStatsSource type assertions, which the embedded-interface
+// indirection would otherwise hide.
+func (s *ImageStream) DecodeSource() trace.RecordSource { return s.RecordSource }
 
 // ConvertImage rewrites a disk image into the given format ("v1" or "v2"),
 // streaming record-by-record — converting to v2 never materializes the

@@ -1,0 +1,41 @@
+package sim
+
+// Stats merging: sharded replay runs one independent machine (and so one
+// Stats) per trace segment, then folds every shard's registry into a single
+// one. All simulation stats are either sums (counters, histogram counts and
+// buckets) or order-free extrema (histogram min/max), so the merge is
+// commutative and associative — but ShardedReplay still merges in segment
+// order, which keeps the operation trivially deterministic without relying
+// on that property.
+
+// MergeFrom folds every counter and histogram of other into s, registering
+// names s has not seen. Counters add; histograms merge bucket-wise. other
+// is not modified. Counter-vs-histogram name clashes panic exactly as they
+// do at registration time.
+func (s *Stats) MergeFrom(other *Stats) {
+	for name, oc := range other.counters {
+		s.Counter(name).v += oc.v
+	}
+	for name, oh := range other.hists {
+		s.Hist(name).MergeFrom(oh)
+	}
+}
+
+// MergeFrom folds histogram o into h: counts, sums and buckets add, the
+// min/max range widens to cover both. o is not modified.
+func (h *Histogram) MergeFrom(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}

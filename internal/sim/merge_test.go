@@ -1,0 +1,79 @@
+package sim
+
+import "testing"
+
+func TestStatsMergeFrom(t *testing.T) {
+	a, b := NewStats(), NewStats()
+	a.Add("x", 3)
+	a.Add("only.a", 1)
+	b.Add("x", 4)
+	b.Add("only.b", 2)
+	a.Hist("lat").Observe(1)
+	a.Hist("lat").Observe(100)
+	b.Hist("lat").Observe(7)
+	b.Hist("only.b.hist").Observe(5)
+
+	a.MergeFrom(b)
+	if got := a.Get("x"); got != 7 {
+		t.Fatalf("x = %d, want 7", got)
+	}
+	if got := a.Get("only.a"); got != 1 {
+		t.Fatalf("only.a = %d", got)
+	}
+	if got := a.Get("only.b"); got != 2 {
+		t.Fatalf("only.b = %d", got)
+	}
+	h := a.Hist("lat")
+	if h.Count() != 3 || h.Sum() != 108 || h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("lat = count %d sum %d min %d max %d", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if a.Hist("only.b.hist").Count() != 1 {
+		t.Fatal("only.b.hist not merged")
+	}
+	// b must be untouched.
+	if b.Get("x") != 4 || b.Hist("lat").Count() != 1 {
+		t.Fatal("merge mutated the source registry")
+	}
+}
+
+// TestMergeOrderIrrelevant pins commutativity: folding registries in any
+// order produces identical dumps (ShardedReplay merges in segment order
+// anyway, but the property makes the determinism unconditional).
+func TestMergeOrderIrrelevant(t *testing.T) {
+	mk := func(seed uint64) *Stats {
+		s := NewStats()
+		s.Add("c", seed)
+		h := s.Hist("h")
+		h.Observe(seed)
+		h.Observe(seed * 31)
+		return s
+	}
+	parts := []*Stats{mk(1), mk(9), mk(200), mk(4)}
+	fwd, rev := NewStats(), NewStats()
+	for _, p := range parts {
+		fwd.MergeFrom(p)
+	}
+	for i := len(parts) - 1; i >= 0; i-- {
+		rev.MergeFrom(parts[i])
+	}
+	if fwd.Dump("") != rev.Dump("") {
+		t.Fatal("merge order changed the dump")
+	}
+}
+
+func TestMergeEmptyHistogram(t *testing.T) {
+	a, b := NewStats(), NewStats()
+	a.Hist("h").Observe(5)
+	b.Hist("h") // registered, never observed
+	before := a.Dump("")
+	a.MergeFrom(b)
+	if a.Dump("") != before {
+		t.Fatal("merging an empty histogram changed the stats")
+	}
+	// And the other direction: empty target adopts the source wholesale.
+	c := NewStats()
+	c.MergeFrom(a)
+	if c.Dump("") != a.Dump("") {
+		t.Fatal("merge into empty registry diverged")
+	}
+}

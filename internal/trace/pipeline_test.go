@@ -1,0 +1,231 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// mkRandImage builds a random valid image: 1-4 areas of random sizes,
+// monotonic periods with plateaus and jumps, random in-bounds accesses.
+func mkRandImage(rng *rand.Rand, n int) *Image {
+	img := &Image{Benchmark: "pipe"}
+	nAreas := rng.Intn(4) + 1
+	for a := 0; a < nAreas; a++ {
+		img.Areas = append(img.Areas, Area{
+			Name:  fmt.Sprintf("area%d", a),
+			Size:  uint64(rng.Intn(1<<20) + 4096),
+			NVM:   rng.Intn(2) == 0,
+			Write: true,
+		})
+	}
+	var period uint64
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0: // plateau
+		case 1:
+			period += uint64(rng.Intn(3))
+		default:
+			period += uint64(rng.Intn(1000))
+		}
+		area := rng.Intn(nAreas)
+		size := uint32(1 << rng.Intn(7))
+		off := uint64(rng.Int63n(int64(img.Areas[area].Size - uint64(size))))
+		img.Records = append(img.Records, Record{
+			Period: period,
+			Offset: off,
+			Op:     Op(rng.Intn(2)),
+			Size:   size,
+			Area:   uint32(area),
+		})
+	}
+	return img
+}
+
+// drainAll pulls every batch out of a source, copying records (batches are
+// only valid until the next Next call), and returns the prefix decoded
+// before the stream ended plus the terminating error (nil for clean EOF).
+func drainAll(src RecordSource) ([]Record, error) {
+	var out []Record
+	for {
+		batch, err := src.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, batch...)
+	}
+}
+
+// openDrain opens data with the given worker count, drains it, and closes
+// the source. Open-time errors come back as the error with nil records.
+func openDrain(t *testing.T, data []byte, workers int) ([]Record, error) {
+	t.Helper()
+	src, err := OpenStreamConfig(bytes.NewReader(data), StreamConfig{DecodeWorkers: workers})
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	return drainAll(src)
+}
+
+// TestPipelinedDecodeMatchesSerial is the property test for the decode
+// pool: over random images, chunk sizes and codecs, every pipelined worker
+// count must yield the byte-identical record sequence of the serial
+// decoder.
+func TestPipelinedDecodeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		img := mkRandImage(rng, rng.Intn(3000)+1)
+		opt := StreamOptions{
+			ChunkRecords: rng.Intn(256) + 1,
+			NoCompress:   rng.Intn(2) == 0,
+		}
+		var buf bytes.Buffer
+		if err := EncodeV2(&buf, img, opt); err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		serial, err := openDrain(t, buf.Bytes(), 1)
+		if err != nil {
+			t.Fatalf("trial %d: serial drain: %v", trial, err)
+		}
+		sameRecords(t, serial, img.Records)
+		for _, workers := range []int{2, 3, 8} {
+			piped, err := openDrain(t, buf.Bytes(), workers)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: pipelined drain: %v", trial, workers, err)
+			}
+			if len(piped) != len(serial) {
+				t.Fatalf("trial %d workers %d: %d records, serial %d", trial, workers, len(piped), len(serial))
+			}
+			for i := range serial {
+				if piped[i] != serial[i] {
+					t.Fatalf("trial %d workers %d: record %d = %+v, serial %+v",
+						trial, workers, i, piped[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPipelinedDecodeErrorParity pins error-propagation order: over random
+// truncations and byte flips of a valid stream, the pipelined decoder must
+// deliver the same decoded prefix and the same terminating error (by
+// message) as the serial decoder — corruption in chunk k never surfaces
+// before chunks 0..k-1 are emitted, exactly like the serial pass.
+func TestPipelinedDecodeErrorParity(t *testing.T) {
+	img := mkImage(3000)
+	for _, opt := range []StreamOptions{
+		{ChunkRecords: 64},
+		{ChunkRecords: 64, NoCompress: true},
+	} {
+		var buf bytes.Buffer
+		if err := EncodeV2(&buf, img, opt); err != nil {
+			t.Fatal(err)
+		}
+		clean := buf.Bytes()
+		rng := rand.New(rand.NewSource(int64(len(clean))))
+		for trial := 0; trial < 120; trial++ {
+			data := append([]byte(nil), clean...)
+			if trial%2 == 0 {
+				data = data[:rng.Intn(len(data))] // torn stream
+			} else {
+				pos := rng.Intn(len(data))
+				data[pos] ^= byte(1 << rng.Intn(8)) // flipped bit
+			}
+			serial, serialErr := openDrain(t, data, 1)
+			piped, pipedErr := openDrain(t, data, 4)
+			if (serialErr == nil) != (pipedErr == nil) {
+				t.Fatalf("trial %d: serial err %v, pipelined err %v", trial, serialErr, pipedErr)
+			}
+			if serialErr != nil && serialErr.Error() != pipedErr.Error() {
+				t.Fatalf("trial %d: serial err %q, pipelined err %q", trial, serialErr, pipedErr)
+			}
+			if len(piped) != len(serial) {
+				t.Fatalf("trial %d: pipelined decoded %d records before error, serial %d (err %v)",
+					trial, len(piped), len(serial), serialErr)
+			}
+			for i := range serial {
+				if piped[i] != serial[i] {
+					t.Fatalf("trial %d: record %d = %+v, serial %+v", trial, i, piped[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPipelinedDecodeStats checks the decode pool reports its shape and
+// progress through DecodeStatsSource.
+func TestPipelinedDecodeStats(t *testing.T) {
+	img := mkImage(2000)
+	var buf bytes.Buffer
+	if err := EncodeV2(&buf, img, StreamOptions{ChunkRecords: 100}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenStreamConfig(bytes.NewReader(buf.Bytes()), StreamConfig{DecodeWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	ds, ok := src.(DecodeStatsSource)
+	if !ok {
+		t.Fatal("pipelined source does not implement DecodeStatsSource")
+	}
+	if _, err := drainAll(src); err != nil {
+		t.Fatal(err)
+	}
+	st := ds.DecodeStats()
+	if st.Workers != 3 {
+		t.Fatalf("Workers = %d, want 3", st.Workers)
+	}
+	if st.Chunks != 20 {
+		t.Fatalf("Chunks = %d, want 20", st.Chunks)
+	}
+}
+
+// TestSerialSourceHasNoDecodeStats pins the contract that only the
+// pipelined decoder exposes stall counters.
+func TestSerialSourceHasNoDecodeStats(t *testing.T) {
+	img := mkImage(10)
+	var buf bytes.Buffer
+	if err := EncodeV2(&buf, img, StreamOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenStreamConfig(bytes.NewReader(buf.Bytes()), StreamConfig{DecodeWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if _, ok := src.(DecodeStatsSource); ok {
+		t.Fatal("serial source unexpectedly implements DecodeStatsSource")
+	}
+}
+
+// TestPipelinedCloseMidStream checks Close unwinds the pipeline cleanly
+// with chunks still in flight (no goroutine leak panics under -race, no
+// hang).
+func TestPipelinedCloseMidStream(t *testing.T) {
+	img := mkImage(5000)
+	var buf bytes.Buffer
+	if err := EncodeV2(&buf, img, StreamOptions{ChunkRecords: 16}); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		src, err := OpenStreamConfig(bytes.NewReader(buf.Bytes()), StreamConfig{DecodeWorkers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < trial; i++ {
+			if _, err := src.Next(); err != nil {
+				t.Fatalf("trial %d: Next %d: %v", trial, i, err)
+			}
+		}
+		if err := src.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

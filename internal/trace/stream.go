@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 )
 
@@ -256,12 +257,32 @@ func readStreamHeader(c *countingReader) (*streamHeader, error) {
 	return h, nil
 }
 
-// OpenStream opens a binary trace for streamed replay, sniffing the format
-// version from the header: v1 images decode incrementally in
-// DefaultChunkRecords batches, v2 images chunk-by-chunk with one chunk of
-// read-ahead decoded concurrently. The caller must Close the source (which
-// does not close r) and keeps ownership of r.
+// StreamConfig tunes how OpenStreamConfig decodes a stream. The zero value
+// is the default configuration.
+type StreamConfig struct {
+	// DecodeWorkers bounds the concurrent chunk decoders of a v2 stream:
+	// 0 picks GOMAXPROCS, 1 selects the serial single-goroutine read-ahead
+	// decoder, and values above 1 enable the pipelined worker pool (one
+	// reader goroutine framing compressed chunks, DecodeWorkers goroutines
+	// decompressing and decoding them, a reorder buffer restoring chunk
+	// order). Record sequence and error order are identical either way;
+	// only the host-side decode concurrency changes. v1 streams ignore it.
+	DecodeWorkers int
+}
+
+// OpenStream opens a binary trace for streamed replay with the default
+// configuration; see OpenStreamConfig.
 func OpenStream(r io.Reader) (RecordSource, error) {
+	return OpenStreamConfig(r, StreamConfig{})
+}
+
+// OpenStreamConfig opens a binary trace for streamed replay, sniffing the
+// format version from the header: v1 images decode incrementally in
+// DefaultChunkRecords batches, v2 images chunk-by-chunk — serially with one
+// chunk of read-ahead, or through a decode worker pool (see
+// StreamConfig.DecodeWorkers). The caller must Close the source (which does
+// not close r) and keeps ownership of r.
+func OpenStreamConfig(r io.Reader, cfg StreamConfig) (RecordSource, error) {
 	total := -1
 	if rs, ok := r.(io.ReadSeeker); ok {
 		if t, ok := readV2FooterTotal(rs); ok {
@@ -284,6 +305,13 @@ func OpenStream(r io.Reader) (RecordSource, error) {
 		}
 		return &v1Source{c: c, h: h, total: int(n)}, nil
 	default:
+		workers := cfg.DecodeWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > 1 {
+			return newPipelineSource(c, h, total, workers), nil
+		}
 		s := &v2Source{
 			h:     h,
 			total: total,
@@ -501,22 +529,139 @@ func (s *v2Source) Close() error {
 	return nil
 }
 
+// chunkFrame is one parsed v2 chunk frame header: everything before the
+// payload, plus the reader offsets decode errors must point at. A frame
+// with terminator set marks the end of the chunk sequence (the footer
+// index follows).
+type chunkFrame struct {
+	count      uint64
+	codec      byte
+	basePeriod uint64
+	rawLen     uint64
+	diskLen    uint64
+	// basePeriodOff is the reader offset right after the base-period
+	// varint — where the cross-chunk monotonicity error points. The
+	// monotonicity check itself is the caller's: only a decoder that
+	// consumes chunks in stream order knows the previous chunk's last
+	// period.
+	basePeriodOff int64
+	// payloadStart is the reader offset of the first payload byte.
+	payloadStart int64
+	terminator   bool
+}
+
+// readChunkFrame parses the next chunk's frame header, validating every
+// field against the decoder hard limits. It is shared by the serial
+// decoder, the pipelined decoder's reader goroutine, the chunk-index
+// scanner and the range source, so all of them reject corruption with
+// identical errors.
+func readChunkFrame(c *countingReader) (chunkFrame, error) {
+	var f chunkFrame
+	count, err := c.uvarint("chunk record count")
+	if err != nil {
+		return f, err
+	}
+	if count == 0 {
+		f.terminator = true
+		return f, nil
+	}
+	if count > maxChunkRecords {
+		return f, fmt.Errorf("trace: offset %d: chunk of %d records exceeds limit %d: %w", c.off, count, maxChunkRecords, ErrCorrupt)
+	}
+	f.count = count
+	codec, err := c.ReadByte()
+	if err != nil {
+		return f, c.fail("chunk codec", err)
+	}
+	if codec != codecRaw && codec != codecFlate {
+		return f, fmt.Errorf("trace: offset %d: unknown chunk codec %d: %w", c.off, codec, ErrCorrupt)
+	}
+	f.codec = codec
+	if f.basePeriod, err = c.uvarint("chunk base period"); err != nil {
+		return f, err
+	}
+	f.basePeriodOff = c.off
+	if f.rawLen, err = c.uvarint("chunk raw length"); err != nil {
+		return f, err
+	}
+	if f.diskLen, err = c.uvarint("chunk disk length"); err != nil {
+		return f, err
+	}
+	if f.rawLen > maxChunkBytes || f.diskLen > maxChunkBytes {
+		return f, fmt.Errorf("trace: offset %d: chunk payload %d/%d bytes exceeds limit %d: %w", c.off, f.rawLen, f.diskLen, maxChunkBytes, ErrCorrupt)
+	}
+	if codec == codecRaw && f.rawLen != f.diskLen {
+		return f, fmt.Errorf("trace: offset %d: raw chunk with disk length %d != raw length %d: %w", c.off, f.diskLen, f.rawLen, ErrCorrupt)
+	}
+	f.payloadStart = c.off
+	return f, nil
+}
+
+// errBasePeriodBackwards renders the cross-chunk monotonicity violation for
+// a frame, identically wherever in the pipeline it is detected.
+func errBasePeriodBackwards(f chunkFrame, lastPeriod uint64) error {
+	return fmt.Errorf("trace: offset %d: chunk base period goes backwards (%d < %d): %w", f.basePeriodOff, f.basePeriod, lastPeriod, ErrCorrupt)
+}
+
+// chunkDecoder holds the reusable per-decoder scratch state: the disk and
+// raw buffers grow to the largest chunk and stay there, the inflater and
+// its bytes.Reader reset in place, and the overrun scratch byte is hoisted,
+// so the steady-state chunk loop performs no heap allocation at all (the
+// zero-alloc CI guards pin this). Each concurrent decoder owns one.
+type chunkDecoder struct {
+	disk, raw []byte
+	inflate   io.ReadCloser
+	diskRd    bytes.Reader
+	overrun   [1]byte
+}
+
+// readDisk reads the frame's on-disk payload into the decoder's reused
+// disk buffer.
+func (d *chunkDecoder) readDisk(c *countingReader, f chunkFrame) error {
+	if uint64(cap(d.disk)) < f.diskLen {
+		d.disk = make([]byte, f.diskLen)
+	}
+	d.disk = d.disk[:f.diskLen]
+	if _, err := io.ReadFull(c, d.disk); err != nil {
+		return c.fail("chunk payload", err)
+	}
+	return nil
+}
+
+// inflatePayload turns a frame's on-disk payload bytes into the raw chunk
+// payload: returned as-is for raw chunks, inflated into the reused raw
+// buffer for DEFLATE chunks.
+func (d *chunkDecoder) inflatePayload(f chunkFrame, disk []byte) ([]byte, error) {
+	if f.codec != codecFlate {
+		return disk, nil
+	}
+	if uint64(cap(d.raw)) < f.rawLen {
+		d.raw = make([]byte, f.rawLen)
+	}
+	d.raw = d.raw[:f.rawLen]
+	d.diskRd.Reset(disk)
+	if d.inflate == nil {
+		d.inflate = flate.NewReader(&d.diskRd)
+	} else if err := d.inflate.(flate.Resetter).Reset(&d.diskRd, nil); err != nil {
+		return nil, fmt.Errorf("trace: offset %d: resetting inflater: %w", f.payloadStart, err)
+	}
+	if _, err := io.ReadFull(d.inflate, d.raw); err != nil {
+		return nil, fmt.Errorf("trace: offset %d: inflating chunk: %w: %w", f.payloadStart, err, ErrCorrupt)
+	}
+	if n, _ := d.inflate.Read(d.overrun[:]); n != 0 {
+		return nil, fmt.Errorf("trace: offset %d: chunk inflates past its declared %d bytes: %w", f.payloadStart, f.rawLen, ErrCorrupt)
+	}
+	return d.raw, nil
+}
+
 // run is the read-ahead loop. It owns the reader; it exits when the stream
 // ends, on the first error, or when Close fires, and always closes out.
 func (s *v2Source) run(c *countingReader) {
 	defer close(s.out)
-	// Everything the per-chunk loop needs lives outside it and is reused:
-	// disk/raw grow to the largest chunk and stay there, the inflater and
-	// its bytes.Reader reset in place, and the overrun scratch byte is
-	// hoisted so the steady-state loop performs no heap allocation at all
-	// (the zero-alloc CI guard pins this).
 	var (
 		recIndex   int
 		lastPeriod uint64
-		disk, raw  []byte
-		inflate    io.ReadCloser
-		diskRd     bytes.Reader
-		overrun    [1]byte
+		dec        chunkDecoder
 		seenChunks []chunkIndexEntry
 		lastOffs   = make([]uint64, len(s.h.areas))
 	)
@@ -530,86 +675,27 @@ func (s *v2Source) run(c *countingReader) {
 		}
 	}
 	for {
-		count, err := c.uvarint("chunk record count")
+		f, err := readChunkFrame(c)
 		if err != nil {
 			emitErr(err)
 			return
 		}
-		if count == 0 {
-			emitErr(s.checkFooter(c, seenChunks, recIndex))
+		if f.terminator {
+			emitErr(checkStreamFooter(c, seenChunks, recIndex))
 			return
 		}
-		if count > maxChunkRecords {
-			emitErr(fmt.Errorf("trace: offset %d: chunk of %d records exceeds limit %d: %w", c.off, count, maxChunkRecords, ErrCorrupt))
+		if f.basePeriod < lastPeriod {
+			emitErr(errBasePeriodBackwards(f, lastPeriod))
 			return
 		}
-		codec, err := c.ReadByte()
-		if err != nil {
-			emitErr(c.fail("chunk codec", err))
-			return
-		}
-		if codec != codecRaw && codec != codecFlate {
-			emitErr(fmt.Errorf("trace: offset %d: unknown chunk codec %d: %w", c.off, codec, ErrCorrupt))
-			return
-		}
-		basePeriod, err := c.uvarint("chunk base period")
-		if err != nil {
+		if err := dec.readDisk(c, f); err != nil {
 			emitErr(err)
 			return
 		}
-		if basePeriod < lastPeriod {
-			emitErr(fmt.Errorf("trace: offset %d: chunk base period goes backwards (%d < %d): %w", c.off, basePeriod, lastPeriod, ErrCorrupt))
-			return
-		}
-		rawLen, err := c.uvarint("chunk raw length")
+		payload, err := dec.inflatePayload(f, dec.disk)
 		if err != nil {
 			emitErr(err)
 			return
-		}
-		diskLen, err := c.uvarint("chunk disk length")
-		if err != nil {
-			emitErr(err)
-			return
-		}
-		if rawLen > maxChunkBytes || diskLen > maxChunkBytes {
-			emitErr(fmt.Errorf("trace: offset %d: chunk payload %d/%d bytes exceeds limit %d: %w", c.off, rawLen, diskLen, maxChunkBytes, ErrCorrupt))
-			return
-		}
-		if codec == codecRaw && rawLen != diskLen {
-			emitErr(fmt.Errorf("trace: offset %d: raw chunk with disk length %d != raw length %d: %w", c.off, diskLen, rawLen, ErrCorrupt))
-			return
-		}
-		payloadStart := c.off
-		if uint64(cap(disk)) < diskLen {
-			disk = make([]byte, diskLen)
-		}
-		disk = disk[:diskLen]
-		if _, err := io.ReadFull(c, disk); err != nil {
-			emitErr(c.fail("chunk payload", err))
-			return
-		}
-		payload := disk
-		if codec == codecFlate {
-			if uint64(cap(raw)) < rawLen {
-				raw = make([]byte, rawLen)
-			}
-			raw = raw[:rawLen]
-			diskRd.Reset(disk)
-			if inflate == nil {
-				inflate = flate.NewReader(&diskRd)
-			} else if err := inflate.(flate.Resetter).Reset(&diskRd, nil); err != nil {
-				emitErr(fmt.Errorf("trace: offset %d: resetting inflater: %w", payloadStart, err))
-				return
-			}
-			if _, err := io.ReadFull(inflate, raw); err != nil {
-				emitErr(fmt.Errorf("trace: offset %d: inflating chunk: %w: %w", payloadStart, err, ErrCorrupt))
-				return
-			}
-			if n, _ := inflate.Read(overrun[:]); n != 0 {
-				emitErr(fmt.Errorf("trace: offset %d: chunk inflates past its declared %d bytes: %w", payloadStart, rawLen, ErrCorrupt))
-				return
-			}
-			payload = raw
 		}
 
 		var buf []Record
@@ -619,14 +705,14 @@ func (s *v2Source) run(c *countingReader) {
 			return
 		}
 		clear(lastOffs)
-		recs, last, err := decodeChunkPayload(payload, int(count), basePeriod, s.h.areas, lastOffs, buf, recIndex, payloadStart)
+		recs, last, err := decodeChunkPayload(payload, int(f.count), f.basePeriod, s.h.areas, lastOffs, buf, recIndex, f.payloadStart)
 		if err != nil {
 			emitErr(err)
 			return
 		}
 		lastPeriod = last
-		seenChunks = append(seenChunks, chunkIndexEntry{records: count, diskBytes: diskLen})
-		recIndex += int(count)
+		seenChunks = append(seenChunks, chunkIndexEntry{records: f.count, diskBytes: f.diskLen})
+		recIndex += int(f.count)
 		select {
 		case s.out <- v2Batch{recs: recs}:
 		case <-s.stop:
@@ -635,10 +721,10 @@ func (s *v2Source) run(c *countingReader) {
 	}
 }
 
-// checkFooter parses the trailing index and cross-checks it against what
-// the sequential pass actually decoded. A clean match ends the stream with
-// io.EOF.
-func (s *v2Source) checkFooter(c *countingReader, seen []chunkIndexEntry, totalRecs int) error {
+// checkStreamFooter parses the trailing index and cross-checks it against
+// what the sequential pass actually decoded. A clean match ends the stream
+// with io.EOF.
+func checkStreamFooter(c *countingReader, seen []chunkIndexEntry, totalRecs int) error {
 	nChunks, err := c.uvarint("footer chunk count")
 	if err != nil {
 		return err

@@ -2,6 +2,7 @@ package kindle_test
 
 import (
 	"bytes"
+	"io"
 	"testing"
 
 	"kindle/internal/core"
@@ -31,6 +32,47 @@ func BenchmarkReplayThroughput(b *testing.B) {
 		}
 		if err := rep.Run(); err != nil {
 			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+}
+
+// benchShards is the shard count BenchmarkShardedReplayThroughput measures
+// at; `make bench` records it in the report so benchdiff can refuse
+// cross-shard-count comparisons.
+const benchShards = 4
+
+// BenchmarkShardedReplayThroughput replays the same workload through
+// core.ReplaySharded at benchShards shards: the chunk index is partitioned
+// into fixed segments, each replayed on a cold independent machine. The
+// records/sec metric measures aggregate sharded throughput; it is NOT
+// comparable to the end-to-end benchmarks above (cold-start physics per
+// segment), only to itself across PRs.
+func BenchmarkShardedReplayThroughput(b *testing.B) {
+	cfg := workloads.DefaultYCSB()
+	cfg.Ops = 100_000
+	img, err := workloads.YCSB(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	records := len(img.Records)
+	var buf bytes.Buffer
+	// Small chunks so the trace splits into enough segments to keep
+	// benchShards workers busy.
+	if err := trace.EncodeV2(&buf, img, trace.StreamOptions{ChunkRecords: 4096}); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.ReplaySharded(func() (io.ReadSeeker, error) {
+			return bytes.NewReader(data), nil
+		}, core.ShardedOptions{Shards: benchShards})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Records != records {
+			b.Fatalf("replayed %d records, want %d", res.Records, records)
 		}
 	}
 	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
