@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench benchsmoke crashsweep fuzzsmoke allocguard monitorsmoke shardsmoke profile
+.PHONY: all build test check fmt vet race bench benchsmoke crashsweep fuzzsmoke allocguard monitorsmoke shardsmoke eventsmoke profile
 
 all: build test
 
@@ -15,9 +15,10 @@ test:
 # skip, hence the separate non-race run), a one-iteration pass over every
 # benchmark so the perf harness can't silently rot, a bounded commit-point
 # crash sweep, a short fuzz of the trace decoders, the live-monitor smoke
-# (real kindle binary scraped over HTTP mid-run), and the sharded-replay
-# smoke (real binary, -shards 1 vs 4 stats dumps diffed).
-check: fmt vet race allocguard benchsmoke crashsweep fuzzsmoke monitorsmoke shardsmoke
+# (real kindle binary scraped over HTTP mid-run), the sharded-replay
+# smoke (real binary, -shards 1 vs 4 stats dumps diffed), and the
+# event-clock smoke (real binary, stepped vs -event-clock dumps diffed).
+check: fmt vet race allocguard benchsmoke crashsweep fuzzsmoke monitorsmoke shardsmoke eventsmoke
 
 # allocguard pins the replay fast path's zero-allocation steady state (see
 # allocguard_test.go); it needs a non-race build because race instrumentation
@@ -61,6 +62,13 @@ monitorsmoke:
 # shard_smoke_test.go).
 shardsmoke:
 	$(GO) test -run TestShardSmoke .
+
+# eventsmoke builds the real kindle binary and replays the same image with
+# checkpoints and an idle tail, stepped and with -event-clock; the two
+# stats dumps must be byte-identical — the event-driven clock's identity
+# contract, end to end (see event_smoke_test.go).
+eventsmoke:
+	$(GO) test -run TestEventSmoke .
 
 # profile records CPU and allocation profiles for both replay benchmarks
 # under profiles/ (gitignored). See "Recipe: profiling the replay engine"

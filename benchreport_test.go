@@ -40,6 +40,16 @@ func TestWriteBenchReport(t *testing.T) {
 	bh := testing.Benchmark(BenchmarkShardedReplayThroughput)
 	rep.ShardedRecordsPerSec = bh.Extra["records/sec"]
 
+	// Idle-skip win of the event-driven clock on the checkpoint-lifecycle
+	// workload: stepped ns/op over event-driven ns/op. Informational (the
+	// dumps are identity-gated; only host time differs), so benchdiff never
+	// gates on it.
+	stepped := testing.Benchmark(BenchmarkSteppedClockLongHorizon)
+	event := testing.Benchmark(BenchmarkEventClockLongHorizon)
+	if ns := event.NsPerOp(); ns > 0 {
+		rep.EventClockSpeedup = float64(stepped.NsPerOp()) / float64(ns)
+	}
+
 	start := time.Now()
 	if _, err := bench.RunAll(bench.Options{Scale: rep.SuiteScale}, nil); err != nil {
 		t.Fatal(err)
@@ -49,8 +59,8 @@ func TestWriteBenchReport(t *testing.T) {
 	if err := rep.WriteFile(*benchReportPath); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s: %.0f records/sec (stream %.0f at %d workers, sharded %.0f at %d shards), suite %.1fs at scale %g on %d procs",
+	t.Logf("wrote %s: %.0f records/sec (stream %.0f at %d workers, sharded %.0f at %d shards), event-clock speedup %.2fx, suite %.1fs at scale %g on %d procs",
 		*benchReportPath, rep.RecordsPerSec, rep.StreamRecordsPerSec, rep.DecodeWorkers,
-		rep.ShardedRecordsPerSec, rep.Shards, rep.SuiteWallClockSec,
+		rep.ShardedRecordsPerSec, rep.Shards, rep.EventClockSpeedup, rep.SuiteWallClockSec,
 		rep.SuiteScale, rep.GOMAXPROCS)
 }

@@ -1,0 +1,91 @@
+package kindle_test
+
+// Event-clock smoke test (`make eventsmoke`, part of `make check`): build
+// the real kindle binary, write a tiny v2 image, replay it with periodic
+// checkpoints and a long idle tail — once stepped, once with -event-clock —
+// and require the two stats dumps to be byte-identical. This pins the
+// event-driven clock's identity gate end to end, through flag parsing, the
+// persistence timers and the idle run loop, in the same out-of-process
+// style as the shard smoke.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"kindle/internal/trace"
+	"kindle/internal/workloads"
+)
+
+func TestEventSmoke(t *testing.T) {
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "kindle")
+	if out, err := exec.Command(gobin, "build", "-o", bin, "./cmd/kindle").CombinedOutput(); err != nil {
+		t.Fatalf("building cmd/kindle: %v\n%s", err, out)
+	}
+
+	cfg := workloads.SmallYCSB()
+	cfg.Ops = 20_000
+	img, err := workloads.YCSB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	image := filepath.Join(dir, "ycsb.ktrc")
+	f, err := os.Create(image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.EncodeV2(f, img, trace.StreamOptions{ChunkRecords: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dumps := map[bool][]byte{}
+	for _, event := range []bool{false, true} {
+		name := "stepped"
+		if event {
+			name = "event"
+		}
+		statsOut := filepath.Join(dir, "stats."+name)
+		args := []string{
+			"-image", image,
+			"-persist", "rebuild",
+			"-interval", "300us",
+			"-idle-after", "30ms",
+			"-idle-tick", "2us",
+			"-stats-out", statsOut,
+		}
+		if event {
+			args = append(args, "-event-clock")
+		}
+		if out, err := exec.Command(bin, args...).CombinedOutput(); err != nil {
+			t.Fatalf("kindle (%s): %v\n%s", name, err, out)
+		}
+		data, err := os.ReadFile(statsOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s run wrote an empty stats file", name)
+		}
+		dumps[event] = data
+	}
+	if !bytes.Equal(dumps[false], dumps[true]) {
+		sl := bytes.Split(dumps[false], []byte("\n"))
+		el := bytes.Split(dumps[true], []byte("\n"))
+		for i := 0; i < len(sl) && i < len(el); i++ {
+			if !bytes.Equal(sl[i], el[i]) {
+				t.Fatalf("stats dumps diverge at line %d:\n stepped: %s\n event:   %s", i+1, sl[i], el[i])
+			}
+		}
+		t.Fatalf("stats dumps differ in length: %d vs %d lines", len(sl), len(el))
+	}
+}

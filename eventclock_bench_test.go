@@ -1,0 +1,40 @@
+package kindle_test
+
+import (
+	"testing"
+
+	"kindle/internal/bench"
+)
+
+// runLongHorizonBench measures the checkpoint/crash/recovery lifecycle
+// workload (bench.RunLongHorizon defaults: six work rounds separated by
+// 50 ms idle windows, a 5 ms checkpoint interval and a mid-run power
+// failure) with one of the two clock engines. The workload is ~99% idle
+// simulated time, so the stepped engine spends nearly all its host cycles
+// visiting empty 250 ns boundaries — the case the event-driven clock
+// skips. The two benchmarks' ns/op ratio is the idle-skip win recorded as
+// event_clock_speedup in BENCH_replay.json.
+func runLongHorizonBench(b *testing.B, eventDriven bool) {
+	cfg := bench.LongHorizonConfig{EventDriven: eventDriven, CrashAtPhase: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunLongHorizon(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Crashes != 1 || res.Checkpoints == 0 {
+			b.Fatalf("lifecycle ran %d crashes, %d checkpoints", res.Crashes, res.Checkpoints)
+		}
+	}
+}
+
+// BenchmarkEventClockLongHorizon: the lifecycle with the event-driven
+// clock, jumping straight between due timer boundaries through the idle
+// windows.
+func BenchmarkEventClockLongHorizon(b *testing.B) { runLongHorizonBench(b, true) }
+
+// BenchmarkSteppedClockLongHorizon: the same lifecycle stepped one cycle
+// group at a time — the baseline the event-driven engine is measured
+// against. Stats dumps are byte-identical between the two (see
+// TestLongHorizonEventClockIdentity).
+func BenchmarkSteppedClockLongHorizon(b *testing.B) { runLongHorizonBench(b, false) }

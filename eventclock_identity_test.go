@@ -1,0 +1,87 @@
+package kindle_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"kindle/internal/core"
+	"kindle/internal/machine"
+	"kindle/internal/persist"
+	"kindle/internal/workloads"
+)
+
+// TestEventClockStatsIdentity is the end-to-end contract behind the
+// event-driven clock: replaying a YCSB workload with periodic checkpoints
+// and idle stretches between replay steps — the workload shape the
+// event-driven engine exists for — must finish at the same simulated clock
+// and produce byte-identical gem5-format stats dumps with
+// Config.EventDrivenClock on and off, with the fast paths both enabled and
+// disabled. Event-to-event jumps are a host-side shortcut only; no
+// simulated outcome may depend on them.
+func TestEventClockStatsIdentity(t *testing.T) {
+	wcfg := workloads.SmallYCSB()
+	wcfg.Ops = 30_000
+	img, err := workloads.YCSB(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(event, slow bool) (clock uint64, dump []byte) {
+		mcfg := machine.TestConfig()
+		mcfg.EventDrivenClock = event
+		mcfg.DisableFastPaths = slow
+		f := core.New(mcfg)
+		if _, err := f.EnablePersistence(persist.Rebuild, 300*time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+		_, rep, err := f.LaunchInit(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Manager().Start()
+		// Interleave replay bursts with pure-idle stretches: the timers
+		// (checkpoints, scheduler ticks, NVM drains) keep firing while no
+		// instructions are in flight.
+		for {
+			done, err := rep.Step(10_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.RunIdle(2*time.Millisecond, 5*time.Microsecond)
+			if done {
+				break
+			}
+		}
+		var buf bytes.Buffer
+		if err := f.M.Stats.WriteStatsFile(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return uint64(f.M.Clock.Now()), buf.Bytes()
+	}
+
+	for _, slow := range []bool{false, true} {
+		name := "fastpaths"
+		if slow {
+			name = "slowpaths"
+		}
+		t.Run(name, func(t *testing.T) {
+			stepClock, stepDump := run(false, slow)
+			evClock, evDump := run(true, slow)
+			if stepClock != evClock {
+				t.Fatalf("final clock %d stepped, %d event-driven", stepClock, evClock)
+			}
+			if !bytes.Equal(stepDump, evDump) {
+				// Find the first differing line so the failure names the stat.
+				sl := bytes.Split(stepDump, []byte("\n"))
+				el := bytes.Split(evDump, []byte("\n"))
+				for i := 0; i < len(sl) && i < len(el); i++ {
+					if !bytes.Equal(sl[i], el[i]) {
+						t.Fatalf("stats dumps diverge at line %d:\n stepped: %s\n event:   %s", i+1, sl[i], el[i])
+					}
+				}
+				t.Fatalf("stats dumps differ in length: %d vs %d lines", len(sl), len(el))
+			}
+		})
+	}
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// quickLongHorizon keeps the lifecycle cheap for unit tests: fewer, shorter
+// phases at a coarser stepped grain, with a crash in the middle.
+func quickLongHorizon(event bool) LongHorizonConfig {
+	return LongHorizonConfig{
+		EventDriven:  event,
+		Phases:       4,
+		OpsPerPhase:  16,
+		IdlePerPhase: 4 * time.Millisecond,
+		IdleTick:     2 * time.Microsecond,
+		Interval:     500 * time.Microsecond,
+		CrashAtPhase: 2,
+	}
+}
+
+// TestLongHorizonEventClockIdentity is the lifecycle half of the event-clock
+// identity gate: a checkpoint/crash/recovery lifecycle with long idle
+// windows must produce byte-identical stats dumps and equal final clocks
+// whether the clock steps every cycle group or jumps event-to-event.
+func TestLongHorizonEventClockIdentity(t *testing.T) {
+	stepped, err := RunLongHorizon(quickLongHorizon(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	event, err := RunLongHorizon(quickLongHorizon(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stepped.Crashes != 1 || event.Crashes != 1 {
+		t.Fatalf("crashes = %d/%d, want 1/1", stepped.Crashes, event.Crashes)
+	}
+	// 4 phases x 4ms idle at a 500us interval: the timer must have fired
+	// roughly once per interval; a run where no checkpoints happened would
+	// vacuously pass the identity check.
+	if stepped.Checkpoints < 10 {
+		t.Fatalf("only %d checkpoints started; lifecycle not exercising the timer", stepped.Checkpoints)
+	}
+	if stepped.Cycles != event.Cycles {
+		t.Fatalf("final clocks differ: stepped %d, event-driven %d", stepped.Cycles, event.Cycles)
+	}
+	if !bytes.Equal(stepped.Dump, event.Dump) {
+		t.Fatalf("stats dumps differ:\n%s", firstDumpDiff(stepped.Dump, event.Dump))
+	}
+}
+
+// firstDumpDiff renders the first diverging line of two stats dumps.
+func firstDumpDiff(a, b []byte) string {
+	al := bytes.Split(a, []byte("\n"))
+	bl := bytes.Split(b, []byte("\n"))
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("line %d:\n  stepped: %s\n  event:   %s", i+1, al[i], bl[i])
+		}
+	}
+	return "dumps differ in length only"
+}

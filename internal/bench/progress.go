@@ -29,6 +29,14 @@ type Tracker struct {
 	active  map[int]activeTask
 	expSeq  []string
 	exps    map[string]*expInfo
+
+	// etaCap is the last reported positive ETA. Out-of-order completions
+	// under -parallel can raise the raw estimate (a long task folds into
+	// the average late), so Snapshot clamps to this, making the reported
+	// ETA monotone non-increasing while the plan is fixed. AddTasks resets
+	// it: new planned work legitimately moves the ETA out.
+	etaCap    time.Duration
+	etaCapSet bool
 }
 
 type activeTask struct {
@@ -102,6 +110,7 @@ func (t *Tracker) AddTasks(n int) {
 	}
 	t.mu.Lock()
 	t.planned += n
+	t.etaCapSet = false
 	t.mu.Unlock()
 }
 
@@ -200,7 +209,12 @@ func (t *Tracker) Snapshot() TrackerSnapshot {
 		if workers <= 0 {
 			workers = 1
 		}
-		s.ETASec = (avg * time.Duration(t.planned-t.done) / time.Duration(workers)).Seconds()
+		eta := avg * time.Duration(t.planned-t.done) / time.Duration(workers)
+		if t.etaCapSet && eta > t.etaCap {
+			eta = t.etaCap
+		}
+		t.etaCap, t.etaCapSet = eta, true
+		s.ETASec = eta.Seconds()
 	} else if t.done >= t.planned && t.planned > 0 && len(t.active) == 0 {
 		s.ETASec = 0
 	}

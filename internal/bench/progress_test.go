@@ -88,6 +88,54 @@ func TestTrackerSnapshotAndETA(t *testing.T) {
 	}
 }
 
+// TestTrackerETAMonotoneOutOfOrder is the satellite pin for out-of-order
+// completions under -parallel: tasks started together but finishing in
+// shuffled order (short ones first, a long straggler late) must never make
+// the reported ETA climb — a late long task folds into the average and
+// would otherwise raise the raw estimate mid-run.
+func TestTrackerETAMonotoneOutOfOrder(t *testing.T) {
+	clk := &fakeClock{t: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+	tr := newTrackerAt(clk.now)
+	tr.SetWorkers(1)
+	tr.AddTasks(12)
+
+	// Six tasks start together; they complete in shuffled order with wildly
+	// different durations (the straggler last), snapshotting after each.
+	ids := make([]int, 6)
+	for i := range ids {
+		ids[i] = tr.taskStarted("task")
+	}
+	finishOrder := []int{2, 0, 5, 1, 4, 3}
+	durs := []time.Duration{ // indexed by finish order: straggler at the end
+		1 * time.Second, 1 * time.Second, 2 * time.Second,
+		1 * time.Second, 2 * time.Second, 60 * time.Second,
+	}
+	last := -1.0
+	elapsed := time.Duration(0)
+	for step, which := range finishOrder {
+		d := durs[step] - elapsed // advance to this task's absolute finish time
+		if d > 0 {
+			clk.advance(d)
+			elapsed += d
+		}
+		tr.taskFinished(ids[which])
+		s := tr.Snapshot()
+		if s.ETASec <= 0 {
+			t.Fatalf("step %d: ETA = %v, want > 0 with %d tasks remaining", step, s.ETASec, 12-step-1)
+		}
+		if last >= 0 && s.ETASec > last {
+			t.Fatalf("step %d: ETA rose %.1fs -> %.1fs after a completion", step, last, s.ETASec)
+		}
+		last = s.ETASec
+	}
+
+	// New planned work resets the cap: the ETA may legitimately rise.
+	tr.AddTasks(100)
+	if s := tr.Snapshot(); s.ETASec <= last {
+		t.Fatalf("ETA after AddTasks = %v, want > %v (cap must reset)", s.ETASec, last)
+	}
+}
+
 // TestTrackerNilSafe: a nil tracker is a no-op everywhere, so call sites
 // need no guards.
 func TestTrackerNilSafe(t *testing.T) {

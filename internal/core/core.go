@@ -112,6 +112,15 @@ func (f *Framework) Recover(interval time.Duration) ([]*gemos.Process, error) {
 // not enabled).
 func (f *Framework) Manager() *persist.Manager { return f.mgr }
 
+// RunIdle passes d of simulated time with no instructions in flight —
+// checkpoint timers, migration intervals and NVM drains keep firing. tick
+// is the stepped engine's cycle-group grain (0 = a single step); with
+// machine.Config.EventDrivenClock set the clock jumps dead time instead,
+// with byte-identical stats (see machine.RunUntil).
+func (f *Framework) RunIdle(d, tick time.Duration) {
+	f.M.RunUntil(f.M.Clock.Now()+sim.FromDuration(d), sim.FromDuration(tick))
+}
+
 // Replay drives a traced application through the simulated machine — the
 // generated template program running as gemOS's init process. The record
 // stream comes from a trace.RecordSource, so a replay holds at most a

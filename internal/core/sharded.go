@@ -104,6 +104,13 @@ func ReplaySharded(open func() (io.ReadSeeker, error), opt ShardedOptions) (*Sha
 	}
 
 	nSegs := (len(ix.Chunks) + segChunks - 1) / segChunks
+	if nSegs == 0 {
+		// A v2 trace with zero records has no chunks. Still replay one
+		// empty segment so the result carries a booted machine's registry
+		// (boot-time page-table and checkpoint-area stats) exactly like
+		// `-shards 1` — not an empty stats file.
+		nSegs = 1
+	}
 	res := &ShardedResult{
 		Stats:    sim.NewStats(),
 		Segments: make([]SegmentStats, nSegs),

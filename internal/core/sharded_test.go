@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"kindle/internal/machine"
@@ -85,6 +86,71 @@ func TestShardedStatsIdentity(t *testing.T) {
 					if got.Segments[i].Stats.Dump("") != base.Segments[i].Stats.Dump("") {
 						t.Fatalf("%d shards: segment %d stats diverged", shards, i)
 					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedDegenerateInputs pins the zero-record and
+// fewer-chunks-than-grain regressions: both must produce the same
+// (non-empty) dump as a 1-shard run, not an empty or partial stats file.
+// A v2 trace with no records has no chunks at all, so the partition used
+// to come out empty and the merged result carried a bare sim.NewStats()
+// with none of the boot-time registry a real machine dumps.
+func TestShardedDegenerateInputs(t *testing.T) {
+	full := smallImage(t)
+	empty := &trace.Image{Benchmark: full.Benchmark, Areas: full.Areas}
+	tiny := &trace.Image{Benchmark: full.Benchmark, Areas: full.Areas,
+		Records: full.Records[:100]}
+
+	cases := []struct {
+		name         string
+		img          *trace.Image
+		chunkRecords int
+	}{
+		// Zero records: zero chunks, the partition must still boot one
+		// machine per the `-shards 1` contract.
+		{"zero-records", empty, 1024},
+		// 100 records in one 1024-record chunk with an 8-chunk grain:
+		// a single segment smaller than the grain.
+		{"fewer-chunks-than-grain", tiny, 1024},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := shardedImageFile(t, tc.img, tc.chunkRecords)
+			cfg := machine.TestConfig()
+			opt := ShardedOptions{Shards: 1, SegmentChunks: 8, Config: &cfg}
+			base, err := ReplayShardedFile(path, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.Records != len(tc.img.Records) {
+				t.Fatalf("1 shard replayed %d records, trace holds %d", base.Records, len(tc.img.Records))
+			}
+			baseDump := base.Stats.Dump("")
+			if baseDump == "" {
+				t.Fatal("1-shard run produced an empty stats dump")
+			}
+			// The dump must carry a booted machine's registry, not a bare
+			// merged-stats shell.
+			if !strings.Contains(baseDump, "nvm.write") {
+				t.Fatal("1-shard dump is missing boot-time registry stats")
+			}
+			if len(base.Segments) != 1 {
+				t.Fatalf("1 shard produced %d segments, want 1", len(base.Segments))
+			}
+			for _, shards := range []int{2, 4} {
+				opt.Shards = shards
+				got, err := ReplayShardedFile(path, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Records != base.Records {
+					t.Fatalf("%d shards replayed %d records, 1 shard %d", shards, got.Records, base.Records)
+				}
+				if dump := got.Stats.Dump(""); dump != baseDump {
+					t.Fatalf("%d-shard dump diverged from 1-shard on %s input", shards, tc.name)
 				}
 			}
 		})

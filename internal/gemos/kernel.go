@@ -280,6 +280,14 @@ func (k *Kernel) HandlePageFault(va uint64, write bool) (sim.Cycles, error) {
 // consolidation threads). Call between user operations.
 func (k *Kernel) Tick() { k.M.Tick() }
 
+// Idle passes d cycles of simulated time with no process work, firing timer
+// and device events along the way. tick is the stepped engine's cycle-group
+// grain (0 = a single step); with Config.EventDrivenClock the machine jumps
+// dead time instead — see machine.RunUntil.
+func (k *Kernel) Idle(d, tick sim.Cycles) {
+	k.M.RunUntil(k.M.Clock.Now()+d, tick)
+}
+
 // Exit tears down p: unmaps everything, frees frames and table pages.
 func (k *Kernel) Exit(p *Process) {
 	k.M.Core.EnterKernel()

@@ -57,17 +57,21 @@ func (s *Scheduler) Start() {
 	s.arm()
 }
 
-// Stop disarms it.
+// Stop disarms it. The event allocation is kept for the next Start.
 func (s *Scheduler) Stop() {
 	s.on = false
-	if s.ev != nil {
-		s.k.M.Events.Cancel(s.ev)
-		s.ev = nil
-	}
+	s.k.M.Events.Cancel(s.ev)
 }
 
+// arm schedules the next preemption tick, reusing one Event allocation for
+// the scheduler's lifetime so periodic re-arming stays allocation-free.
 func (s *Scheduler) arm() {
-	s.ev = s.k.M.Events.Schedule(s.k.M.Clock.Now()+s.quantum, "sched.tick", func(sim.Cycles) {
+	when := s.k.M.Clock.Now() + s.quantum
+	if s.ev != nil {
+		s.k.M.Events.Reschedule(s.ev, when)
+		return
+	}
+	s.ev = s.k.M.Events.Schedule(when, "sched.tick", func(sim.Cycles) {
 		if !s.on {
 			return
 		}

@@ -135,17 +135,21 @@ func (c *Controller) Start() {
 	c.schedule()
 }
 
-// Stop cancels it.
+// Stop cancels it. The event allocation is kept for the next Start.
 func (c *Controller) Stop() {
 	c.on = false
-	if c.ev != nil {
-		c.m.Events.Cancel(c.ev)
-		c.ev = nil
-	}
+	c.m.Events.Cancel(c.ev)
 }
 
+// schedule arms the next migration interval, reusing one Event allocation
+// for the controller's lifetime.
 func (c *Controller) schedule() {
-	c.ev = c.m.Events.Schedule(c.m.Clock.Now()+c.cfg.MigrationInterval, "hscc.migrate", func(sim.Cycles) {
+	when := c.m.Clock.Now() + c.cfg.MigrationInterval
+	if c.ev != nil {
+		c.m.Events.Reschedule(c.ev, when)
+		return
+	}
+	c.ev = c.m.Events.Schedule(when, "hscc.migrate", func(sim.Cycles) {
 		if !c.on {
 			return
 		}

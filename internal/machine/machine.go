@@ -30,6 +30,16 @@ type Config struct {
 	// isolating fast-path bugs.
 	DisableFastPaths bool
 
+	// EventDrivenClock makes Machine.RunUntil advance the virtual clock
+	// directly to the next group boundary with a due event instead of
+	// ticking every cycle group through dead time. Simulated output is
+	// bit-identical either way (same boundaries fire the same events; the
+	// skipped boundaries are exactly the ones where RunDue would have been
+	// a no-op) — pinned by TestEventClockStatsIdentity and the machine
+	// run-loop property tests, same identity-gate pattern as
+	// DisableFastPaths.
+	EventDrivenClock bool
+
 	// Trace enables the structured event tracer. Zero-value Categories
 	// leaves tracing off (Machine.Tracer stays nil; emission sites are
 	// nil-safe and allocation-free in that state).
@@ -102,6 +112,9 @@ func New(cfg Config) *Machine {
 		TLB:    t,
 		Core:   core,
 	}
+	// NVM write-buffer drains surface as "nvm.drain" events so the
+	// event-driven run loop sees them as deadlines (Config.EventDrivenClock).
+	ctrl.NVM().SetEvents(m.Events)
 	if cfg.Trace.Categories != 0 {
 		capacity := cfg.Trace.BufferCap
 		if capacity <= 0 {

@@ -237,6 +237,58 @@ func TestNVMWriteBufferDrains(t *testing.T) {
 	}
 }
 
+// TestNVMDrainEvents: with an event queue attached, buffered writes arm an
+// "nvm.drain" deadline so an event-driven run loop sees the buffer empty
+// without another access; the event re-arms while entries remain, disarms
+// when the buffer is empty, and Reset (power failure) cancels it.
+func TestNVMDrainEvents(t *testing.T) {
+	clock := sim.NewClock()
+	stats := sim.NewStats()
+	q := sim.NewQueue()
+	n := NewNVMSim(PCM(), clock, stats)
+	n.SetEvents(q)
+
+	for i := 0; i < 10; i++ {
+		clock.Advance(n.Access(PhysAddr(i*64), true))
+	}
+	if q.Len() != 1 {
+		t.Fatalf("pending events = %d, want 1 armed drain", q.Len())
+	}
+	when, _ := q.NextDeadline()
+	if when <= clock.Now() {
+		t.Fatalf("drain armed at %d, not in the future of %d", when, clock.Now())
+	}
+	// Walk the clock forward firing only events: the buffer must empty
+	// through the drain chain alone (no further accesses), and the last
+	// firing must disarm the event.
+	for q.Len() > 0 {
+		next, _ := q.NextDeadline()
+		clock.AdvanceTo(next)
+		q.RunDue(next)
+	}
+	if got := n.buffered(); got != 0 {
+		t.Fatalf("buffer holds %d entries after drain events", got)
+	}
+	if n.DrainLatency() != 0 {
+		t.Fatal("drain latency nonzero after event-driven drain")
+	}
+
+	// A new write re-arms; Reset must cancel the pending drain.
+	n.Access(4096, true)
+	if q.Len() != 1 {
+		t.Fatalf("pending events after new write = %d, want 1", q.Len())
+	}
+	n.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("pending events after Reset = %d, want 0", q.Len())
+	}
+	// And re-arming after a Reset reuses the same handle safely.
+	n.Access(8192, true)
+	if q.Len() != 1 {
+		t.Fatalf("pending events after post-reset write = %d, want 1", q.Len())
+	}
+}
+
 func TestNVMReadHitsWriteBuffer(t *testing.T) {
 	clock := sim.NewClock()
 	stats := sim.NewStats()

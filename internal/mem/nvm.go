@@ -59,6 +59,18 @@ type NVMSim struct {
 	drainHead []wbufEntry             // FIFO storage; live from drainAt
 	drainAt   int
 	drainFree sim.Cycles
+
+	// Drain-completion event ("nvm.drain"): armed at the oldest live
+	// entry's completion so the event-driven run loop sees the buffer
+	// emptying as a deadline instead of discovering it lazily on the next
+	// access. expire is idempotent and side-effect-free on stats, so the
+	// event firing earlier than the next access changes nothing observable.
+	// One Event allocation is reused for the life of the sim (Reschedule)
+	// to keep the replay steady state allocation-free.
+	events     *sim.Queue
+	drainEv    *sim.Event
+	drainFn    func(sim.Cycles)
+	drainArmed bool
 }
 
 type wbufEntry struct {
@@ -83,6 +95,34 @@ func NewNVMSim(t NVMTiming, clock *sim.Clock, stats *sim.Stats) *NVMSim {
 		reads:           stats.Counter("nvm.read"),
 		readWbufHits:    stats.Counter("nvm.read_wbuf_hit"),
 	}
+}
+
+// SetEvents registers the machine's event queue so buffered-write drain
+// completions surface as scheduled events. Without a queue the buffer
+// expires lazily on the next access, which is timing-equivalent but
+// invisible to an event-driven run loop.
+func (n *NVMSim) SetEvents(q *sim.Queue) {
+	n.events = q
+	n.drainFn = func(sim.Cycles) {
+		n.drainArmed = false
+		n.expire(n.clock.Now())
+		n.armDrain()
+	}
+}
+
+// armDrain schedules (or re-arms) the drain event at the oldest live
+// entry's completion.
+func (n *NVMSim) armDrain() {
+	if n.events == nil || n.drainArmed || n.buffered() == 0 {
+		return
+	}
+	when := n.drainHead[n.drainAt].done
+	if n.drainEv == nil {
+		n.drainEv = n.events.Schedule(when, "nvm.drain", n.drainFn)
+	} else {
+		n.events.Reschedule(n.drainEv, when)
+	}
+	n.drainArmed = true
 }
 
 // buffered reports the live write-buffer occupancy.
@@ -143,6 +183,7 @@ func (n *NVMSim) Access(pa PhysAddr, write bool) sim.Cycles {
 			n.drainAt = 0
 		}
 		n.drainHead = append(n.drainHead, wbufEntry{line: line, done: done})
+		n.armDrain()
 		return lat
 	}
 	n.reads.Inc()
@@ -179,4 +220,8 @@ func (n *NVMSim) Reset() {
 	n.drainHead = n.drainHead[:0]
 	n.drainAt = 0
 	n.drainFree = n.clock.Now()
+	if n.drainArmed {
+		n.events.Cancel(n.drainEv)
+		n.drainArmed = false
+	}
 }

@@ -235,6 +235,85 @@ func TestPprofMounted(t *testing.T) {
 	}
 }
 
+// TestMetricsEmptyHistogramFamilyComplete is the satellite pin: a
+// registered histogram that has not observed a sample yet must still expose
+// a complete family — _count 0, _sum 0, and a cumulative le series with a
+// finite bucket — not degenerate to a bare +Inf mid-run.
+func TestMetricsEmptyHistogramFamilyComplete(t *testing.T) {
+	stats := sim.NewStats()
+	stats.Hist("mem.lat.idle") // registered, never observed
+	stats.Counter("x").Add(1)
+	srv, err := Listen("127.0.0.1:0", Options{Stats: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, body := get(t, "http://"+srv.Addr()+"/metrics")
+	for _, want := range []string{
+		"kindle_mem_lat_idle_bucket{le=\"0\"} 0",
+		"kindle_mem_lat_idle_bucket{le=\"+Inf\"} 0",
+		"kindle_mem_lat_idle_sum 0",
+		"kindle_mem_lat_idle_count 0",
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("empty-histogram exposition missing %q:\n%s", want, body)
+		}
+	}
+	if _, err := ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("empty-histogram exposition rejected: %v\n%s", err, body)
+	}
+}
+
+// TestValidateExpositionHistogramCompleteness: the validator must fail on
+// the omissions the empty-histogram bug used to produce — a family with no
+// finite bucket, a missing _count/_sum, a +Inf disagreeing with _count, or
+// a non-cumulative bucket series.
+func TestValidateExpositionHistogramCompleteness(t *testing.T) {
+	complete := `# TYPE kindle_h histogram
+kindle_h_bucket{le="0"} 0
+kindle_h_bucket{le="+Inf"} 0
+kindle_h_sum 0
+kindle_h_count 0
+`
+	if _, err := ValidateExposition(strings.NewReader(complete)); err != nil {
+		t.Fatalf("complete empty family rejected: %v", err)
+	}
+	for name, bad := range map[string]string{
+		"no finite bucket": `# TYPE kindle_h histogram
+kindle_h_bucket{le="+Inf"} 0
+kindle_h_sum 0
+kindle_h_count 0
+`,
+		"no +Inf bucket": `# TYPE kindle_h histogram
+kindle_h_bucket{le="4"} 2
+kindle_h_sum 5
+kindle_h_count 2
+`,
+		"missing _count": `# TYPE kindle_h histogram
+kindle_h_bucket{le="4"} 2
+kindle_h_bucket{le="+Inf"} 2
+kindle_h_sum 5
+`,
+		"+Inf disagrees with _count": `# TYPE kindle_h histogram
+kindle_h_bucket{le="4"} 2
+kindle_h_bucket{le="+Inf"} 2
+kindle_h_sum 5
+kindle_h_count 3
+`,
+		"non-cumulative buckets": `# TYPE kindle_h histogram
+kindle_h_bucket{le="4"} 5
+kindle_h_bucket{le="8"} 2
+kindle_h_bucket{le="+Inf"} 2
+kindle_h_sum 9
+kindle_h_count 2
+`,
+	} {
+		if _, err := ValidateExposition(strings.NewReader(bad)); err == nil {
+			t.Errorf("ValidateExposition accepted histogram family with %s", name)
+		}
+	}
+}
+
 // TestValidateExpositionRejectsGarbage: the validator is a real gate, not
 // a rubber stamp.
 func TestValidateExpositionRejectsGarbage(t *testing.T) {

@@ -448,17 +448,22 @@ func (mgr *Manager) Start() {
 	mgr.schedule()
 }
 
-// Stop cancels periodic checkpointing.
+// Stop cancels periodic checkpointing. The event allocation is kept for the
+// next Start.
 func (mgr *Manager) Stop() {
-	if mgr.ckptEvent != nil {
-		mgr.M.Events.Cancel(mgr.ckptEvent)
-		mgr.ckptEvent = nil
-	}
+	mgr.M.Events.Cancel(mgr.ckptEvent)
 	mgr.started = false
 }
 
+// schedule arms the next checkpoint timer, reusing one Event allocation for
+// the manager's lifetime.
 func (mgr *Manager) schedule() {
-	mgr.ckptEvent = mgr.M.Events.Schedule(mgr.M.Clock.Now()+mgr.Interval, "persist.checkpoint", func(sim.Cycles) {
+	when := mgr.M.Clock.Now() + mgr.Interval
+	if mgr.ckptEvent != nil {
+		mgr.M.Events.Reschedule(mgr.ckptEvent, when)
+		return
+	}
+	mgr.ckptEvent = mgr.M.Events.Schedule(when, "persist.checkpoint", func(sim.Cycles) {
 		mgr.Checkpoint()
 		if mgr.started {
 			mgr.schedule()

@@ -28,6 +28,12 @@ type SweepConfig struct {
 	Seed     uint64
 	Interval sim.Cycles
 	OpGap    sim.Cycles
+
+	// IdleTick is the cycle-group grain used to pass OpGap between ops
+	// (0 = a single step, the historical behavior). The gap goes through
+	// Kernel.Idle, so the sweep exercises whichever clock engine the
+	// machine is configured with.
+	IdleTick sim.Cycles
 }
 
 func (c SweepConfig) withDefaults() SweepConfig {
@@ -146,8 +152,7 @@ func runSweepWorkload(m *machine.Machine, cfg SweepConfig, inj *fault.Injector, 
 		}
 		// Let time pass so checkpoints interleave with ops at varying
 		// phases.
-		m.Clock.Advance(cfg.OpGap)
-		k.Tick()
+		k.Idle(cfg.OpGap, cfg.IdleTick)
 	}
 	return nil
 }

@@ -50,6 +50,26 @@ func (q *Queue) Cancel(e *Event) {
 	heap.Remove(&q.h, e.index)
 }
 
+// Reschedule re-enqueues a previously fired (or cancelled) event at a new
+// deadline, reusing its allocation — periodic timers re-arm without an
+// allocation per period, which keeps the replay steady state allocation-
+// free. The event takes a fresh insertion sequence, so its FIFO position at
+// the new deadline is exactly as if it had been Scheduled then. Rescheduling
+// an event that is still pending panics: the caller has lost track of its
+// timer state and silently moving the deadline would hide that.
+func (q *Queue) Reschedule(e *Event, when Cycles) {
+	if e == nil || e.Fn == nil {
+		panic("sim: Reschedule of a nil or never-scheduled event")
+	}
+	if e.index >= 0 && e.index < len(q.h) && q.h[e.index] == e {
+		panic(fmt.Sprintf("sim: Reschedule of pending event %q", e.Name))
+	}
+	e.When = when
+	e.seq = q.seq
+	q.seq++
+	heap.Push(&q.h, e)
+}
+
 // Len reports the number of pending events.
 func (q *Queue) Len() int { return len(q.h) }
 
@@ -77,8 +97,14 @@ func (q *Queue) RunDue(now Cycles) int {
 }
 
 // Drain discards all pending events (used on machine crash: a power failure
-// forgets every scheduled activity).
+// forgets every scheduled activity). Each discarded event is marked
+// unqueued, so holders of an *Event can safely Cancel or Reschedule it
+// after the drain.
 func (q *Queue) Drain() {
+	for i, e := range q.h {
+		e.index = -1
+		q.h[i] = nil
+	}
 	q.h = q.h[:0]
 }
 

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// propOp is one step of a generated queue script: schedule an event at a
+// (frequently colliding) deadline, cancel a live event, or advance the
+// virtual clock and run everything due.
+type propOp struct {
+	kind   int    // 0 = schedule, 1 = cancel, 2 = advance
+	when   Cycles // schedule: absolute deadline
+	cancel int    // cancel: index into the script's schedule history
+	adv    Cycles // advance: clock delta
+}
+
+// genScript builds a deterministic op sequence from a seed. Deadlines are
+// drawn from a tiny range so equal-cycle collisions are the common case,
+// which is exactly where FIFO tie-breaking matters.
+func genScript(seed uint64, n int) []propOp {
+	rng := NewRNG(seed)
+	ops := make([]propOp, 0, n)
+	scheduled := 0
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			ops = append(ops, propOp{kind: 0, when: Cycles(rng.Intn(8))})
+			scheduled++
+		case 2:
+			if scheduled == 0 {
+				continue
+			}
+			ops = append(ops, propOp{kind: 1, cancel: rng.Intn(scheduled)})
+		default:
+			ops = append(ops, propOp{kind: 2, adv: Cycles(rng.Intn(4))})
+		}
+	}
+	return ops
+}
+
+// runScript executes a script against a fresh queue and returns the firing
+// log: "name@cycle" per fired event, in firing order. Deadlines are offset
+// from a moving base clock so the script exercises past-due scheduling too.
+func runScript(ops []propOp) []string {
+	q := NewQueue()
+	now := Cycles(0)
+	var log []string
+	var handles []*Event
+	for i, op := range ops {
+		switch op.kind {
+		case 0:
+			name := fmt.Sprintf("ev%d", i)
+			handles = append(handles, q.Schedule(now+op.when, name, func(fire Cycles) {
+				log = append(log, fmt.Sprintf("%s@%d", name, fire))
+			}))
+		case 1:
+			q.Cancel(handles[op.cancel]) // may already have fired: no-op
+		case 2:
+			now += op.adv
+			q.RunDue(now)
+		}
+	}
+	// Drain the tail so every surviving event's order is observed.
+	now += 16
+	q.RunDue(now)
+	return log
+}
+
+// TestQueuePropertyDeterministicInterleavings: any interleaving of
+// Schedule/Cancel/advance+RunDue — with equal-cycle deadlines the common
+// case — fires in a deterministic order: identical scripts produce
+// identical firing logs, and equal-deadline survivors fire in insertion
+// order.
+func TestQueuePropertyDeterministicInterleavings(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		ops := genScript(seed, 40)
+		a := runScript(ops)
+		b := runScript(ops)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: runs fired %d vs %d events", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: firing %d differs: %q vs %q", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestQueueEqualDeadlineInsertionOrder pins the FIFO tie-break against a
+// model: schedule many events at the same deadline with cancels
+// interleaved; survivors must fire exactly in insertion order — including
+// events re-armed via Reschedule, whose FIFO position is their re-arm
+// order, not their original insertion order.
+func TestQueueEqualDeadlineInsertionOrder(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		rng := NewRNG(seed)
+		q := NewQueue()
+		const deadline = Cycles(100)
+		var fired []int
+		var handles []*Event
+		var expect []int // model: insertion order of surviving events
+		for i := 0; i < 30; i++ {
+			id := len(handles)
+			if len(handles) > 0 && rng.Intn(3) == 0 {
+				// Cancel a random earlier event; drop it from the model.
+				victim := rng.Intn(len(handles))
+				q.Cancel(handles[victim])
+				for j, e := range expect {
+					if e == victim {
+						expect = append(expect[:j], expect[j+1:]...)
+						break
+					}
+				}
+				continue
+			}
+			handles = append(handles, q.Schedule(deadline, "e", func(Cycles) {
+				fired = append(fired, id)
+			}))
+			expect = append(expect, id)
+		}
+		// Re-arm a few cancelled-or-fired? None fired yet; cancel one live
+		// event and Reschedule it at the same deadline: it moves to the
+		// FIFO tail.
+		if len(expect) > 1 {
+			head := expect[0]
+			q.Cancel(handles[head])
+			q.Reschedule(handles[head], deadline)
+			expect = append(expect[1:], head)
+		}
+		if got := q.RunDue(deadline); got != len(expect) {
+			t.Fatalf("seed %d: fired %d, want %d", seed, got, len(expect))
+		}
+		for i := range expect {
+			if fired[i] != expect[i] {
+				t.Fatalf("seed %d: firing order %v, want %v", seed, fired, expect)
+			}
+		}
+	}
+}
+
+// TestQueueDrainReleasesHandles: Drain must leave discarded events in the
+// unqueued state so held handles stay safe — Cancel is a no-op and
+// Reschedule re-arms them (the post-crash timer re-arm path).
+func TestQueueDrainReleasesHandles(t *testing.T) {
+	q := NewQueue()
+	fired := 0
+	a := q.Schedule(10, "a", func(Cycles) { fired++ })
+	b := q.Schedule(20, "b", func(Cycles) { fired++ })
+	q.Drain()
+	if q.Len() != 0 {
+		t.Fatalf("len after drain = %d", q.Len())
+	}
+	q.Cancel(a) // must be a no-op, not corrupt the (empty) heap
+	q.Reschedule(b, 5)
+	if q.Len() != 1 {
+		t.Fatalf("len after post-drain reschedule = %d", q.Len())
+	}
+	q.RunDue(5)
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1 (only the rescheduled event)", fired)
+	}
+}
+
+// TestQueueReschedulePanicsWhilePending: moving a still-queued event's
+// deadline via Reschedule is a caller bug and must panic.
+func TestQueueReschedulePanicsWhilePending(t *testing.T) {
+	q := NewQueue()
+	e := q.Schedule(10, "e", func(Cycles) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reschedule of a pending event did not panic")
+		}
+	}()
+	q.Reschedule(e, 20)
+}

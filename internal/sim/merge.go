@@ -23,6 +23,13 @@ func (s *Stats) MergeFrom(other *Stats) {
 
 // MergeFrom folds histogram o into h: counts, sums and buckets add, the
 // min/max range widens to cover both. o is not modified.
+//
+// A zero-sample side carries no extrema: its min/max fields are the zero
+// value, not observations. Merging an empty o must be a no-op (early
+// return — otherwise its min==0 would clamp h's minimum), and merging into
+// an empty h must adopt o's minimum unconditionally (the h.count == 0 arm
+// — h.min == 0 is "no samples", not "observed 0"). Max needs no guard:
+// maxima only widen upward and 0 never wins against a real observation.
 func (h *Histogram) MergeFrom(o *Histogram) {
 	if o.count == 0 {
 		return

@@ -61,6 +61,62 @@ func TestMergeOrderIrrelevant(t *testing.T) {
 	}
 }
 
+// TestMergeEmptyHistogramMinMax pins the extrema folding when one side has
+// zero samples, in both orders. An empty segment's histogram holds min=0 as
+// "no samples", not as an observation — a merge that treated it as one
+// would clamp the merged minimum to 0 (empty-into-nonempty) or lose the
+// real minimum entirely (nonempty-into-empty).
+func TestMergeEmptyHistogramMinMax(t *testing.T) {
+	mkFull := func() *Histogram {
+		s := NewStats()
+		h := s.Hist("h")
+		h.Observe(5)
+		h.Observe(900)
+		return h
+	}
+	mkEmpty := func() *Histogram {
+		return NewStats().Hist("h") // registered, never observed
+	}
+
+	// Empty into nonempty: a no-op, min must stay 5 (not clamp to 0).
+	full := mkFull()
+	full.MergeFrom(mkEmpty())
+	if full.Count() != 2 || full.Min() != 5 || full.Max() != 900 {
+		t.Fatalf("empty-into-nonempty: count %d min %d max %d, want 2/5/900",
+			full.Count(), full.Min(), full.Max())
+	}
+
+	// Nonempty into empty: adopt the source extrema wholesale.
+	empty := mkEmpty()
+	empty.MergeFrom(mkFull())
+	if empty.Count() != 2 || empty.Min() != 5 || empty.Max() != 900 {
+		t.Fatalf("nonempty-into-empty: count %d min %d max %d, want 2/5/900",
+			empty.Count(), empty.Min(), empty.Max())
+	}
+
+	// Both orders at the registry level must render identically — including
+	// the ::min_value/::max_value gauge lines the dump derives from extrema.
+	a, b := NewStats(), NewStats()
+	a.Hist("h").Observe(5)
+	a.Hist("h").Observe(900)
+	b.Hist("h") // empty side
+	ab, ba := NewStats(), NewStats()
+	ab.MergeFrom(a)
+	ab.MergeFrom(b)
+	ba.MergeFrom(b)
+	ba.MergeFrom(a)
+	if ab.Dump("") != ba.Dump("") {
+		t.Fatalf("merge order with an empty side changed the dump:\n--- a,b ---\n%s\n--- b,a ---\n%s",
+			ab.Dump(""), ba.Dump(""))
+	}
+	// Two empty sides merged stay empty (min/max stay the no-sample zero).
+	e := mkEmpty()
+	e.MergeFrom(mkEmpty())
+	if e.Count() != 0 || e.Min() != 0 || e.Max() != 0 {
+		t.Fatalf("empty+empty: count %d min %d max %d, want zeros", e.Count(), e.Min(), e.Max())
+	}
+}
+
 func TestMergeEmptyHistogram(t *testing.T) {
 	a, b := NewStats(), NewStats()
 	a.Hist("h").Observe(5)
