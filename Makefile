@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench benchsmoke crashsweep fuzzsmoke allocguard monitorsmoke shardsmoke eventsmoke profile
+.PHONY: all build test check fmt vet lint race bench benchsmoke crashsweep fuzzsmoke allocguard monitorsmoke shardsmoke eventsmoke trafficsmoke nightly profile
 
 all: build test
 
@@ -17,8 +17,10 @@ test:
 # crash sweep, a short fuzz of the trace decoders, the live-monitor smoke
 # (real kindle binary scraped over HTTP mid-run), the sharded-replay
 # smoke (real binary, -shards 1 vs 4 stats dumps diffed), and the
-# event-clock smoke (real binary, stepped vs -event-clock dumps diffed).
-check: fmt vet race allocguard benchsmoke crashsweep fuzzsmoke monitorsmoke shardsmoke eventsmoke
+# event-clock smoke (real binary, stepped vs -event-clock dumps diffed),
+# and the traffic smoke (real binary, a seeded multi-tenant spec run twice
+# stepped and once with -event-clock, all three dumps diffed).
+check: fmt vet race allocguard benchsmoke crashsweep fuzzsmoke monitorsmoke shardsmoke eventsmoke trafficsmoke
 
 # allocguard pins the replay fast path's zero-allocation steady state (see
 # allocguard_test.go); it needs a non-race build because race instrumentation
@@ -69,6 +71,33 @@ shardsmoke:
 # contract, end to end (see event_smoke_test.go).
 eventsmoke:
 	$(GO) test -run TestEventSmoke .
+
+# trafficsmoke builds the real kindle binary and runs the same seeded
+# multi-tenant traffic spec three times — twice stepped, once with
+# -event-clock — requiring byte-identical stats dumps: the traffic engine's
+# determinism contract, end to end (see traffic_smoke_test.go).
+trafficsmoke:
+	$(GO) test -run TestTrafficSmoke .
+
+# lint runs staticcheck when it is installed (CI installs a pinned version;
+# see .github/workflows/ci.yml) and falls back to go vet locally so the
+# target never requires a network fetch.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; falling back to go vet"; \
+		$(GO) vet ./...; \
+	fi
+
+# nightly is the scheduled deep gate (.github/workflows/nightly.yml): a
+# larger bounded crash sweep than the push gate's, plus the KINDLE_NIGHTLY
+# identity suite (long-horizon lifecycle and large traffic runs, stepped vs
+# event-driven, byte-diffed). KINDLE_NIGHTLY_DIR collects divergence
+# artifacts for upload.
+nightly:
+	$(GO) run ./cmd/kindle-bench -experiment crash-sweep -scale 0.25 -check
+	KINDLE_NIGHTLY=1 $(GO) test -run TestNightly -timeout 45m -v ./internal/bench
 
 # profile records CPU and allocation profiles for both replay benchmarks
 # under profiles/ (gitignored). See "Recipe: profiling the replay engine"

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	kindle-bench [-scale 1.0] [-parallel N] [-experiment all|tableI|tableII|fig4a|fig4b|tableIII|tableIV|fig5|intervals|image-sizes|hscc|crash-sweep|extensions] [-check]
+//	kindle-bench [-scale 1.0] [-parallel N] [-experiment all|tableI|tableII|fig4a|fig4b|tableIII|tableIV|fig5|intervals|image-sizes|hscc|crash-sweep|traffic|extensions] [-check]
 //
 // -scale shrinks footprints, trace lengths and intervals proportionally
 // (0.0625 runs the whole suite in about a minute; 1.0 is paper scale).
@@ -158,6 +158,9 @@ func main() {
 		}
 	case "crash-sweep", "crashsweep":
 		r, err := bench.CrashSweep(opt)
+		run(r, err)
+	case "traffic":
+		r, err := bench.Traffic(opt)
 		run(r, err)
 	case "extensions":
 		// Studies beyond the paper's evaluation that it points at:

@@ -57,7 +57,50 @@ func main() {
 	shards := flag.Int("shards", 0, "replay the trace sharded across N machine instances (0 = off); requires a v2 -image")
 	segmentChunks := flag.Int("segment-chunks", 0, "sharded partition grain in chunks (0 = default); affects results, unlike -shards")
 	shardStatsDir := flag.String("shard-stats-dir", "", "with -shards, also write each segment's stats file into this directory")
+	trafficSpec := flag.String("traffic", "", "run the multi-tenant traffic engine with this spec (\"default\" or key=value;... — see internal/traffic.ParseSpec)")
+	tenants := flag.Int("tenants", 0, "with -traffic, override the spec's tenant count")
+	seed := flag.Uint64("seed", 0, "with -traffic, override the spec's RNG seed")
 	flag.Parse()
+
+	if *trafficSpec != "" {
+		// The traffic engine generates its own load on one machine; replay
+		// inputs, sharding and the replay-attached prototypes don't apply.
+		switch {
+		case *image != "" || *benchmark != "":
+			fatal(fmt.Errorf("-traffic generates synthetic load; it is incompatible with -image/-benchmark"))
+		case *shards > 0:
+			fatal(fmt.Errorf("-traffic is incompatible with -shards (one machine, many tenants)"))
+		case *sspInterval > 0 || *hsccThreshold > 0:
+			fatal(fmt.Errorf("-traffic is incompatible with -ssp/-hscc (prototypes attach to a replayed process)"))
+		case *crashAt > 0:
+			fatal(fmt.Errorf("-traffic is incompatible with -crash-at (crash points are trace fractions)"))
+		case *traceOut != "" || *statsInterval > 0:
+			fatal(fmt.Errorf("-traffic is incompatible with -trace-out/-stats-interval"))
+		case *idleAfter > 0:
+			fatal(fmt.Errorf("-traffic is incompatible with -idle-after (the engine idles between arrivals itself)"))
+		}
+		seedSet := false
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "seed" {
+				seedSet = true
+			}
+		})
+		runTraffic(trafficFlags{
+			spec:        *trafficSpec,
+			tenants:     *tenants,
+			seed:        *seed,
+			seedSet:     seedSet,
+			small:       *small,
+			persistMode: *persistMode,
+			interval:    *interval,
+			stats:       *stats,
+			statsOut:    *statsOut,
+			eventClock:  *eventClock,
+			monitorAddr: *monitorAddr,
+			monitorHold: *monitorHold,
+		})
+		return
+	}
 
 	if *shards > 0 {
 		// Sharded mode runs N independent machines; the single-machine

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"kindle/internal/gemos"
+	"kindle/internal/machine"
+	"kindle/internal/traffic"
+)
+
+// The nightly suite (`make nightly`, .github/workflows/nightly.yml) runs
+// the identity gates at a scale too slow for every push: a long-horizon
+// checkpoint/crash/recovery lifecycle with hundreds of idle-heavy phases,
+// and a large multi-tenant traffic run, each compared stepped vs
+// event-driven. Gated on KINDLE_NIGHTLY=1 so `go test ./...` stays fast.
+// On divergence the dumps are written into KINDLE_NIGHTLY_DIR (when set)
+// for CI artifact upload.
+
+func nightlyEnabled(t *testing.T) {
+	if os.Getenv("KINDLE_NIGHTLY") != "1" {
+		t.Skip("nightly suite disabled; set KINDLE_NIGHTLY=1")
+	}
+}
+
+// saveNightlyDump writes a divergence artifact when KINDLE_NIGHTLY_DIR is
+// set, returning the path it wrote (or "" when saving is off).
+func saveNightlyDump(t *testing.T, name string, data []byte) string {
+	dir := os.Getenv("KINDLE_NIGHTLY_DIR")
+	if dir == "" {
+		return ""
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("nightly: cannot create artifact dir: %v", err)
+		return ""
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Logf("nightly: cannot write artifact: %v", err)
+		return ""
+	}
+	return path
+}
+
+// TestNightlyLongHorizonIdentity is the push-gate lifecycle identity test
+// scaled up: 64 phases with 100 ms idle windows — 6.4 s of simulated time,
+// ~20 G cycles, thousands of checkpoints — crashing and recovering twice
+// as deep into the run.
+func TestNightlyLongHorizonIdentity(t *testing.T) {
+	nightlyEnabled(t)
+	cfg := LongHorizonConfig{
+		Phases:       64,
+		OpsPerPhase:  64,
+		IdlePerPhase: 100 * time.Millisecond,
+		IdleTick:     1 * time.Microsecond,
+		Interval:     2 * time.Millisecond,
+		CrashAtPhase: 32,
+	}
+	cfg.EventDriven = false
+	stepped, err := RunLongHorizon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.EventDriven = true
+	event, err := RunLongHorizon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stepped.Checkpoints < 100 {
+		t.Fatalf("only %d checkpoints started; nightly lifecycle not exercising the timer", stepped.Checkpoints)
+	}
+	if !bytes.Equal(stepped.Dump, event.Dump) {
+		a := saveNightlyDump(t, "longhorizon-stepped.stats", stepped.Dump)
+		b := saveNightlyDump(t, "longhorizon-event.stats", event.Dump)
+		t.Fatalf("long-horizon dumps differ (artifacts: %s, %s):\n%s", a, b, firstDumpDiff(stepped.Dump, event.Dump))
+	}
+}
+
+// TestNightlyTrafficIdentity runs the traffic engine at a scale the push
+// gate cannot afford — 32 tenants, 2000 ops each, contending for one small
+// machine — and requires byte-identical dumps from a repeat run and from
+// the event-driven clock.
+func TestNightlyTrafficIdentity(t *testing.T) {
+	nightlyEnabled(t)
+	spec := traffic.DefaultSpec()
+	spec.Tenants = 32
+	spec.Ops = 2000
+	spec.Seed = 42
+	run := func(event bool) []byte {
+		cfg := machine.TestConfig()
+		cfg.EventDrivenClock = event
+		m := machine.New(cfg)
+		eng, err := traffic.New(gemos.Boot(m), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return []byte(m.Stats.Dump(""))
+	}
+	first := run(false)
+	repeat := run(false)
+	event := run(true)
+	if !bytes.Equal(first, repeat) {
+		a := saveNightlyDump(t, "traffic-first.stats", first)
+		b := saveNightlyDump(t, "traffic-repeat.stats", repeat)
+		t.Fatalf("repeat traffic run diverged (artifacts: %s, %s):\n%s", a, b, firstDumpDiff(first, repeat))
+	}
+	if !bytes.Equal(first, event) {
+		a := saveNightlyDump(t, "traffic-stepped.stats", first)
+		b := saveNightlyDump(t, "traffic-event.stats", event)
+		t.Fatalf("event-clock traffic run diverged (artifacts: %s, %s):\n%s", a, b, firstDumpDiff(first, event))
+	}
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"kindle/internal/gemos"
+	"kindle/internal/machine"
+	"kindle/internal/traffic"
+)
+
+// trafficTenantCounts is the contention sweep of the traffic experiment:
+// tenant fleets sharing one machine, from a pair to heavy time slicing.
+var trafficTenantCounts = []int{2, 4, 8}
+
+// trafficLoops is the load-generation axis: open-loop (backlog builds when
+// the machine falls behind — the tail-latency regime) vs closed-loop (one
+// outstanding op per tenant — the fairness regime).
+var trafficLoops = []traffic.LoopKind{traffic.LoopOpen, traffic.LoopClosed}
+
+// TrafficRow is one grid cell: a tenant-count × loop-mode run.
+type TrafficRow struct {
+	Tenants  int
+	Loop     string
+	Ops      uint64
+	Mean     float64
+	P50      uint64
+	P95      uint64
+	P99      uint64
+	Jain     float64
+	Switches uint64
+	// Dump is the cell's traffic.* stats section — the byte-identity
+	// artifact the parallel-vs-sequential test compares.
+	Dump string
+}
+
+// TrafficResult is the multi-tenant fairness/tail-latency experiment.
+type TrafficResult struct {
+	Rows []TrafficRow
+}
+
+// trafficSpec builds the grid cell's workload: the default mixed
+// point/scan/write Zipfian spec with the op budget scaled by -scale.
+func trafficSpec(tenants int, loop traffic.LoopKind, opt Options) traffic.Spec {
+	spec := traffic.DefaultSpec()
+	spec.Tenants = tenants
+	spec.Loop = loop
+	spec.Ops = int(512 * opt.scale())
+	if spec.Ops < 32 {
+		spec.Ops = 32
+	}
+	return spec
+}
+
+// Traffic sweeps tenant count × loop mode on the small machine, reporting
+// tail latency and Jain fairness per cell. Each cell owns its machine, so
+// the fan-out is deterministic: results (including each cell's stats dump)
+// are byte-identical whatever the worker count.
+func Traffic(opt Options) (*TrafficResult, error) {
+	type cell struct {
+		tenants int
+		loop    traffic.LoopKind
+	}
+	var cells []cell
+	for _, n := range trafficTenantCounts {
+		for _, loop := range trafficLoops {
+			cells = append(cells, cell{n, loop})
+		}
+	}
+	rows := make([]TrafficRow, len(cells))
+	err := forEachTask(opt, len(cells),
+		func(i int) string {
+			return fmt.Sprintf("traffic %d-tenant %s-loop", cells[i].tenants, cells[i].loop)
+		},
+		func(i int) error {
+			spec := trafficSpec(cells[i].tenants, cells[i].loop, opt)
+			m := machine.New(machine.TestConfig())
+			k := gemos.Boot(m)
+			eng, err := traffic.New(k, spec)
+			if err != nil {
+				return err
+			}
+			res, err := eng.Run()
+			if err != nil {
+				return err
+			}
+			var sw uint64
+			for _, t := range res.Tenants {
+				sw += t.Acct.Switches
+			}
+			rows[i] = TrafficRow{
+				Tenants:  spec.Tenants,
+				Loop:     spec.Loop.String(),
+				Ops:      res.Ops,
+				Mean:     res.MeanLat,
+				P50:      res.P50,
+				P95:      res.P95,
+				P99:      res.P99,
+				Jain:     res.Jain,
+				Switches: sw,
+				Dump:     m.Stats.Dump("traffic."),
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &TrafficResult{Rows: rows}, nil
+}
+
+// Render prints the fairness/tail-latency grid.
+func (r *TrafficResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Multi-tenant traffic: tail latency and fairness vs tenant count (cycles)\n")
+	fmt.Fprintf(&b, "%-8s %-7s %9s %10s %10s %10s %10s %8s %9s\n",
+		"tenants", "loop", "ops", "mean", "p50", "p95", "p99", "jain", "switches")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8d %-7s %9d %10.0f %10d %10d %10d %8.4f %9d\n",
+			row.Tenants, row.Loop, row.Ops, row.Mean, row.P50, row.P95, row.P99, row.Jain, row.Switches)
+	}
+	return b.String()
+}
+
+// CheckShape verifies the grid's invariants: every cell completed its full
+// op budget, quantiles are ordered, fairness is a valid Jain index and
+// time slicing actually happened.
+func (r *TrafficResult) CheckShape() error {
+	if len(r.Rows) != len(trafficTenantCounts)*len(trafficLoops) {
+		return fmt.Errorf("traffic: %d rows, want %d", len(r.Rows), len(trafficTenantCounts)*len(trafficLoops))
+	}
+	for _, row := range r.Rows {
+		if row.Ops == 0 {
+			return fmt.Errorf("traffic: %d-tenant %s-loop cell completed no ops", row.Tenants, row.Loop)
+		}
+		if row.Ops%uint64(row.Tenants) != 0 {
+			return fmt.Errorf("traffic: %d-tenant %s-loop completed %d ops, not a multiple of the tenant count",
+				row.Tenants, row.Loop, row.Ops)
+		}
+		if !(row.P50 <= row.P95 && row.P95 <= row.P99) {
+			return fmt.Errorf("traffic: %d-tenant %s-loop quantiles out of order: p50=%d p95=%d p99=%d",
+				row.Tenants, row.Loop, row.P50, row.P95, row.P99)
+		}
+		if row.Jain <= 0 || row.Jain > 1 {
+			return fmt.Errorf("traffic: %d-tenant %s-loop Jain index %v outside (0, 1]", row.Tenants, row.Loop, row.Jain)
+		}
+		if row.Tenants > 1 && row.Switches == 0 {
+			return fmt.Errorf("traffic: %d-tenant %s-loop saw no context switches", row.Tenants, row.Loop)
+		}
+		if row.Dump == "" {
+			return fmt.Errorf("traffic: %d-tenant %s-loop cell has an empty stats section", row.Tenants, row.Loop)
+		}
+	}
+	return nil
+}

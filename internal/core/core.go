@@ -30,6 +30,7 @@ import (
 	"kindle/internal/sim"
 	"kindle/internal/ssp"
 	"kindle/internal/trace"
+	"kindle/internal/traffic"
 )
 
 // Re-exported benchmark names.
@@ -90,6 +91,22 @@ func (f *Framework) EnableSSP(cfg ssp.Config) (*ssp.Controller, error) {
 // EnableHSCC attaches the HSCC prototype for process p.
 func (f *Framework) EnableHSCC(p *gemos.Process, cfg hscc.Config) (*hscc.Controller, error) {
 	return hscc.Attach(f.K, p, cfg)
+}
+
+// RunTraffic runs the multi-tenant synthetic-load engine to completion:
+// spec.Tenants gemOS processes driven through the scheduler under the
+// spec's arrival process and workload mix, contending for the machine's
+// shared memory system (and, when persistence is enabled, checkpoint
+// bandwidth). onOp, when non-nil, observes per-op progress. The run is
+// deterministic: the same spec and seed produce byte-identical stats
+// dumps, under the stepped and the event-driven clock alike.
+func (f *Framework) RunTraffic(spec traffic.Spec, onOp func(done, total int)) (*traffic.Result, error) {
+	eng, err := traffic.New(f.K, spec)
+	if err != nil {
+		return nil, err
+	}
+	eng.OnOp = onOp
+	return eng.Run()
 }
 
 // Crash power-fails the machine.

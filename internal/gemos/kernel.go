@@ -201,7 +201,9 @@ func (k *Kernel) Current() *Process { return k.current }
 
 // Switch makes p the running process: saves the outgoing register file,
 // restores p's, points the PTBR at p's table (flushing the TLB) and
-// charges the context-switch cost.
+// charges the context-switch cost. The outgoing process is credited the
+// cycles it spent on the core; the switch cost itself is kernel time and
+// belongs to neither side's CPU accounting.
 func (k *Kernel) Switch(p *Process) {
 	k.M.Core.EnterKernel()
 	defer k.M.Core.ExitKernel()
@@ -210,6 +212,7 @@ func (k *Kernel) Switch(p *Process) {
 	}
 	if k.current != nil {
 		k.current.Regs = k.M.Core.Regs
+		k.current.acct.CPUCycles += k.M.Clock.Now() - k.current.dispatchedAt
 		if k.current.State == ProcRunning {
 			k.current.State = ProcReady
 		}
@@ -219,8 +222,22 @@ func (k *Kernel) Switch(p *Process) {
 	p.State = ProcRunning
 	k.current = p
 	k.M.Clock.Advance(SwitchCost)
+	p.dispatchedAt = k.M.Clock.Now()
+	p.acct.Switches++
 	k.contextSwitches.Inc()
 	k.kernelCycles.Add(uint64(SwitchCost))
+}
+
+// AccountNow folds the running process's current dispatch period into its
+// CPUCycles accounting and restarts the period, so Accounting reads taken
+// mid-dispatch are up to date.
+func (k *Kernel) AccountNow() {
+	if k.current == nil {
+		return
+	}
+	now := k.M.Clock.Now()
+	k.current.acct.CPUCycles += now - k.current.dispatchedAt
+	k.current.dispatchedAt = now
 }
 
 // HandlePageFault implements cpu.FaultHandler: demand paging. The faulting
@@ -273,6 +290,8 @@ func (k *Kernel) HandlePageFault(va uint64, write bool) (sim.Cycles, error) {
 		k.Meta.LogMapping(p, pageVA/mem.PageSize, pfn, true)
 	}
 	k.faultDemand.Inc()
+	p.acct.Faults++
+	p.acct.ResidentPages++
 	return FaultCost, nil
 }
 
@@ -288,10 +307,26 @@ func (k *Kernel) Idle(d, tick sim.Cycles) {
 	k.M.RunUntil(k.M.Clock.Now()+d, tick)
 }
 
+// Park idles for d cycles like Idle, but charges the dead time to no
+// process: the current process's CPU accounting is settled up to the park
+// and its dispatch period restarts afterwards. Load generators use it to
+// wait for the next arrival without inflating the parked tenant's CPU
+// time.
+func (k *Kernel) Park(d, tick sim.Cycles) {
+	k.AccountNow()
+	k.Idle(d, tick)
+	if k.current != nil {
+		k.current.dispatchedAt = k.M.Clock.Now()
+	}
+}
+
 // Exit tears down p: unmaps everything, frees frames and table pages.
 func (k *Kernel) Exit(p *Process) {
 	k.M.Core.EnterKernel()
 	defer k.M.Core.ExitKernel()
+	if k.current == p {
+		p.acct.CPUCycles += k.M.Clock.Now() - p.dispatchedAt
+	}
 	if k.OnExit != nil {
 		k.OnExit(p)
 	}
@@ -304,6 +339,7 @@ func (k *Kernel) Exit(p *Process) {
 		k.Alloc.FreeFrame(pfn)
 	}
 	p.Table.Destroy()
+	p.acct.ResidentPages = 0
 	p.State = ProcZombie
 	delete(k.procs, p.PID)
 	if k.current == p {

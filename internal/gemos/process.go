@@ -5,6 +5,7 @@ import (
 
 	"kindle/internal/cpu"
 	"kindle/internal/pt"
+	"kindle/internal/sim"
 )
 
 // ProcState is a process lifecycle state.
@@ -15,6 +16,10 @@ const (
 	ProcReady ProcState = iota
 	ProcRunning
 	ProcZombie
+	// ProcBlocked marks a process waiting for work (an empty tenant queue
+	// in the traffic engine, a sleeping service). The scheduler skips
+	// blocked processes; setting State back to ProcReady unblocks.
+	ProcBlocked
 )
 
 func (s ProcState) String() string {
@@ -23,9 +28,25 @@ func (s ProcState) String() string {
 		return "ready"
 	case ProcRunning:
 		return "running"
+	case ProcBlocked:
+		return "blocked"
 	default:
 		return "zombie"
 	}
+}
+
+// Acct accumulates per-process resource accounting, the OS-side view the
+// multi-tenant experiments aggregate per tenant: demand faults serviced,
+// pages currently resident, pages migrated on the process's behalf (HSCC),
+// cycles the core spent dispatched to the process and how many times it was
+// switched onto the core. The kernel maintains every field; readers take a
+// copy via Process.Accounting.
+type Acct struct {
+	Faults        uint64
+	ResidentPages uint64
+	Migrations    uint64
+	CPUCycles     sim.Cycles
+	Switches      uint64
 }
 
 // Default virtual layout constants for user processes.
@@ -59,7 +80,22 @@ type Process struct {
 
 	// Recovered marks a context recreated by crash recovery.
 	Recovered bool
+
+	// acct is the kernel-maintained accounting; dispatchedAt is the clock
+	// value when the process was last switched onto the core (valid while
+	// it is current).
+	acct         Acct
+	dispatchedAt sim.Cycles
 }
+
+// Accounting returns a copy of the process's resource accounting. While the
+// process is running, CPUCycles excludes the current dispatch period; call
+// Kernel.AccountNow first to fold it in.
+func (p *Process) Accounting() Acct { return p.acct }
+
+// AccountMigrations charges n page migrations to the process. The HSCC
+// prototype calls it from its migration activity.
+func (p *Process) AccountMigrations(n uint64) { p.acct.Migrations += n }
 
 // MmapCursor returns the next-allocation hint (persisted in the saved
 // state so recovered processes keep allocating above old mappings).

@@ -85,8 +85,9 @@ func (s *Scheduler) arm() {
 func (s *Scheduler) NeedsResched() bool { return s.expired }
 
 // Resched rotates to the next ready process and switches to it, clearing
-// the expired flag. It returns the process now running (nil with an empty
-// queue).
+// the expired flag. Zombie and blocked processes are skipped. It returns
+// the process now running (nil when no process is runnable — the caller
+// idles until one unblocks).
 func (s *Scheduler) Resched() *Process {
 	s.expired = false
 	if len(s.queue) == 0 {
@@ -95,7 +96,7 @@ func (s *Scheduler) Resched() *Process {
 	for tries := 0; tries < len(s.queue); tries++ {
 		p := s.queue[s.next%len(s.queue)]
 		s.next++
-		if p.State == ProcZombie {
+		if p.State == ProcZombie || p.State == ProcBlocked {
 			continue
 		}
 		s.k.Switch(p)

@@ -90,6 +90,9 @@ func (k *Kernel) Munmap(p *Process, addr uint64, length uint64) error {
 			if !present {
 				continue
 			}
+			if p.acct.ResidentPages > 0 {
+				p.acct.ResidentPages--
+			}
 			k.Alloc.FreeFrame(old.PFN())
 			k.M.TLB.Invalidate(va / mem.PageSize)
 			if k.Meta != nil && r.Kind == mem.NVM {

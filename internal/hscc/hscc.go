@@ -285,6 +285,7 @@ func (c *Controller) MigrationActivity() {
 
 	m.Stats.Inc("hscc.intervals")
 	m.Stats.Add("hscc.pages_migrated", uint64(migrated))
+	c.proc.AccountMigrations(uint64(migrated))
 	m.Stats.Add("hscc.os_migration_cycles", uint64(m.Clock.Now()-intervalStart))
 }
 

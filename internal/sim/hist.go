@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sync/atomic"
 )
@@ -66,6 +67,46 @@ func (h *Histogram) Mean() float64 {
 // Reset zeroes the histogram but keeps the registration.
 func (h *Histogram) Reset() {
 	*h = Histogram{name: h.name}
+}
+
+// Quantile returns an upper bound on the q-quantile sample (q in [0, 1]):
+// the inclusive upper edge of the first bucket at which the cumulative
+// count reaches ceil(q*count), clamped to the observed extrema. With log2
+// buckets the bound is within a factor of two of the true quantile — the
+// right fidelity for tail-latency summaries over cycle counts. Returns 0
+// when the histogram is empty.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum < target {
+			continue
+		}
+		var hi uint64
+		if i > 0 {
+			hi = 1<<uint(i) - 1 // i == 64 wraps to MaxUint64, the bucket's true edge
+		}
+		if hi > h.max {
+			hi = h.max
+		}
+		if hi < h.min {
+			hi = h.min
+		}
+		return hi
+	}
+	return h.max
 }
 
 // Bucket is one non-empty histogram bucket: the closed value range

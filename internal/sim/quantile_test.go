@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(1234)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 1234 {
+			t.Fatalf("single-sample Quantile(%v) = %d, want 1234 (clamped to extrema)", q, got)
+		}
+	}
+}
+
+func TestQuantileBucketBound(t *testing.T) {
+	var h Histogram
+	// 90 samples in bucket [1024, 2047], 10 in [65536, 131071].
+	for i := 0; i < 90; i++ {
+		h.Observe(1500)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100_000)
+	}
+	if got := h.Quantile(0.5); got != 2047 {
+		t.Fatalf("p50 = %d, want the 2047 bucket edge", got)
+	}
+	if got := h.Quantile(0.9); got != 2047 {
+		t.Fatalf("p90 = %d, want the 2047 bucket edge (cumulative 90/100)", got)
+	}
+	// p95 falls in the tail bucket; the bound clamps to the observed max.
+	if got := h.Quantile(0.95); got != 100_000 {
+		t.Fatalf("p95 = %d, want max-clamped 100000", got)
+	}
+	if got := h.Quantile(1); got != h.Max() {
+		t.Fatalf("p100 = %d, want max %d", got, h.Max())
+	}
+}
+
+func TestQuantileClampsArgument(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	h.Observe(20)
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Fatalf("Quantile(-1) = %d, want Quantile(0) = %d", got, h.Quantile(0))
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Fatalf("Quantile(2) = %d, want Quantile(1) = %d", got, h.Quantile(1))
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	var h Histogram
+	rng := NewRNG(3)
+	for i := 0; i < 10_000; i++ {
+		h.Observe(rng.Uint64n(1 << 20))
+	}
+	prev := uint64(0)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%v gives %d after %d", q, v, prev)
+		}
+		prev = v
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("Quantile(1) = %d, want max %d", h.Quantile(1), h.Max())
+	}
+	if h.Quantile(0) < h.Min() {
+		t.Fatalf("Quantile(0) = %d below min %d", h.Quantile(0), h.Min())
+	}
+}
+
+func TestQuantileTopBucketEdge(t *testing.T) {
+	var h Histogram
+	// The top bucket's upper edge is MaxUint64; the bound must clamp to
+	// the observed max, not overflow.
+	h.Observe(math.MaxUint64)
+	if got := h.Quantile(0.99); got != math.MaxUint64 {
+		t.Fatalf("top-bucket quantile = %d, want MaxUint64", got)
+	}
+}

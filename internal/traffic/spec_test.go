@@ -1,0 +1,142 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpecDefaults(t *testing.T) {
+	spec, err := ParseSpec("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec != DefaultSpec() {
+		t.Fatalf("empty spec is not the default: %+v", spec)
+	}
+}
+
+func TestParseSpecFull(t *testing.T) {
+	spec, err := ParseSpec("tenants=32;seed=7;ops=2000;arrival=fixed;loop=closed;rate=50000;" +
+		"mix=scan:0.2,point:0.7,write:0.1;keys=zipf:0.9;sizes=uniform:64-1KiB;" +
+		"footprint=1MiB;nvm=0.25;quantum=2ms;idle-tick=5us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Tenants != 32 || spec.Seed != 7 || spec.Ops != 2000 {
+		t.Fatalf("tenants/seed/ops wrong: %+v", spec)
+	}
+	if spec.Arrival != ArrivalFixed || spec.Loop != LoopClosed || spec.Rate != 50000 {
+		t.Fatalf("arrival/loop/rate wrong: %+v", spec)
+	}
+	if spec.Mix != [3]float64{OpPoint: 0.7, OpScan: 0.2, OpWrite: 0.1} {
+		t.Fatalf("mix wrong: %v", spec.Mix)
+	}
+	if spec.Keys != KeysZipf || spec.Theta != 0.9 {
+		t.Fatalf("keys wrong: %+v", spec)
+	}
+	if spec.Sizes != SizesUniform || spec.SizeLo != 64 || spec.SizeHi != 1024 {
+		t.Fatalf("sizes wrong: %+v", spec)
+	}
+	if spec.Footprint != 1<<20 || spec.NVMFraction != 0.25 {
+		t.Fatalf("footprint/nvm wrong: %+v", spec)
+	}
+	if spec.Quantum != 2*time.Millisecond || spec.IdleTick != 5*time.Microsecond {
+		t.Fatalf("quantum/idle-tick wrong: %+v", spec)
+	}
+}
+
+func TestParseSpecMixShorthand(t *testing.T) {
+	spec, err := ParseSpec("scan:0.2,point:0.7,write:0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [3]float64{OpPoint: 0.7, OpScan: 0.2, OpWrite: 0.1}
+	if spec.Mix != want {
+		t.Fatalf("mix = %v, want %v", spec.Mix, want)
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	orig, err := ParseSpec("tenants=5;loop=closed;keys=uniform;sizes=uniform:64-4096;nvm=0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseSpec(orig.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", orig.String(), err)
+	}
+	if orig != again {
+		t.Fatalf("round trip changed the spec:\n  orig:  %+v\n  again: %+v", orig, again)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []struct{ in, frag string }{
+		{"bogus", "not key=value"},
+		{"frobnicate=1", "unknown spec field"},
+		{"arrival=bursty", "unknown arrival"},
+		{"loop=half", "unknown loop"},
+		{"rate=-5", "positive"},
+		{"mix=read:1", "unknown mix kind"},
+		{"mix=point:0,scan:0", "no positive weight"},
+		{"keys=pareto", "unknown key distribution"},
+		{"keys=zipf:1.5", "theta"},
+		{"sizes=uniform:64", "lo-hi"},
+		{"sizes=uniform:1024-64", "size range"},
+		{"tenants=0", "at least 1"},
+		{"footprint=8", "key stride"},
+		{"nvm=1.5", "must be in [0, 1]"},
+		{"quantum=0s", "must be positive"},
+	} {
+		_, err := ParseSpec(bad.in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error containing %q", bad.in, bad.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), bad.frag) {
+			t.Errorf("ParseSpec(%q) error %q lacks %q", bad.in, err, bad.frag)
+		}
+	}
+}
+
+func TestNVMTenantInterleave(t *testing.T) {
+	count := func(n int, frac float64) int {
+		c := 0
+		for i := 0; i < n; i++ {
+			if nvmTenant(i, frac) {
+				c++
+			}
+		}
+		return c
+	}
+	if got := count(8, 0); got != 0 {
+		t.Fatalf("frac=0 backed %d tenants with NVM", got)
+	}
+	if got := count(8, 1); got != 8 {
+		t.Fatalf("frac=1 backed %d/8 tenants with NVM", got)
+	}
+	if got := count(8, 0.5); got != 4 {
+		t.Fatalf("frac=0.5 backed %d/8 tenants with NVM, want 4", got)
+	}
+	// Growing the fleet never flips an existing tenant's backing.
+	for i := 0; i < 16; i++ {
+		if nvmTenant(i, 0.5) != nvmTenant(i, 0.5) {
+			t.Fatal("nvmTenant not a pure function of (i, frac)")
+		}
+	}
+}
+
+func TestDeriveSeedStreamsIndependent(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 1000; i++ {
+		s := deriveSeed(1, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("tenants %d and %d share derived seed %#x", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if deriveSeed(1, 0) == deriveSeed(2, 0) {
+		t.Fatal("different root seeds gave tenant 0 the same stream")
+	}
+}
