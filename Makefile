@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet lint race bench benchsmoke crashsweep fuzzsmoke allocguard monitorsmoke shardsmoke eventsmoke trafficsmoke nightly profile
+.PHONY: all build test check fmt vet lint race bench benchsmoke crashsweep fuzzsmoke allocguard monitorsmoke shardsmoke eventsmoke trafficsmoke forksmoke nightly profile
 
 all: build test
 
@@ -18,9 +18,11 @@ test:
 # (real kindle binary scraped over HTTP mid-run), the sharded-replay
 # smoke (real binary, -shards 1 vs 4 stats dumps diffed), and the
 # event-clock smoke (real binary, stepped vs -event-clock dumps diffed),
-# and the traffic smoke (real binary, a seeded multi-tenant spec run twice
-# stepped and once with -event-clock, all three dumps diffed).
-check: fmt vet race allocguard benchsmoke crashsweep fuzzsmoke monitorsmoke shardsmoke eventsmoke trafficsmoke
+# the traffic smoke (real binary, a seeded multi-tenant spec run twice
+# stepped and once with -event-clock, all three dumps diffed), and the
+# snapshot/fork smoke (real binary, -snapshot-out then two -snapshot-in
+# resumes, all dumps diffed against a cold run).
+check: fmt vet race allocguard benchsmoke crashsweep fuzzsmoke monitorsmoke shardsmoke eventsmoke trafficsmoke forksmoke
 
 # allocguard pins the replay fast path's zero-allocation steady state (see
 # allocguard_test.go); it needs a non-race build because race instrumentation
@@ -78,6 +80,14 @@ eventsmoke:
 # determinism contract, end to end (see traffic_smoke_test.go).
 trafficsmoke:
 	$(GO) test -run TestTrafficSmoke .
+
+# forksmoke builds the real kindle binary and requires a cold run, a run
+# that freezes a mid-replay snapshot with -snapshot-out (and still
+# completes), and two -snapshot-in resumes of that snapshot to produce
+# byte-identical stats dumps — the copy-on-write snapshot contract, end to
+# end (see fork_smoke_test.go).
+forksmoke:
+	$(GO) test -run TestForkSmoke .
 
 # lint runs staticcheck when it is installed (CI installs a pinned version;
 # see .github/workflows/ci.yml) and falls back to go vet locally so the

@@ -50,8 +50,21 @@ func TestWriteBenchReport(t *testing.T) {
 		rep.EventClockSpeedup = float64(stepped.NsPerOp()) / float64(ns)
 	}
 
+	// Warm-fork win: cold grid-cell warmup ns/op over copy-on-write
+	// fork+resume ns/op, plus the fork's allocation count. Informational
+	// (fork and cold boot are identity-gated; only host time differs).
+	cold := testing.Benchmark(BenchmarkColdGridWarmup)
+	forked := testing.Benchmark(BenchmarkForkGridWarmup)
+	if ns := forked.NsPerOp(); ns > 0 {
+		rep.ForkSpeedup = float64(cold.NsPerOp()) / float64(ns)
+	}
+	rep.ForkAllocsPerFork = uint64(forked.AllocsPerOp())
+
+	// The suite runs with warm-forked grid cells; Fork records that as an
+	// environment knob so benchdiff refuses mixed-fork comparisons.
+	rep.Fork = true
 	start := time.Now()
-	if _, err := bench.RunAll(bench.Options{Scale: rep.SuiteScale}, nil); err != nil {
+	if _, err := bench.RunAll(bench.Options{Scale: rep.SuiteScale, WarmFork: true}, nil); err != nil {
 		t.Fatal(err)
 	}
 	rep.SuiteWallClockSec = time.Since(start).Seconds()
@@ -59,8 +72,9 @@ func TestWriteBenchReport(t *testing.T) {
 	if err := rep.WriteFile(*benchReportPath); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s: %.0f records/sec (stream %.0f at %d workers, sharded %.0f at %d shards), event-clock speedup %.2fx, suite %.1fs at scale %g on %d procs",
+	t.Logf("wrote %s: %.0f records/sec (stream %.0f at %d workers, sharded %.0f at %d shards), event-clock speedup %.2fx, fork speedup %.2fx (%d allocs/fork), suite %.1fs at scale %g on %d procs",
 		*benchReportPath, rep.RecordsPerSec, rep.StreamRecordsPerSec, rep.DecodeWorkers,
-		rep.ShardedRecordsPerSec, rep.Shards, rep.EventClockSpeedup, rep.SuiteWallClockSec,
+		rep.ShardedRecordsPerSec, rep.Shards, rep.EventClockSpeedup,
+		rep.ForkSpeedup, rep.ForkAllocsPerFork, rep.SuiteWallClockSec,
 		rep.SuiteScale, rep.GOMAXPROCS)
 }

@@ -3,14 +3,20 @@
 //
 // Usage:
 //
-//	kindle-bench [-scale 1.0] [-parallel N] [-experiment all|tableI|tableII|fig4a|fig4b|tableIII|tableIV|fig5|intervals|image-sizes|hscc|crash-sweep|traffic|extensions] [-check]
+//	kindle-bench [-scale 1.0] [-parallel N] [-fork] [-shards N] [-experiment all|tableI|tableII|fig4a|fig4b|tableIII|tableIV|fig5|intervals|image-sizes|hscc|crash-sweep|traffic|extensions] [-check]
 //
 // -scale shrinks footprints, trace lengths and intervals proportionally
 // (0.0625 runs the whole suite in about a minute; 1.0 is paper scale).
 // -parallel bounds the worker pool independent simulation runs fan out
 // over (default: one worker per CPU). Each run owns its machine — clock,
 // stats, RNG — so parallel execution produces byte-identical output.
-// -check validates the published shapes after running.
+// -fork boots persistence-grid cells by forking a shared copy-on-write
+// snapshot of the warmed boot state instead of re-simulating it per cell;
+// results are byte-identical either way. -shards routes replay-bearing
+// cells that only need total simulated time through the sharded replay
+// engine (sharded times are only comparable to sharded times — keep the
+// value fixed when diffing reports). -check validates the published shapes
+// after running.
 package main
 
 import (
@@ -56,10 +62,13 @@ func main() {
 	csvPath := flag.String("csv", "", "also write all data points as CSV (with -experiment all)")
 	monitorAddr := flag.String("monitor", "", "serve live telemetry on this HTTP address (e.g. :8090): /metrics, /progress, /debug/pprof/")
 	liveProgress := flag.Bool("progress", true, "render a live progress/ETA line on stderr")
+	fork := flag.Bool("fork", false, "fork warmed boot snapshots (copy-on-write) across persistence-grid cells instead of cold-booting each")
+	shards := flag.Int("shards", 0, "route replay-bearing cells through the sharded replay engine at this shard count (0 = plain replay)")
 	flag.Parse()
 
 	tracker := bench.NewTracker()
-	opt := bench.Options{Scale: *scale, Parallel: *parallel, Progress: tracker}
+	opt := bench.Options{Scale: *scale, Parallel: *parallel, Progress: tracker,
+		WarmFork: *fork, Shards: *shards}
 	progress := func(s string) {
 		if stderrIsTTY() {
 			fmt.Fprint(os.Stderr, "\r\x1b[K")

@@ -11,6 +11,8 @@
 //	kindle -image images/Ycsb_mem.img -persist rebuild -interval 10ms -crash-at 0.5
 //	kindle -benchmark Gapbs_pr -small -ssp 5ms
 //	kindle -benchmark Ycsb_mem -small -hscc 25
+//	kindle -image images/Ycsb_mem.img -snapshot-out warm.snap -snapshot-at 4096
+//	kindle -image images/Ycsb_mem.img -snapshot-in warm.snap
 package main
 
 import (
@@ -57,10 +59,59 @@ func main() {
 	shards := flag.Int("shards", 0, "replay the trace sharded across N machine instances (0 = off); requires a v2 -image")
 	segmentChunks := flag.Int("segment-chunks", 0, "sharded partition grain in chunks (0 = default); affects results, unlike -shards")
 	shardStatsDir := flag.String("shard-stats-dir", "", "with -shards, also write each segment's stats file into this directory")
+	snapshotOut := flag.String("snapshot-out", "", "freeze the machine into this file mid-replay (copy-on-write; the run still completes normally)")
+	snapshotAt := flag.Int("snapshot-at", 0, "with -snapshot-out, take the snapshot after this many records (rounded up to a tick boundary; 0 = right after launch)")
+	snapshotIn := flag.String("snapshot-in", "", "resume a run frozen by -snapshot-out; requires -image pointing at the same trace")
 	trafficSpec := flag.String("traffic", "", "run the multi-tenant traffic engine with this spec (\"default\" or key=value;... — see internal/traffic.ParseSpec)")
 	tenants := flag.Int("tenants", 0, "with -traffic, override the spec's tenant count")
 	seed := flag.Uint64("seed", 0, "with -traffic, override the spec's RNG seed")
 	flag.Parse()
+
+	if *snapshotOut != "" || *snapshotIn != "" {
+		// Snapshots capture the machine + kernel + persistence manager +
+		// replay position. Stacks whose pending events cannot be re-armed by
+		// name (SSP, HSCC, interval dumps, scheduler ticks) and modes that
+		// fork their own machines are refused up front, instead of failing
+		// at resume time.
+		switch {
+		case *trafficSpec != "" || *shards > 0:
+			fatal(fmt.Errorf("-snapshot-out/-snapshot-in are incompatible with -traffic/-shards (snapshots capture one replaying machine)"))
+		case *sspInterval > 0 || *hsccThreshold > 0:
+			fatal(fmt.Errorf("-snapshot-out/-snapshot-in are incompatible with -ssp/-hscc (their pending events cannot be re-armed on resume)"))
+		case *crashAt > 0:
+			fatal(fmt.Errorf("-snapshot-out/-snapshot-in are incompatible with -crash-at"))
+		case *traceOut != "" || *statsInterval > 0:
+			fatal(fmt.Errorf("-snapshot-out/-snapshot-in are incompatible with -trace-out/-stats-interval"))
+		case *idleAfter > 0:
+			fatal(fmt.Errorf("-snapshot-out/-snapshot-in are incompatible with -idle-after"))
+		}
+	}
+	if *snapshotIn != "" {
+		// The snapshot pins the persistence scheme and the clock engine; the
+		// flags that would re-choose them are refused rather than silently
+		// ignored.
+		if *persistMode != "" {
+			fatal(fmt.Errorf("-snapshot-in restores the persistence state captured in the snapshot; drop -persist"))
+		}
+		if *snapshotOut != "" {
+			fatal(fmt.Errorf("-snapshot-in and -snapshot-out are mutually exclusive"))
+		}
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "event-clock" {
+				fatal(fmt.Errorf("-snapshot-in restores the clock engine captured in the snapshot; drop -event-clock"))
+			}
+		})
+		runFromSnapshot(snapshotFlags{
+			snapshotIn:    *snapshotIn,
+			image:         *image,
+			decodeWorkers: *decodeWorkers,
+			stats:         *stats,
+			statsOut:      *statsOut,
+			monitorAddr:   *monitorAddr,
+			monitorHold:   *monitorHold,
+		})
+		return
+	}
 
 	if *trafficSpec != "" {
 		// The traffic engine generates its own load on one machine; replay
@@ -165,7 +216,7 @@ func main() {
 		mon, err = monitor.Listen(*monitorAddr, monitor.Options{
 			Stats:  f.M.Stats,
 			Hub:    hub,
-			Gauges: decodeGauges(src),
+			Gauges: mergeGauges(decodeGauges(src), memGauges(f.M)),
 			Progress: func() any {
 				p := replayProgress{
 					RecordsReplayed: progConsumed.Load(),
@@ -270,6 +321,22 @@ func main() {
 		fmt.Printf("replaying %s: %d records on %s\n", src.Benchmark(), total, "3GB DRAM + 2GB NVM @ 3GHz")
 	} else {
 		fmt.Printf("replaying %s (streamed) on %s\n", src.Benchmark(), "3GB DRAM + 2GB NVM @ 3GHz")
+	}
+
+	if *snapshotOut != "" {
+		// Round the capture point up to a tick boundary: tick firing is
+		// consumed-count-based, so a boundary-aligned snapshot resumes on
+		// exactly the cold run's event trajectory.
+		at := *snapshotAt
+		if te := rep.TickEvery; te > 0 && at%te != 0 {
+			at += te - at%te
+		}
+		if at > 0 {
+			if _, err := rep.Step(at); err != nil {
+				fatal(err)
+			}
+		}
+		writeSnapshot(f, rep, *snapshotOut)
 	}
 
 	if crashPoint > 0 && mgr != nil {

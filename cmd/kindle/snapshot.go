@@ -1,0 +1,183 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"kindle/internal/core"
+	"kindle/internal/machine"
+	"kindle/internal/obs/monitor"
+)
+
+// Machine snapshots on the CLI: -snapshot-out freezes the framework
+// mid-replay into a file (copy-on-write, so the writing run continues and
+// finishes normally — its output is identical to a run without the flag);
+// -snapshot-in resumes a frozen run against the same trace image and plays
+// out the remainder. A resumed run's stats dump is byte-identical to the
+// uninterrupted one: the snapshot restores the full architectural state and
+// the replay fast-forwards the decoder to the captured position.
+
+// snapshotFlags carries the flag subset -snapshot-in consumes.
+type snapshotFlags struct {
+	snapshotIn    string
+	image         string
+	decodeWorkers int
+	stats         bool
+	statsOut      string
+	monitorAddr   string
+	monitorHold   time.Duration
+}
+
+// writeSnapshot captures the framework at the replay's current position and
+// saves it to path. The run keeps going; the frame store forks
+// copy-on-write.
+func writeSnapshot(f *core.Framework, rep *core.Replay, path string) {
+	sf, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	werr := f.Snapshot(rep).Save(sf)
+	if cerr := sf.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fatal(werr)
+	}
+	fmt.Printf("snapshot written to %s at record %d (t=%.3f ms)\n",
+		path, rep.Consumed(), f.M.ElapsedMillis())
+}
+
+// runFromSnapshot resumes a saved snapshot over the same trace image and
+// replays the remaining records.
+func runFromSnapshot(fl snapshotFlags) {
+	if fl.image == "" {
+		fatal(fmt.Errorf("-snapshot-in requires -image (the same trace the snapshot was taken from)"))
+	}
+	snapFile, err := os.Open(fl.snapshotIn)
+	if err != nil {
+		fatal(err)
+	}
+	snap, err := core.LoadSnapshot(snapFile)
+	snapFile.Close()
+	if err != nil {
+		fatal(err)
+	}
+	src, err := openSource(fl.image, "", false, fl.decodeWorkers)
+	if err != nil {
+		fatal(err)
+	}
+	defer src.Close()
+
+	f, rep, err := core.RunFromSnapshot(snap, src)
+	if err != nil {
+		fatal(err)
+	}
+
+	var mon *monitor.Server
+	var progConsumed, progTotal atomic.Int64
+	var progDone atomic.Bool
+	if fl.monitorAddr != "" {
+		progTotal.Store(int64(rep.Total()))
+		progConsumed.Store(int64(rep.Consumed()))
+		mon, err = monitor.Listen(fl.monitorAddr, monitor.Options{
+			Stats:  f.M.Stats,
+			Gauges: mergeGauges(decodeGauges(src), memGauges(f.M)),
+			Progress: func() any {
+				p := replayProgress{
+					RecordsReplayed: progConsumed.Load(),
+					RecordsTotal:    progTotal.Load(),
+					Done:            progDone.Load(),
+				}
+				switch {
+				case p.Done:
+					p.Fraction = 1
+				case p.RecordsTotal > 0:
+					p.Fraction = float64(p.RecordsReplayed) / float64(p.RecordsTotal)
+				}
+				return p
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer mon.Close()
+		fmt.Fprintf(os.Stderr, "monitor: listening on http://%s\n", mon.Addr())
+		rep.OnStep = func(consumed, _ int) { progConsumed.Store(int64(consumed)) }
+	}
+
+	fmt.Printf("resuming %s from snapshot at record %d (t=%.3f ms)\n",
+		src.Benchmark(), rep.Consumed(), f.M.ElapsedMillis())
+	if err := rep.Run(); err != nil {
+		fatal(err)
+	}
+	if mon != nil {
+		progConsumed.Store(int64(rep.Consumed()))
+		progDone.Store(true)
+	}
+
+	fmt.Printf("execution time: %.3f ms simulated (%d cycles)\n", f.M.ElapsedMillis(), f.M.Clock.Now())
+	fmt.Printf("kernel share:   %.1f%%\n",
+		100*float64(f.M.Stats.Get("cpu.kernel_cycles"))/float64(f.M.Clock.Now()))
+	if fl.stats {
+		fmt.Print(f.M.Stats.Dump(""))
+	}
+	if fl.statsOut != "" {
+		sf, err := os.Create(fl.statsOut)
+		if err != nil {
+			fatal(err)
+		}
+		werr := f.M.Stats.WriteStatsFile(sf)
+		if cerr := sf.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatal(werr)
+		}
+		fmt.Printf("stats written to %s\n", fl.statsOut)
+	}
+	if mon != nil && fl.monitorHold > 0 {
+		fmt.Fprintf(os.Stderr, "monitor: run complete; holding endpoint for %s\n", fl.monitorHold)
+		time.Sleep(fl.monitorHold)
+	}
+}
+
+// memGauges exposes the backing store's resident footprint as /metrics
+// gauges (the dense slab directory's populated-frame counter is atomic, so
+// the monitor goroutine reads it race-free).
+func memGauges(m *machine.Machine) func() map[string]float64 {
+	b := m.Ctrl.Backing()
+	return func() map[string]float64 {
+		return map[string]float64{
+			"kindle_mem_resident_frames": float64(b.FrameCount()),
+			"kindle_mem_resident_bytes":  float64(b.ResidentBytes()),
+		}
+	}
+}
+
+// mergeGauges combines gauge sources, skipping nil ones. Later sources win
+// on (unexpected) key collisions.
+func mergeGauges(srcs ...func() map[string]float64) func() map[string]float64 {
+	var live []func() map[string]float64
+	for _, s := range srcs {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if len(live) == 1 {
+		return live[0]
+	}
+	return func() map[string]float64 {
+		out := map[string]float64{}
+		for _, s := range live {
+			for k, v := range s() {
+				out[k] = v
+			}
+		}
+		return out
+	}
+}

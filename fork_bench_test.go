@@ -1,0 +1,84 @@
+package kindle_test
+
+import (
+	"testing"
+	"time"
+
+	"kindle/internal/core"
+	"kindle/internal/persist"
+	"kindle/internal/trace"
+	"kindle/internal/workloads"
+)
+
+// forkBenchWarmup is the warm-prefix length both warmup benchmarks pay: a
+// multiple of the replay tick grain (32), most of the 50k-record image, so
+// the simulated warmup dominates the boot cost like a real grid cell's
+// does.
+const forkBenchWarmup = 32_000
+
+func forkBenchImage(b *testing.B) *trace.Image {
+	cfg := workloads.DefaultYCSB()
+	cfg.Ops = 50_000
+	img, err := workloads.YCSB(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return img
+}
+
+// BenchmarkColdGridWarmup simulates one bench-grid cell's warmup from
+// scratch: boot, enable persistence, launch the replay and simulate the
+// warm prefix. This is the per-cell cost a cold grid pays.
+func BenchmarkColdGridWarmup(b *testing.B) {
+	img := forkBenchImage(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := core.NewDefault()
+		mgr, err := f.EnablePersistence(persist.Rebuild, 10*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgr.Start()
+		_, rep, err := f.LaunchInit(img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rep.Step(forkBenchWarmup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForkGridWarmup reaches the same warmed state by forking a
+// copy-on-write snapshot captured once: resume the machine, kernel and
+// manager and fast-forward the decoder past the prefix without simulating
+// it. ns/op against BenchmarkColdGridWarmup's is the fork_speedup recorded
+// in BENCH_replay.json; allocs/op is fork_allocs_per_fork.
+func BenchmarkForkGridWarmup(b *testing.B) {
+	img := forkBenchImage(b)
+	f := core.NewDefault()
+	mgr, err := f.EnablePersistence(persist.Rebuild, 10*time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr.Start()
+	_, rep, err := f.LaunchInit(img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rep.Step(forkBenchWarmup); err != nil {
+		b.Fatal(err)
+	}
+	snap := f.Snapshot(rep)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cf, crep, err := core.RunFromSnapshot(snap, trace.NewImageSource(img))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if crep.Consumed() != forkBenchWarmup || cf.M.Clock.Now() == 0 {
+			b.Fatalf("fork resumed at record %d, want %d", crep.Consumed(), forkBenchWarmup)
+		}
+	}
+}

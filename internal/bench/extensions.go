@@ -75,7 +75,7 @@ func ExtConsolidation(opt Options) (*ExtConsolidationResult, error) {
 		if err := rep.Run(); err != nil {
 			return nil, err
 		}
-		opt.Progress.AddRecords(rep.Consumed())
+		opt.Progress.AddRecords(rep.Replayed())
 		ctl.Disable()
 		res.Rows = append(res.Rows, ExtConsolidationRow{
 			Interval:     iv,
@@ -166,17 +166,13 @@ func ExtNVMTech(opt Options) (*ExtNVMTechResult, error) {
 	for _, tech := range Techs() {
 		cfg := machine.DefaultConfig()
 		cfg.NVM = tech.Timing
-		f := core.New(cfg)
-		_, rep, err := f.LaunchInit(img)
+		// All three technology rows replay through the same engine (plain,
+		// or sharded under opt.Shards), so the cross-tech trend CheckShape
+		// asserts is preserved either way.
+		execMs, err := replayExecMs(img, cfg, opt)
 		if err != nil {
 			return nil, err
 		}
-		start := f.M.Clock.Now()
-		if err := rep.Run(); err != nil {
-			return nil, err
-		}
-		opt.Progress.AddRecords(rep.Consumed())
-		execMs := (f.M.Clock.Now() - start).Millis()
 
 		// Persistent-scheme micro: NVM latency hits page-table hosting.
 		f2 := core.New(cfg)

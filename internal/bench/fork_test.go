@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGridWarmForkIdentity pins the warm-fork contract: a grid run whose
+// cells fork a shared copy-on-write boot snapshot produces exactly the rows
+// a cold-boot run does, including with parallel workers racing over the
+// shared snapshots.
+func TestGridWarmForkIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cold := Options{Scale: 1.0 / 32}
+	warm := Options{Scale: 1.0 / 32, WarmFork: true, Parallel: 2}
+
+	coldRes, err := Fig4a(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRes, err := Fig4a(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(coldRes, warmRes) {
+		t.Fatalf("fig4a rows differ under warm fork:\ncold: %+v\nwarm: %+v", coldRes, warmRes)
+	}
+
+	coldIII, err := TableIII(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmIII, err := TableIII(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(coldIII, warmIII) {
+		t.Fatalf("tableIII rows differ under warm fork:\ncold: %+v\nwarm: %+v", coldIII, warmIII)
+	}
+}
+
+// TestIntervalsWarmForkIdentity covers the one warm-forked experiment that
+// arms its own events after the fork (the interval-dump timer) and reads
+// interval stats off the restored registry.
+func TestIntervalsWarmForkIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	coldRes, err := Intervals(Options{Scale: 1.0 / 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRes, err := Intervals(Options{Scale: 1.0 / 32, WarmFork: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(coldRes, warmRes) {
+		t.Fatalf("interval rows differ under warm fork:\ncold: %+v\nwarm: %+v", coldRes, warmRes)
+	}
+}
+
+// TestNVMTechSharded runs the technology sweep through the sharded replay
+// engine and checks the cross-tech trend survives (sharded times are only
+// comparable to sharded times; the trend across rows is what CheckShape
+// asserts).
+func TestNVMTechSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := ExtNVMTech(Options{Scale: 1.0 / 16, Shards: 2, WarmFork: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if err := res.CheckShape(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -188,6 +188,7 @@ func TestCompareReportsRefusesShardMismatch(t *testing.T) {
 	}{
 		{"shards differ", Report{RecordsPerSec: 1000, Shards: 8, DecodeWorkers: 4, GOMAXPROCS: 1}},
 		{"decode workers differ", Report{RecordsPerSec: 1000, Shards: 4, DecodeWorkers: 2, GOMAXPROCS: 1}},
+		{"fork differs", Report{RecordsPerSec: 1000, Shards: 4, DecodeWorkers: 4, GOMAXPROCS: 1, Fork: true}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			if _, err := CompareReports(base, &tc.fresh, opt); err == nil {

@@ -193,6 +193,9 @@ func (r *Results) CheckShapes() error {
 // (every experiment writes its own slot, and each simulation owns its
 // machine).
 func RunAll(opt Options, progress func(string)) (*Results, error) {
+	// Attach the warm-fork snapshot cache (if enabled) once, so experiments
+	// with the same (scheme, interval) boot prefix share it across the run.
+	opt = opt.warmed()
 	var mu sync.Mutex
 	note := func(s string) {
 		if progress == nil {

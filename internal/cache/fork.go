@@ -1,0 +1,82 @@
+package cache
+
+import (
+	"fmt"
+
+	"kindle/internal/mem"
+)
+
+// Snapshot mirrors of the cache tag state, for machine forks. The mirrors
+// are plain data (gob-encodable); geometry (sets/ways/latency) is not
+// captured — it is derived from the machine Config the restoring side
+// rebuilds with, and RestoreState rejects a mismatch.
+
+// WayState is one tag-store record.
+type WayState struct {
+	Addr uint64
+	LRU  uint64
+}
+
+// LevelState mirrors one cache level's mutable state.
+type LevelState struct {
+	Tags  []WayState
+	Dirty []uint32
+	Lens  []int32
+	MRU   []int32
+	Clock uint64
+}
+
+// HierarchyState mirrors the full three-level stack.
+type HierarchyState struct {
+	L1, L2, LLC LevelState
+}
+
+func (l *Level) captureState() LevelState {
+	st := LevelState{
+		Tags:  make([]WayState, len(l.tags)),
+		Dirty: append([]uint32(nil), l.dirtyBits...),
+		Lens:  append([]int32(nil), l.lens...),
+		MRU:   append([]int32(nil), l.mru...),
+		Clock: l.clock,
+	}
+	for i, w := range l.tags {
+		st.Tags[i] = WayState{Addr: uint64(w.addr), LRU: w.lru}
+	}
+	return st
+}
+
+func (l *Level) restoreState(st LevelState) error {
+	if len(st.Tags) != len(l.tags) || len(st.Lens) != len(l.lens) {
+		return fmt.Errorf("cache: %s geometry mismatch: %d/%d tags, %d/%d sets",
+			l.name, len(st.Tags), len(l.tags), len(st.Lens), len(l.lens))
+	}
+	for i, w := range st.Tags {
+		l.tags[i] = way{addr: mem.PhysAddr(w.Addr), lru: w.LRU}
+	}
+	copy(l.dirtyBits, st.Dirty)
+	copy(l.lens, st.Lens)
+	copy(l.mru, st.MRU)
+	l.clock = st.Clock
+	return nil
+}
+
+// CaptureState copies the hierarchy's mutable tag state.
+func (h *Hierarchy) CaptureState() HierarchyState {
+	return HierarchyState{
+		L1:  h.l1.captureState(),
+		L2:  h.l2.captureState(),
+		LLC: h.llc.captureState(),
+	}
+}
+
+// RestoreState overwrites the hierarchy's tag state from a capture taken
+// on an identically configured hierarchy.
+func (h *Hierarchy) RestoreState(st HierarchyState) error {
+	if err := h.l1.restoreState(st.L1); err != nil {
+		return err
+	}
+	if err := h.l2.restoreState(st.L2); err != nil {
+		return err
+	}
+	return h.llc.restoreState(st.LLC)
+}

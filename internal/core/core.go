@@ -153,8 +153,12 @@ type Replay struct {
 	batch    []trace.Record
 	pos      int // cursor into batch
 	consumed int
-	total    int // -1 when the source cannot tell upfront
-	drained  bool
+	// resumedAt is the consumed count a snapshot-resumed replay started
+	// from (0 for a replay launched cold); Replayed subtracts it so
+	// progress accounting only counts records this run simulated.
+	resumedAt int
+	total     int // -1 when the source cannot tell upfront
+	drained   bool
 
 	// ComputeCyclesPerPeriod charges non-memory instruction time between
 	// records from the trace's logical periods.
@@ -269,8 +273,17 @@ func (r *Replay) Done() bool {
 // cannot tell without decoding to the end (a non-seekable v2 stream).
 func (r *Replay) Total() int { return r.total }
 
-// Consumed returns how many records have been replayed so far.
+// Consumed returns how many records have been replayed so far, counting
+// any prefix a snapshot-resumed replay skipped over (the absolute trace
+// position).
 func (r *Replay) Consumed() int { return r.consumed }
+
+// Replayed returns how many records this run actually simulated: Consumed
+// minus the prefix a snapshot resume fast-forwarded past. Progress
+// accounting (bench.Tracker records gauges) sums Replayed so forked cells
+// sharing one warmup never double-count it — the gauges stay cumulative
+// and monotone.
+func (r *Replay) Replayed() int { return r.consumed - r.resumedAt }
 
 // Remaining returns how many records are left, or -1 when the source's
 // total is unknown.

@@ -48,6 +48,12 @@ type ShardedOptions struct {
 	// Config is the machine configuration each segment's instance boots
 	// with (nil = machine.DefaultConfig()).
 	Config *machine.Config
+	// WarmFork seeds every segment from one shared boot snapshot (machine
+	// booted, init spawned, areas mapped) forked copy-on-write, instead of
+	// cold-booting per segment. Results are byte-identical either way —
+	// pinned by TestShardedWarmForkIdentity — the fork only skips
+	// re-simulating the boot prefix.
+	WarmFork bool
 	// OnProgress, when set, observes global progress: records replayed
 	// across all segments so far, out of the trace total. Called from
 	// worker goroutines; it must be safe for concurrent use (bench.Tracker
@@ -56,10 +62,12 @@ type ShardedOptions struct {
 }
 
 // SegmentStats is one segment's outcome, the debugging view of a sharded
-// run: its chunk range, record count and private stats registry.
+// run: its chunk range, record count, end-of-segment clock and private
+// stats registry.
 type SegmentStats struct {
 	Lo, Hi  int // chunk range [Lo, Hi) in the trace's chunk index
 	Records int
+	Cycles  sim.Cycles // segment-local clock at completion
 	Stats   *sim.Stats
 }
 
@@ -73,6 +81,10 @@ type ShardedResult struct {
 	// Records is the total records replayed; Shards the worker count used.
 	Records int
 	Shards  int
+	// Cycles sums the per-segment clocks — the simulated-time proxy of a
+	// sharded run. It depends on the segment grain (cold boundaries) but
+	// not on the shard count, so sharded runs compare against sharded runs.
+	Cycles sim.Cycles
 }
 
 // ReplaySharded replays a v2 trace partitioned across independent machine
@@ -103,6 +115,34 @@ func ReplaySharded(open func() (io.ReadSeeker, error), opt ShardedOptions) (*Sha
 		return nil, fmt.Errorf("core: scanning chunk index: %w", err)
 	}
 
+	// WarmFork: simulate the boot prefix (machine boot, init spawn, area
+	// mmaps) exactly once and freeze it; every segment resumes from a
+	// copy-on-write fork instead of re-simulating it. The template replay
+	// consumes zero records, so a resumed segment starts at the same point
+	// a cold-booted one would.
+	var seed *Snapshot
+	if opt.WarmFork {
+		rs, err := open()
+		if err != nil {
+			return nil, fmt.Errorf("core: opening trace for warm template: %w", err)
+		}
+		src, err := ix.OpenRange(rs, 0, 0)
+		if err != nil {
+			closeReader(rs)
+			return nil, err
+		}
+		f := New(cfg)
+		_, rep, err := f.LaunchStream(src)
+		if err == nil {
+			seed = f.Snapshot(rep)
+		}
+		src.Close()
+		closeReader(rs)
+		if err != nil {
+			return nil, fmt.Errorf("core: building warm template: %w", err)
+		}
+	}
+
 	nSegs := (len(ix.Chunks) + segChunks - 1) / segChunks
 	if nSegs == 0 {
 		// A v2 trace with zero records has no chunks. Still replay one
@@ -126,11 +166,11 @@ func ReplaySharded(open func() (io.ReadSeeker, error), opt ShardedOptions) (*Sha
 				opt.OnProgress(int(done.Add(int64(delta))), ix.Total)
 			}
 		}
-		st, n, err := replaySegment(ix, open, lo, hi, cfg, report)
+		st, n, cyc, err := replaySegment(ix, open, lo, hi, cfg, seed, report)
 		if err != nil {
 			return fmt.Errorf("core: segment %d (chunks [%d, %d)): %w", i, lo, hi, err)
 		}
-		res.Segments[i] = SegmentStats{Lo: lo, Hi: hi, Records: n, Stats: st}
+		res.Segments[i] = SegmentStats{Lo: lo, Hi: hi, Records: n, Cycles: cyc, Stats: st}
 		return nil
 	})
 	if err != nil {
@@ -142,6 +182,7 @@ func ReplaySharded(open func() (io.ReadSeeker, error), opt ShardedOptions) (*Sha
 	for _, seg := range res.Segments {
 		res.Stats.MergeFrom(seg.Stats)
 		res.Records += seg.Records
+		res.Cycles += seg.Cycles
 	}
 	return res, nil
 }
@@ -151,23 +192,30 @@ func ReplayShardedFile(path string, opt ShardedOptions) (*ShardedResult, error) 
 	return ReplaySharded(func() (io.ReadSeeker, error) { return os.Open(path) }, opt)
 }
 
-// replaySegment replays chunks [lo, hi) on a fresh framework and returns
-// its stats registry and record count.
-func replaySegment(ix *trace.ChunkIndex, open func() (io.ReadSeeker, error), lo, hi int, cfg machine.Config, report func(delta int)) (*sim.Stats, int, error) {
+// replaySegment replays chunks [lo, hi) on a fresh framework — cold-booted,
+// or forked from the warm seed snapshot — and returns its stats registry,
+// record count and final clock.
+func replaySegment(ix *trace.ChunkIndex, open func() (io.ReadSeeker, error), lo, hi int, cfg machine.Config, seed *Snapshot, report func(delta int)) (*sim.Stats, int, sim.Cycles, error) {
 	rs, err := open()
 	if err != nil {
-		return nil, 0, fmt.Errorf("opening trace: %w", err)
+		return nil, 0, 0, fmt.Errorf("opening trace: %w", err)
 	}
 	defer closeReader(rs)
 	src, err := ix.OpenRange(rs, lo, hi)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	defer src.Close()
-	f := New(cfg)
-	_, rep, err := f.LaunchStream(src)
+	var f *Framework
+	var rep *Replay
+	if seed != nil {
+		f, rep, err = RunFromSnapshot(seed, src)
+	} else {
+		f = New(cfg)
+		_, rep, err = f.LaunchStream(src)
+	}
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	// Seed the replay clock with the segment's base period: the first
 	// record advances the machine by its in-segment delta, not by its
@@ -186,12 +234,12 @@ func replaySegment(ix *trace.ChunkIndex, open func() (io.ReadSeeker, error), lo,
 		}
 	}
 	if err := rep.Run(); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if err := rep.Teardown(); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	return f.M.Stats, rep.Consumed(), nil
+	return f.M.Stats, rep.Consumed(), f.M.Clock.Now(), nil
 }
 
 func closeReader(rs io.ReadSeeker) {

@@ -92,6 +92,55 @@ func TestShardedStatsIdentity(t *testing.T) {
 	}
 }
 
+// TestShardedWarmForkIdentity pins the snapshot-seeded sharding claim:
+// segments forked from the shared boot snapshot produce dumps
+// byte-identical to cold-booted segments, at every shard count, under the
+// stepped and the event-driven clock alike.
+func TestShardedWarmForkIdentity(t *testing.T) {
+	path := shardedImageFile(t, smallImage(t), 1024)
+	for _, eventClock := range []bool{false, true} {
+		name := "stepped"
+		if eventClock {
+			name = "event-clock"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := machine.TestConfig()
+			cfg.EventDrivenClock = eventClock
+			opt := ShardedOptions{Shards: 1, SegmentChunks: 3, Config: &cfg}
+			cold, err := ReplayShardedFile(path, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldDump := cold.Stats.Dump("")
+			for _, shards := range []int{1, 2, 4} {
+				opt.Shards = shards
+				opt.WarmFork = true
+				warm, err := ReplayShardedFile(path, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if warm.Records != cold.Records {
+					t.Fatalf("warm fork at %d shards replayed %d records, cold %d",
+						shards, warm.Records, cold.Records)
+				}
+				if warm.Cycles != cold.Cycles {
+					t.Fatalf("warm fork at %d shards: %d cycles, cold %d",
+						shards, warm.Cycles, cold.Cycles)
+				}
+				if dump := warm.Stats.Dump(""); dump != coldDump {
+					t.Fatalf("warm-forked %d-shard dump diverged from cold boot", shards)
+				}
+				for i := range warm.Segments {
+					if warm.Segments[i].Cycles != cold.Segments[i].Cycles {
+						t.Fatalf("segment %d: warm clock %d, cold %d",
+							i, warm.Segments[i].Cycles, cold.Segments[i].Cycles)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestShardedDegenerateInputs pins the zero-record and
 // fewer-chunks-than-grain regressions: both must produce the same
 // (non-empty) dump as a 1-shard run, not an empty or partial stats file.

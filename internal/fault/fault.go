@@ -86,6 +86,15 @@ func (i *Injector) OnCommit(line mem.PhysAddr) mem.CommitDecision {
 // (including the intercepted one).
 func (i *Injector) Events() uint64 { return i.events }
 
+// Advance credits the injector with n durability events that already
+// happened before it was armed — a run resumed from a snapshot whose
+// prefix produced n events uses it to keep crash-point indices absolute.
+func (i *Injector) Advance(n uint64) { i.events += n }
+
+// Target returns the 1-based index of the event this injector intercepts
+// (0 for observers, which never fire).
+func (i *Injector) Target() uint64 { return i.target }
+
 // Fired reports whether the crash point was reached.
 func (i *Injector) Fired() bool { return i.fired }
 

@@ -3,6 +3,8 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
+	"sync/atomic"
 )
 
 const (
@@ -24,8 +26,33 @@ var zeroFrame [PageSize]byte
 
 // frameSlab is one directory leaf: lazily allocated frames for a 2 MiB
 // aligned run of physical memory.
+//
+// A slab marked shared is frozen: its frame array and every frame behind
+// it are owned jointly by every Backing that references it (the parent a
+// snapshot was taken from plus all its forks), and none of them may write
+// through it. Writers privatize first — copy-on-write at 2 MiB slab
+// granularity, the same aliasing idiom the package-level zeroFrame uses
+// for untouched reads. Once shared, a slab stays shared forever; owners
+// drop their directory entry and substitute a private copy instead, so no
+// reference counting is needed and concurrent forks never race.
 type frameSlab struct {
+	shared bool
 	frames [slabFrames]*[PageSize]byte
+}
+
+// clone deep-copies s into a fresh private slab. Frame contents are
+// copied, not aliased: a pointer-only copy would let the new owner write
+// bytes every other referent of s still reads.
+func (s *frameSlab) clone() *frameSlab {
+	ns := &frameSlab{}
+	for fi, f := range s.frames {
+		if f != nil {
+			nf := new([PageSize]byte)
+			*nf = *f
+			ns.frames[fi] = nf
+		}
+	}
+	return ns
 }
 
 // Backing is the functional content store for physical memory. Frames are
@@ -36,15 +63,30 @@ type frameSlab struct {
 // Frames live behind a two-level directory (dense slab array -> frame
 // pointers) indexed by PFN, so the per-access cost is two array loads
 // instead of a map probe.
+//
+// Fork snapshots the store in O(directory) by freezing every slab and
+// sharing the leaves copy-on-write; see frameSlab.
 type Backing struct {
 	dense     []*frameSlab          // slabs below maxDenseSlabs, grown on demand
 	sparse    map[uint64]*frameSlab // slabs at/above the dense window (rare)
-	populated int                   // frames currently holding data
+	populated atomic.Int64          // frames currently holding data
 }
 
 // NewBacking returns an empty content store.
 func NewBacking() *Backing {
 	return &Backing{}
+}
+
+// NewBackingSized returns an empty content store with the dense slab
+// directory pre-sized to cover physical addresses [0, limit), so steady
+// state never pays the append-grow path. Addresses past limit (or past
+// the 64 GiB dense window) still work via the usual fallbacks.
+func NewBackingSized(limit PhysAddr) *Backing {
+	slabs := (FrameNumber(limit+PageSize-1) + slabFrames - 1) >> slabFrameBits
+	if slabs > maxDenseSlabs {
+		slabs = maxDenseSlabs
+	}
+	return &Backing{dense: make([]*frameSlab, slabs)}
 }
 
 // frame returns the frame for pfn, or nil if untouched.
@@ -62,38 +104,88 @@ func (b *Backing) frame(pfn uint64) *[PageSize]byte {
 	return s.frames[pfn&(slabFrames-1)]
 }
 
-// ensureFrame returns the frame for pfn, allocating it (and its slab) if
-// needed.
-func (b *Backing) ensureFrame(pfn uint64) *[PageSize]byte {
+// slabForWrite returns a private (writable) slab for pfn, allocating a
+// fresh slab or privatizing a shared one as needed.
+func (b *Backing) slabForWrite(pfn uint64) *frameSlab {
 	si := pfn >> slabFrameBits
-	var s *frameSlab
 	if si < maxDenseSlabs {
 		for uint64(len(b.dense)) <= si {
 			b.dense = append(b.dense, nil)
 		}
-		s = b.dense[si]
-		if s == nil {
+		s := b.dense[si]
+		switch {
+		case s == nil:
 			s = &frameSlab{}
 			b.dense[si] = s
+		case s.shared:
+			s = s.clone()
+			b.dense[si] = s
 		}
-	} else {
-		s = b.sparse[si]
-		if s == nil {
-			if b.sparse == nil {
-				b.sparse = make(map[uint64]*frameSlab)
-			}
-			s = &frameSlab{}
-			b.sparse[si] = s
-		}
+		return s
 	}
+	s := b.sparse[si]
+	switch {
+	case s == nil:
+		if b.sparse == nil {
+			b.sparse = make(map[uint64]*frameSlab)
+		}
+		s = &frameSlab{}
+		b.sparse[si] = s
+	case s.shared:
+		s = s.clone()
+		b.sparse[si] = s
+	}
+	return s
+}
+
+// ensureFrame returns the frame for pfn, allocating it (and its slab) if
+// needed. The returned frame is always private: callers write through it.
+func (b *Backing) ensureFrame(pfn uint64) *[PageSize]byte {
+	s := b.slabForWrite(pfn)
 	fi := pfn & (slabFrames - 1)
 	f := s.frames[fi]
 	if f == nil {
 		f = new([PageSize]byte)
 		s.frames[fi] = f
-		b.populated++
+		b.populated.Add(1)
 	}
 	return f
+}
+
+// Fork freezes b's current contents and returns a new Backing sharing
+// them copy-on-write: both sides see identical bytes now, and a 2 MiB
+// slab is deep-copied by whichever side first writes into it. The call
+// itself copies only the directory, so forking a multi-GiB store is
+// cheap.
+//
+// Fork must be called from the goroutine that owns b (it marks live slabs
+// shared). A Backing that is never written after a Fork — a snapshot held
+// only for further forking — keeps every slab shared, so concurrent Forks
+// of it are pure reads and race-free.
+func (b *Backing) Fork() *Backing {
+	for _, s := range b.dense {
+		if s != nil && !s.shared {
+			s.shared = true
+		}
+	}
+	for _, s := range b.sparse {
+		if !s.shared {
+			s.shared = true
+		}
+	}
+	nb := &Backing{}
+	if len(b.dense) > 0 {
+		nb.dense = make([]*frameSlab, len(b.dense))
+		copy(nb.dense, b.dense)
+	}
+	if len(b.sparse) > 0 {
+		nb.sparse = make(map[uint64]*frameSlab, len(b.sparse))
+		for si, s := range b.sparse {
+			nb.sparse[si] = s
+		}
+	}
+	nb.populated.Store(b.populated.Load())
+	return nb
 }
 
 // Read copies len(dst) bytes at pa into dst. Crossing frame boundaries is
@@ -169,10 +261,14 @@ func (b *Backing) ZeroFrame(pfn uint64) {
 		return
 	}
 	fi := pfn & (slabFrames - 1)
-	if s.frames[fi] != nil {
-		s.frames[fi] = nil
-		b.populated--
+	if s.frames[fi] == nil {
+		return
 	}
+	if s.shared {
+		s = b.slabForWrite(pfn)
+	}
+	s.frames[fi] = nil
+	b.populated.Add(-1)
 }
 
 // CopyFrame copies a whole frame from src to dst frame numbers.
@@ -183,6 +279,11 @@ func (b *Backing) CopyFrame(dstPFN, srcPFN uint64) {
 		return
 	}
 	dst := b.ensureFrame(dstPFN)
+	// ensureFrame may have privatized the slab holding src; re-resolve so
+	// the copy reads the surviving frame, not a stale pointer.
+	if dstPFN>>slabFrameBits == srcPFN>>slabFrameBits {
+		src = b.frame(srcPFN)
+	}
 	*dst = *src
 }
 
@@ -195,34 +296,134 @@ func (b *Backing) DropRange(base PhysAddr, size uint64) {
 	first := FrameNumber(base)
 	last := FrameNumber(base + PhysAddr(size) - 1)
 	for si := first >> slabFrameBits; si <= last>>slabFrameBits && si < uint64(len(b.dense)); si++ {
-		b.dropFromSlab(b.dense[si], si, first, last)
+		b.dense[si] = b.dropFromSlab(b.dense[si], si, first, last)
 	}
 	for si, s := range b.sparse {
 		if si >= first>>slabFrameBits && si <= last>>slabFrameBits {
-			b.dropFromSlab(s, si, first, last)
+			if ns := b.dropFromSlab(s, si, first, last); ns != s {
+				if ns == nil {
+					delete(b.sparse, si)
+				} else {
+					b.sparse[si] = ns
+				}
+			}
 		}
 	}
 }
 
 // dropFromSlab clears every populated frame of s whose PFN is in
-// [first, last].
-func (b *Backing) dropFromSlab(s *frameSlab, si, first, last uint64) {
+// [first, last] and returns the slab to keep in the directory: s itself
+// when it was private, nil when a shared slab was dropped whole, or a
+// fresh private slab holding the surviving frames of a partially covered
+// shared one (the frozen original is never mutated).
+func (b *Backing) dropFromSlab(s *frameSlab, si, first, last uint64) *frameSlab {
 	if s == nil {
-		return
+		return nil
 	}
 	slabBase := si << slabFrameBits
+	if s.shared {
+		if first <= slabBase && slabBase+slabFrames-1 <= last {
+			// Whole slab covered: detach it instead of copying.
+			var dropped int64
+			for _, f := range s.frames {
+				if f != nil {
+					dropped++
+				}
+			}
+			b.populated.Add(-dropped)
+			return nil
+		}
+		ns := &frameSlab{}
+		var dropped int64
+		for fi, f := range s.frames {
+			if f == nil {
+				continue
+			}
+			pfn := slabBase + uint64(fi)
+			if pfn >= first && pfn <= last {
+				dropped++
+				continue
+			}
+			nf := new([PageSize]byte)
+			*nf = *f
+			ns.frames[fi] = nf
+		}
+		b.populated.Add(-dropped)
+		return ns
+	}
 	for fi := range s.frames {
 		pfn := slabBase + uint64(fi)
 		if pfn >= first && pfn <= last && s.frames[fi] != nil {
 			s.frames[fi] = nil
-			b.populated--
+			b.populated.Add(-1)
 		}
 	}
+	return s
 }
 
 // PopulatedFrames reports how many frames hold data (test/diagnostic aid).
-func (b *Backing) PopulatedFrames() int { return b.populated }
+func (b *Backing) PopulatedFrames() int { return int(b.populated.Load()) }
+
+// FrameCount reports the populated-frame count. Unlike the rest of the
+// Backing API it is safe to call concurrently with simulation (the count
+// is atomic), which is what the /metrics resident-frames gauge needs.
+func (b *Backing) FrameCount() int64 { return b.populated.Load() }
+
+// ResidentBytes reports the simulated bytes currently holding data.
+func (b *Backing) ResidentBytes() int64 { return b.populated.Load() * PageSize }
+
+// BackingImage is a flat, serializable copy of a Backing's populated
+// frames, in ascending PFN order (deterministic for byte-diffing snapshot
+// files).
+type BackingImage struct {
+	PFNs   []uint64
+	Frames [][]byte // PageSize bytes each, parallel to PFNs
+}
+
+// Image materializes b's populated frames for serialization.
+func (b *Backing) Image() BackingImage {
+	var img BackingImage
+	collect := func(s *frameSlab, si uint64) {
+		if s == nil {
+			return
+		}
+		slabBase := si << slabFrameBits
+		for fi, f := range s.frames {
+			if f != nil {
+				img.PFNs = append(img.PFNs, slabBase+uint64(fi))
+				img.Frames = append(img.Frames, append([]byte(nil), f[:]...))
+			}
+		}
+	}
+	for si, s := range b.dense {
+		collect(s, uint64(si))
+	}
+	sis := make([]uint64, 0, len(b.sparse))
+	for si := range b.sparse {
+		sis = append(sis, si)
+	}
+	sort.Slice(sis, func(i, j int) bool { return sis[i] < sis[j] })
+	for _, si := range sis {
+		collect(b.sparse[si], si)
+	}
+	return img
+}
+
+// NewBackingFromImage rebuilds a content store from a serialized image.
+func NewBackingFromImage(img BackingImage) (*Backing, error) {
+	if len(img.PFNs) != len(img.Frames) {
+		return nil, fmt.Errorf("mem: backing image: %d pfns vs %d frames", len(img.PFNs), len(img.Frames))
+	}
+	b := NewBacking()
+	for i, pfn := range img.PFNs {
+		if len(img.Frames[i]) != PageSize {
+			return nil, fmt.Errorf("mem: backing image: frame %d has %d bytes", i, len(img.Frames[i]))
+		}
+		copy(b.ensureFrame(pfn)[:], img.Frames[i])
+	}
+	return b, nil
+}
 
 func (b *Backing) String() string {
-	return fmt.Sprintf("mem.Backing{frames: %d}", b.populated)
+	return fmt.Sprintf("mem.Backing{frames: %d}", b.populated.Load())
 }

@@ -32,7 +32,11 @@ type Controller struct {
 
 // NewController assembles the full memory system for layout.
 func NewController(layout Layout, dramT DRAMTiming, nvmT NVMTiming, clock *sim.Clock, stats *sim.Stats) *Controller {
-	backing := NewBacking()
+	end := layout.DRAMBase + PhysAddr(layout.DRAMSize)
+	if nvmEnd := layout.NVMBase + PhysAddr(layout.NVMSize); nvmEnd > end {
+		end = nvmEnd
+	}
+	backing := NewBackingSized(end)
 	return &Controller{
 		Layout:       layout,
 		clock:        clock,

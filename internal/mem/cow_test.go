@@ -1,0 +1,207 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+// COW fork tests: Fork freezes the frame directory and shares slabs
+// read-only; writes on either side privatize a 2 MiB slab without the
+// other side observing anything. Run under -race these also pin that
+// parent, children and siblings never touch shared bytes concurrently.
+
+func TestBackingForkCOWIsolation(t *testing.T) {
+	b := NewBacking()
+	sparsePFN := uint64(maxDenseSlabs*slabFrames) + 3
+	b.WriteU64(FrameBase(10), 0xAAAA)
+	b.WriteU64(FrameBase(sparsePFN), 0xBBBB)
+
+	frozen := b.Fork()
+	c1 := frozen.Fork()
+	c2 := frozen.Fork()
+
+	// Child writes privatize; the parent and the sibling keep old bytes.
+	c1.WriteU64(FrameBase(10), 0x1111)
+	c1.WriteU64(FrameBase(sparsePFN), 0x2222)
+	if v := b.ReadU64(FrameBase(10)); v != 0xAAAA {
+		t.Fatalf("parent dense frame mutated by child write: %#x", v)
+	}
+	if v := c2.ReadU64(FrameBase(sparsePFN)); v != 0xBBBB {
+		t.Fatalf("sibling sparse frame mutated by child write: %#x", v)
+	}
+
+	// Parent writes after the fork stay invisible to children.
+	b.WriteU64(FrameBase(10)+8, 0x3333)
+	if v := c2.ReadU64(FrameBase(10) + 8); v != 0 {
+		t.Fatalf("child sees parent's post-fork write: %#x", v)
+	}
+	if v := c1.ReadU64(FrameBase(10)); v != 0x1111 {
+		t.Fatalf("child's own write lost: %#x", v)
+	}
+}
+
+func TestBackingForkOfFork(t *testing.T) {
+	a := NewBacking()
+	a.WriteU64(FrameBase(0), 1)
+
+	bb := a.Fork().Fork() // generation B
+	bb.WriteU64(FrameBase(0), 2)
+	bb.WriteU64(FrameBase(1), 20) // new frame only B has
+
+	cc := bb.Fork().Fork() // generation C, forked off the modified B
+	cc.WriteU64(FrameBase(0), 3)
+	cc.WriteU64(FrameBase(2), 30)
+
+	if v := a.ReadU64(FrameBase(0)); v != 1 {
+		t.Fatalf("grandparent frame 0 = %d, want 1", v)
+	}
+	if v := bb.ReadU64(FrameBase(0)); v != 2 {
+		t.Fatalf("parent frame 0 = %d, want 2", v)
+	}
+	if v := cc.ReadU64(FrameBase(0)); v != 3 {
+		t.Fatalf("grandchild frame 0 = %d, want 3", v)
+	}
+	if v := cc.ReadU64(FrameBase(1)); v != 20 {
+		t.Fatalf("grandchild lost inherited frame 1: %d", v)
+	}
+	if v := a.ReadU64(FrameBase(2)); v != 0 {
+		t.Fatalf("grandparent sees grandchild's frame 2: %d", v)
+	}
+	if v := bb.ReadU64(FrameBase(2)); v != 0 {
+		t.Fatalf("parent sees grandchild's frame 2: %d", v)
+	}
+}
+
+// TestBackingForkZeroPageIsolation: a child writing to a frame nobody ever
+// touched must not materialize that frame for the parent — the shared
+// zero-page aliasing stays private per store.
+func TestBackingForkZeroPageIsolation(t *testing.T) {
+	b := NewBacking()
+	b.WriteU64(FrameBase(0), 7) // one populated frame so the slab exists
+
+	child := b.Fork().Fork()
+	child.WriteU64(FrameBase(1), 42) // untouched (zero) frame in a shared slab
+
+	if v := b.ReadU64(FrameBase(1)); v != 0 {
+		t.Fatalf("parent's zero page dirtied by child: %d", v)
+	}
+	if n := b.PopulatedFrames(); n != 1 {
+		t.Fatalf("parent PopulatedFrames = %d, want 1", n)
+	}
+	if n := child.PopulatedFrames(); n != 2 {
+		t.Fatalf("child PopulatedFrames = %d, want 2", n)
+	}
+}
+
+// TestBackingForkDropRange drops frames on one side of a shared slab; the
+// other side must keep its bytes (shared slabs are replaced, not mutated).
+func TestBackingForkDropRange(t *testing.T) {
+	b := NewBacking()
+	b.WriteU64(FrameBase(0), 100)
+	b.WriteU64(FrameBase(1), 101)
+	b.WriteU64(FrameBase(2), 102)
+
+	child := b.Fork().Fork()
+
+	// Partial drop on a shared slab: survivors deep-copy into a private slab.
+	child.DropRange(FrameBase(1), PageSize)
+	if v := child.ReadU64(FrameBase(1)); v != 0 {
+		t.Fatalf("child frame 1 survived drop: %d", v)
+	}
+	if v := child.ReadU64(FrameBase(2)); v != 102 {
+		t.Fatalf("child lost surviving frame 2: %d", v)
+	}
+	if v := b.ReadU64(FrameBase(1)); v != 101 {
+		t.Fatalf("parent frame 1 dropped through shared slab: %d", v)
+	}
+
+	// Full-slab drop on the parent side: detaches without touching bytes.
+	b.DropRange(FrameBase(0), 3*PageSize)
+	if v := child.ReadU64(FrameBase(0)); v != 100 {
+		t.Fatalf("child frame 0 dropped by parent's full drop: %d", v)
+	}
+	if n := b.PopulatedFrames(); n != 0 {
+		t.Fatalf("parent PopulatedFrames after full drop = %d, want 0", n)
+	}
+}
+
+// TestBackingForkConcurrentWriters hammers one frozen snapshot from many
+// goroutines (plus the parent) — meaningful primarily under -race, where
+// any write into genuinely shared memory trips the detector.
+func TestBackingForkConcurrentWriters(t *testing.T) {
+	parent := NewBacking()
+	for pfn := uint64(0); pfn < 64; pfn++ {
+		parent.WriteU64(FrameBase(pfn), pfn)
+	}
+	frozen := parent.Fork()
+
+	const workers = 8
+	children := make([]*Backing, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := frozen.Fork()
+			for pfn := uint64(0); pfn < 64; pfn++ {
+				c.WriteU64(FrameBase(pfn)+8, uint64(i+1)*1000+pfn)
+			}
+			children[i] = c
+		}(i)
+	}
+	for pfn := uint64(0); pfn < 64; pfn++ {
+		parent.WriteU64(FrameBase(pfn)+16, pfn*7)
+	}
+	wg.Wait()
+
+	for i, c := range children {
+		for pfn := uint64(0); pfn < 64; pfn++ {
+			if v := c.ReadU64(FrameBase(pfn)); v != pfn {
+				t.Fatalf("child %d lost inherited word: frame %d = %d", i, pfn, v)
+			}
+			if v := c.ReadU64(FrameBase(pfn) + 8); v != uint64(i+1)*1000+pfn {
+				t.Fatalf("child %d lost own write at frame %d: %d", i, pfn, v)
+			}
+			if v := c.ReadU64(FrameBase(pfn) + 16); v != 0 {
+				t.Fatalf("child %d sees parent's post-fork write at frame %d", i, pfn)
+			}
+		}
+	}
+	for pfn := uint64(0); pfn < 64; pfn++ {
+		if v := parent.ReadU64(FrameBase(pfn) + 8); v != 0 {
+			t.Fatalf("parent sees a child's write at frame %d: %d", pfn, v)
+		}
+	}
+}
+
+// TestBackingImageRoundTrip materializes a forked store and rebuilds it.
+func TestBackingImageRoundTrip(t *testing.T) {
+	b := NewBacking()
+	sparsePFN := uint64(maxDenseSlabs*slabFrames) + 9
+	b.WriteU64(FrameBase(3), 0x33)
+	b.WriteU64(FrameBase(slabFrames+1), 0x44)
+	b.WriteU64(FrameBase(sparsePFN), 0x55)
+
+	img := b.Fork().Image()
+	if len(img.PFNs) != 3 {
+		t.Fatalf("image has %d frames, want 3", len(img.PFNs))
+	}
+	for i := 1; i < len(img.PFNs); i++ {
+		if img.PFNs[i] <= img.PFNs[i-1] {
+			t.Fatalf("image PFNs not ascending: %v", img.PFNs)
+		}
+	}
+	nb, err := NewBackingFromImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := nb.ReadU64(FrameBase(3)); v != 0x33 {
+		t.Fatalf("rebuilt frame 3 = %#x", v)
+	}
+	if v := nb.ReadU64(FrameBase(sparsePFN)); v != 0x55 {
+		t.Fatalf("rebuilt sparse frame = %#x", v)
+	}
+	if n := nb.PopulatedFrames(); n != 3 {
+		t.Fatalf("rebuilt PopulatedFrames = %d, want 3", n)
+	}
+}

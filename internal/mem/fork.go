@@ -1,0 +1,121 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"kindle/internal/sim"
+)
+
+// This file captures and restores the memory system's mutable state for
+// machine snapshots. Frame contents do not appear here — they ride in the
+// copy-on-write Backing (Backing.Fork) and are swapped in wholesale on
+// restore; what this file mirrors is the small device/domain state around
+// them: DRAM open rows, the NVM write buffer, and the persist domain's
+// dirty-in-cache lines. Every State type is plain data (gob-encodable)
+// with deterministic slice ordering.
+
+// WBufEntryState is one live NVM write-buffer entry (FIFO order).
+type WBufEntryState struct {
+	Line uint64
+	Done sim.Cycles
+}
+
+// NVMState mirrors the NVM controller front-end: the live drain FIFO (the
+// line->deadline map is derivable from it) and the device's next free
+// programming slot. The drain event's arming is captured with the rest of
+// the pending events by the machine layer, not here.
+type NVMState struct {
+	Drain     []WBufEntryState
+	DrainFree sim.Cycles
+}
+
+// PendingLineState is one dirty-in-cache NVM line: volatile contents that
+// a crash would lose.
+type PendingLineState struct {
+	Line uint64
+	Data [LineSize]byte
+}
+
+// ControllerState is the memory system's snapshot (minus frame contents).
+type ControllerState struct {
+	DRAMOpenRows []int64
+	NVM          NVMState
+	Pending      []PendingLineState
+}
+
+// CaptureState copies the controller's mutable device and domain state.
+func (c *Controller) CaptureState() ControllerState {
+	var st ControllerState
+	st.DRAMOpenRows = append([]int64(nil), c.dram.openRow...)
+	live := c.nvm.drainHead[c.nvm.drainAt:]
+	st.NVM.Drain = make([]WBufEntryState, len(live))
+	for i, e := range live {
+		st.NVM.Drain[i] = WBufEntryState{Line: uint64(e.line), Done: e.done}
+	}
+	st.NVM.DrainFree = c.nvm.drainFree
+	st.Pending = make([]PendingLineState, 0, len(c.domain.pending))
+	for line, buf := range c.domain.pending {
+		st.Pending = append(st.Pending, PendingLineState{Line: uint64(line), Data: *buf})
+	}
+	sort.Slice(st.Pending, func(i, j int) bool { return st.Pending[i].Line < st.Pending[j].Line })
+	return st
+}
+
+// RestoreState overwrites the controller's device/domain state from a
+// capture and swaps in backing as the functional store (normally a
+// Backing.Fork of the captured machine's). The controller must be freshly
+// constructed with the same layout and timing parameters.
+func (c *Controller) RestoreState(st ControllerState, backing *Backing) error {
+	if backing == nil {
+		return fmt.Errorf("mem: RestoreState needs a backing store")
+	}
+	c.backing = backing
+	c.domain.backing = backing
+
+	if len(st.DRAMOpenRows) != len(c.dram.openRow) {
+		return fmt.Errorf("mem: RestoreState: %d open rows vs %d banks", len(st.DRAMOpenRows), len(c.dram.openRow))
+	}
+	copy(c.dram.openRow, st.DRAMOpenRows)
+
+	n := c.nvm
+	n.drainHead = n.drainHead[:0]
+	n.drainAt = 0
+	n.wbuf = make(map[PhysAddr]sim.Cycles, len(st.NVM.Drain))
+	for _, e := range st.NVM.Drain {
+		n.drainHead = append(n.drainHead, wbufEntry{line: PhysAddr(e.Line), done: e.Done})
+		// Later entries for the same line overwrite earlier ones, exactly
+		// the state the live writes left behind.
+		n.wbuf[PhysAddr(e.Line)] = e.Done
+	}
+	n.drainFree = st.NVM.DrainFree
+	n.drainArmed = false
+
+	p := c.domain
+	p.pending = make(map[PhysAddr]*[LineSize]byte, len(st.Pending))
+	for i := range st.Pending {
+		buf := new([LineSize]byte)
+		*buf = st.Pending[i].Data
+		p.pending[PhysAddr(st.Pending[i].Line)] = buf
+	}
+	return nil
+}
+
+// RearmDrain re-arms the drain-completion event at an exact deadline
+// captured from a snapshot's pending-event list. Restores use this
+// instead of armDrain so a fork reproduces the parent's (possibly stale,
+// harmlessly early) arming rather than re-deriving it from the FIFO.
+func (n *NVMSim) RearmDrain(when sim.Cycles) {
+	if n.events == nil {
+		return
+	}
+	if n.drainArmed {
+		n.events.Cancel(n.drainEv)
+	}
+	if n.drainEv == nil {
+		n.drainEv = n.events.Schedule(when, "nvm.drain", n.drainFn)
+	} else {
+		n.events.Reschedule(n.drainEv, when)
+	}
+	n.drainArmed = true
+}

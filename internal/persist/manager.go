@@ -458,7 +458,12 @@ func (mgr *Manager) Stop() {
 // schedule arms the next checkpoint timer, reusing one Event allocation for
 // the manager's lifetime.
 func (mgr *Manager) schedule() {
-	when := mgr.M.Clock.Now() + mgr.Interval
+	mgr.scheduleAt(mgr.M.Clock.Now() + mgr.Interval)
+}
+
+// scheduleAt arms the checkpoint timer at an explicit deadline (schedule's
+// body, shared with the fork path's RearmCheckpoint).
+func (mgr *Manager) scheduleAt(when sim.Cycles) {
 	if mgr.ckptEvent != nil {
 		mgr.M.Events.Reschedule(mgr.ckptEvent, when)
 		return

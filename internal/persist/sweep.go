@@ -34,6 +34,19 @@ type SweepConfig struct {
 	// Kernel.Idle, so the sweep exercises whichever clock engine the
 	// machine is configured with.
 	IdleTick sim.Cycles
+
+	// EventClock runs the sweep machines with the event-driven clock
+	// engine (machine.Config.EventDrivenClock) instead of the stepped one.
+	// Outcomes are identical either way; the switch exists so crash sweeps
+	// cover both engines.
+	EventClock bool
+}
+
+// machineConfig builds the sweep's machine configuration.
+func (c SweepConfig) machineConfig() machine.Config {
+	mc := machine.TestConfig()
+	mc.EventDrivenClock = c.EventClock
+	return mc
 }
 
 func (c SweepConfig) withDefaults() SweepConfig {
@@ -68,6 +81,43 @@ type SweepPlan struct {
 	// Checkpoints is the number of checkpoints started during the full
 	// run — the generation-monotonicity bound.
 	Checkpoints uint64
+
+	// prefix is the frozen pre-ops state (boot + attach + spawn + switch +
+	// checkpoint timer armed) every crash point whose target lies past the
+	// prefix forks from, instead of re-simulating it. Nil when the plan
+	// predates capture (zero value) — crash points then cold-boot.
+	prefix *sweepPrefix
+}
+
+// sweepPrefix is the shared warm prefix of a sweep: the machine snapshot
+// plus the OS layers, and how many durability events producing it took.
+type sweepPrefix struct {
+	m      *machine.Snapshot
+	kernel gemos.KernelState
+	mgr    ManagerState
+	events uint64
+}
+
+// resume forks a machine+kernel+manager off the prefix. Safe to call once
+// per crash point, concurrently: the snapshot is only read.
+func (sp *sweepPrefix) resume() (*machine.Machine, *gemos.Kernel, *Manager, error) {
+	m, err := machine.NewFromSnapshot(sp.m)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	k, err := gemos.RestoreKernel(m, sp.kernel)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	mgr, err := RestoreManager(k, sp.mgr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	extra := map[string]func(when sim.Cycles){"persist.checkpoint": mgr.RearmCheckpoint}
+	if err := m.RearmEvents(sp.m, extra); err != nil {
+		return nil, nil, nil, err
+	}
+	return m, k, mgr, nil
 }
 
 // sweepOps drives the deterministic mixed mmap/touch/munmap workload, one op
@@ -122,29 +172,34 @@ func (o *sweepOps) step() error {
 	return nil
 }
 
-// runSweepWorkload boots, attaches persistence, spawns the workload process
-// and runs the op loop on m (which must have the injector installed as its
-// commit hook already). When plan is non-nil the phase boundaries are
-// recorded from the injector's event counter.
-func runSweepWorkload(m *machine.Machine, cfg SweepConfig, inj *fault.Injector, plan *SweepPlan) error {
+// sweepBoot runs the shared sweep prefix on m: boot the kernel, attach
+// persistence, spawn and dispatch the workload process, start the
+// checkpoint timer. When plan is non-nil the phase boundaries are recorded
+// from the injector's event counter.
+func sweepBoot(m *machine.Machine, cfg SweepConfig, inj *fault.Injector, plan *SweepPlan) (*gemos.Kernel, *gemos.Process, *Manager, error) {
 	k := gemos.Boot(m)
 	mgr, err := Attach(k, cfg.Scheme, cfg.Interval)
 	if err != nil {
-		return fmt.Errorf("attach: %w", err)
+		return nil, nil, nil, fmt.Errorf("attach: %w", err)
 	}
 	if plan != nil {
 		plan.AttachEvents = inj.Events()
 	}
 	p, err := k.Spawn("sweep")
 	if err != nil {
-		return fmt.Errorf("spawn: %w", err)
+		return nil, nil, nil, fmt.Errorf("spawn: %w", err)
 	}
 	k.Switch(p)
 	if plan != nil {
 		plan.SpawnEvents = inj.Events()
 	}
 	mgr.Start()
+	return k, p, mgr, nil
+}
 
+// sweepRun drives the deterministic op loop after the prefix — the part a
+// forked crash point re-executes.
+func sweepRun(k *gemos.Kernel, p *gemos.Process, cfg SweepConfig) error {
 	o := &sweepOps{k: k, p: p, rng: sim.NewRNG(cfg.Seed)}
 	for i := 0; i < cfg.Ops; i++ {
 		if err := o.step(); err != nil {
@@ -157,15 +212,37 @@ func runSweepWorkload(m *machine.Machine, cfg SweepConfig, inj *fault.Injector, 
 	return nil
 }
 
+// runSweepWorkload is the whole workload: prefix then op loop.
+func runSweepWorkload(m *machine.Machine, cfg SweepConfig, inj *fault.Injector, plan *SweepPlan) error {
+	k, p, _, err := sweepBoot(m, cfg, inj, plan)
+	if err != nil {
+		return err
+	}
+	return sweepRun(k, p, cfg)
+}
+
 // PlanSweep runs the workload once with a counting-only injector and returns
-// the event-stream plan the crash replays enumerate against.
+// the event-stream plan the crash replays enumerate against. The plan also
+// carries a copy-on-write snapshot of the pre-ops prefix; RunCrashPoint
+// forks it for every crash point that lands past the prefix instead of
+// re-simulating boot+attach+spawn each time.
 func PlanSweep(cfg SweepConfig) (SweepPlan, error) {
 	cfg = cfg.withDefaults()
 	obs := fault.NewObserver()
-	m := machine.New(machine.TestConfig())
+	m := machine.New(cfg.machineConfig())
 	m.SetCommitHook(obs)
 	var plan SweepPlan
-	if err := runSweepWorkload(m, cfg, obs, &plan); err != nil {
+	k, p, mgr, err := sweepBoot(m, cfg, obs, &plan)
+	if err != nil {
+		return SweepPlan{}, err
+	}
+	plan.prefix = &sweepPrefix{
+		m:      m.Snapshot(),
+		kernel: k.CaptureState(),
+		mgr:    mgr.CaptureState(),
+		events: obs.Events(),
+	}
+	if err := sweepRun(k, p, cfg); err != nil {
 		return SweepPlan{}, err
 	}
 	plan.Events = obs.Events()
@@ -176,18 +253,40 @@ func PlanSweep(cfg SweepConfig) (SweepPlan, error) {
 	return plan, nil
 }
 
-// RunCrashPoint replays the planned workload on a fresh machine with inj
-// armed (typically fault.NewCrashBefore(k) or fault.NewTorn(k, words)),
-// applies the power failure, reboots, recovers, and checks the recovery
-// invariants. A nil return means this commit point recovers correctly.
+// RunCrashPoint replays the planned workload with inj armed (typically
+// fault.NewCrashBefore(k) or fault.NewTorn(k, words)), applies the power
+// failure, reboots, recovers, and checks the recovery invariants. A nil
+// return means this commit point recovers correctly.
+//
+// When the plan carries a prefix snapshot and the crash target lies past
+// the prefix's durability events, the machine forks the frozen prefix
+// copy-on-write instead of re-simulating boot+attach+spawn — the
+// injector's counter is advanced by the prefix events so crash indices
+// stay absolute. Targets inside the prefix (and observers) replay cold.
 func RunCrashPoint(cfg SweepConfig, plan SweepPlan, inj *fault.Injector) error {
 	cfg = cfg.withDefaults()
-	m := machine.New(machine.TestConfig())
-	m.SetCommitHook(inj)
+	var m *machine.Machine
 	var runErr error
-	crashed := fault.Crashed(func() {
-		runErr = runSweepWorkload(m, cfg, inj, nil)
-	})
+	var crashed bool
+	if sp := plan.prefix; sp != nil && inj.Target() > sp.events {
+		fm, k, _, err := sp.resume()
+		if err != nil {
+			return fmt.Errorf("forking sweep prefix: %w", err)
+		}
+		m = fm
+		inj.Advance(sp.events)
+		m.SetCommitHook(inj)
+		p := k.Current()
+		crashed = fault.Crashed(func() {
+			runErr = sweepRun(k, p, cfg)
+		})
+	} else {
+		m = machine.New(cfg.machineConfig())
+		m.SetCommitHook(inj)
+		crashed = fault.Crashed(func() {
+			runErr = runSweepWorkload(m, cfg, inj, nil)
+		})
+	}
 	if runErr != nil {
 		return fmt.Errorf("workload: %w", runErr)
 	}

@@ -1,0 +1,55 @@
+package pt
+
+import (
+	"sort"
+
+	"kindle/internal/mem"
+	"kindle/internal/sim"
+)
+
+// Snapshot mirror of a Table handle. The radix tree's contents live in
+// physical memory and ride in the copy-on-write Backing a fork shares; the
+// handle only carries bookkeeping, so capture/restore is O(table pages)
+// and never touches the tree (Attach's rescan would, and would charge
+// nothing but would re-derive state we already have exactly).
+
+// State mirrors one Table handle.
+type State struct {
+	Root       uint64
+	Kind       mem.Kind
+	TablePages []uint64 // sorted
+	Mapped     int
+}
+
+// CaptureState copies the table's bookkeeping.
+func (t *Table) CaptureState() State {
+	st := State{Root: uint64(t.root), Kind: t.kind, Mapped: t.mapped}
+	st.TablePages = make([]uint64, 0, len(t.tablePages))
+	for pfn := range t.tablePages {
+		st.TablePages = append(st.TablePages, pfn)
+	}
+	sort.Slice(st.TablePages, func(i, j int) bool { return st.TablePages[i] < st.TablePages[j] })
+	return st
+}
+
+// FromState rebuilds a Table handle over a tree that already exists in
+// m's physical memory (a forked machine's restored backing). The write
+// hook starts at the default; the persistence layer reinstalls its own
+// on its own restore path.
+func FromState(st State, m Memory, alloc FrameAllocator, stats *sim.Stats) *Table {
+	t := &Table{
+		root:       mem.PhysAddr(st.Root),
+		kind:       st.Kind,
+		mem:        m,
+		alloc:      alloc,
+		stats:      stats,
+		mapped:     st.Mapped,
+		tablePages: make(map[uint64]bool, len(st.TablePages)),
+	}
+	for _, pfn := range st.TablePages {
+		t.tablePages[pfn] = true
+	}
+	t.resolveCounters()
+	t.write = t.defaultWrite
+	return t
+}
